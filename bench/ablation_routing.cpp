@@ -1,0 +1,48 @@
+// Ablation: balanced (split) vs static single-direction routing of
+// antipodal traffic — DESIGN.md decision #1.
+//
+// The paper's Section 4.1 remark about the Mira 24-midplane partition
+// ("some of the network links of the size 3 dimension ... are only
+// utilized in one direction") is this effect: when traffic cannot use both
+// ring directions evenly, the effective bisection halves. The ablation
+// quantifies that across geometries.
+#include <cstdio>
+
+#include "bgq/policy.hpp"
+#include "core/report.hpp"
+#include "simnet/pingpong.hpp"
+
+int main() {
+  using namespace npac;
+  std::puts("Ablation — tie-break routing policy (bisection pairing, one "
+            "2 GiB round)");
+  core::TextTable table({"Geometry", "Split time (s)", "Single-dir time (s)",
+                         "Penalty"});
+  simnet::PingPongConfig config;
+  config.total_rounds = 1;
+  config.warmup_rounds = 0;
+  config.bytes_per_round = 2147483648.0;
+
+  for (const bgq::Geometry& g :
+       {bgq::Geometry(2, 1, 1, 1), bgq::Geometry(4, 1, 1, 1),
+        bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 3, 2, 1),
+        bgq::Geometry(3, 2, 2, 2)}) {
+    simnet::NetworkOptions split;
+    split.tie_break = simnet::TieBreak::kSplit;
+    simnet::NetworkOptions single;
+    single.tie_break = simnet::TieBreak::kPositive;
+    const double split_s =
+        simnet::run_pingpong(g, config, split).measured_seconds;
+    const double single_s =
+        simnet::run_pingpong(g, config, single).measured_seconds;
+    table.add_row({g.to_string(), core::format_double(split_s, 2),
+                   core::format_double(single_s, 2),
+                   "x" + core::format_double(single_s / split_s, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nReading: antipodal pairing loses x2 when it cannot split "
+            "across both ring\ndirections — the simulator must model "
+            "balanced minimal routing (as Blue Gene/Q's\nadaptive routing "
+            "does) or it would mispredict every even-dimension geometry.");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension bench (paper footnote 1 / related work [18]): multi-tenant
+// interference. Two tenants share one torus, each running Experiment A's
+// pairing among its own nodes; compact cuboid allocations are network-
+// disjoint, interleaved (cloud-style) allocations collide.
+#include <cstdio>
+
+#include "bgq/geometry.hpp"
+#include "core/report.hpp"
+#include "simnet/interference.hpp"
+
+int main() {
+  using namespace npac;
+  std::puts("Extension — two-tenant interference, furthest-node pairing "
+            "with 0.1342 GB messages");
+  core::TextTable table({"Host torus", "Layout", "Alone A (s)",
+                         "Alone B (s)", "Shared (s)", "Interference"});
+  const double bytes = 0.1342e9;
+  for (const bgq::Geometry& g :
+       {bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 2, 1, 1)}) {
+    const simnet::TorusNetwork network(g.node_torus());
+    for (const auto& [label, layout] :
+         {std::pair{"compact", simnet::TenantLayout::kCompact},
+          std::pair{"interleaved", simnet::TenantLayout::kInterleaved}}) {
+      const auto report =
+          simnet::tenant_pairing_interference(network, layout, bytes);
+      table.add_row({network.torus().to_string(), label,
+                     core::format_double(report.alone_seconds_a, 3),
+                     core::format_double(report.alone_seconds_b, 3),
+                     core::format_double(report.shared_seconds, 3),
+                     "x" + core::format_double(report.interference_factor, 2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nReading: compact cuboid allocations never interfere (x1.00) "
+            "— minimal routes\nstay inside a convex region, the property "
+            "that lets Blue Gene/Q isolate jobs by\ncuboid. A scattered "
+            "tenant is *faster alone* (it borrows the idle neighbour's\n"
+            "links) but collides once the neighbour wakes up (x2) — the "
+            "multi-tenant\nvariability the paper's footnote 1 excludes and "
+            "Jain et al. [18] attack with\nnetwork partitioning. Note the "
+            "embedded compact interval is itself slower than\na real "
+            "partition of that shape: it has no wrap-around links, which "
+            "is exactly\nwhy Blue Gene/Q partitions are built with their "
+            "own.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension bench (Related Work [10]): task mapping composes with
+// partition geometry. The CAPS communication schedule is simulated under
+// blocked (ABCDE), strided and random rank-to-node mappings on both the
+// current and proposed 4-midplane geometries.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "simmpi/communicator.hpp"
+#include "strassen/caps.hpp"
+
+int main() {
+  using namespace npac;
+  std::puts("Extension — task mapping x partition geometry, CAPS n = 9408, "
+            "2401 ranks, 4 BFS steps");
+  core::TextTable table({"Geometry", "Mapping", "Comm (s)",
+                         "vs blocked"});
+  const strassen::CapsParams params{9408, 2401, 4};
+  for (const bgq::Geometry& g :
+       {bgq::Geometry(4, 1, 1, 1), bgq::Geometry(2, 2, 1, 1)}) {
+    const simnet::TorusNetwork net(g.node_torus());
+    double blocked_seconds = 0.0;
+    for (const auto& [label, strategy] :
+         {std::pair{"blocked", simmpi::MappingStrategy::kBlocked},
+          std::pair{"strided", simmpi::MappingStrategy::kStrided},
+          std::pair{"random", simmpi::MappingStrategy::kRandom}}) {
+      const simmpi::Communicator comm(
+          &net, simmpi::RankMap::with_mapping(
+                    params.ranks, net.torus().num_vertices(), strategy, 1));
+      const double seconds =
+          strassen::simulate_caps_communication(comm, params);
+      if (strategy == simmpi::MappingStrategy::kBlocked) {
+        blocked_seconds = seconds;
+      }
+      table.add_row({g.to_string(), label, core::format_double(seconds, 4),
+                     "x" + core::format_double(seconds / blocked_seconds, 2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nReading: mapping composes with geometry. A *random* mapping "
+            "squanders part of\nwhat the better geometry buys (deep-step "
+            "groups get dragged across the whole\ntorus), while the "
+            "regular *strided* mapping slightly helps by load-balancing "
+            "the\nstep-0 redistribution, like a block-cyclic distribution. "
+            "Topology-aware mapping\n(Bhatele et al. [10]) and bisection-"
+            "aware allocation are complementary knobs,\nnot "
+            "interchangeable ones.");
+  return 0;
+}

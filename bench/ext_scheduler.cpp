@@ -1,0 +1,60 @@
+// Extension bench (paper Future Work): bisection-aware job scheduling.
+//
+// Streams synthetic contention-bound and compute-bound jobs through the
+// three allocation policies on Mira and reports quality (mean slowdown),
+// queueing (mean wait) and throughput (makespan) — the trade-off a
+// hint-driven scheduler navigates.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/scheduler.hpp"
+
+namespace {
+
+using namespace npac;
+
+/// Deterministic mixed job stream: sizes cycle through the paper's
+/// experiment sizes, alternating contention- and compute-bound, arriving
+/// in bursts.
+std::vector<core::Job> job_stream(int count) {
+  const std::int64_t sizes[] = {4, 8, 16, 4, 24, 8};
+  std::vector<core::Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::Job job;
+    job.id = i;
+    job.midplanes = sizes[i % 6];
+    job.base_seconds = 20.0 + 10.0 * (i % 3);
+    job.contention_bound = i % 3 != 2;  // two thirds are network-bound
+    job.arrival_seconds = 5.0 * (i / 4);  // bursts of four
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Extension — bisection-aware scheduling on Mira (48 synthetic "
+            "jobs)");
+  const auto jobs = job_stream(48);
+  core::TextTable table({"Policy", "Makespan (s)", "Mean slowdown",
+                         "Mean wait (s)"});
+  for (const auto policy :
+       {core::SchedulerPolicy::kFirstFit, core::SchedulerPolicy::kBestBisection,
+        core::SchedulerPolicy::kWaitForBest}) {
+    const auto result = core::simulate_schedule(bgq::mira(), policy, jobs);
+    table.add_row({core::to_string(policy),
+                   core::format_double(result.makespan_seconds, 1),
+                   "x" + core::format_double(result.mean_slowdown, 2),
+                   core::format_double(result.mean_wait_seconds, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nReading: the quality-blind first-fit policy inflates "
+            "contention-bound runtimes\n(slowdown up to x2, the paper's "
+            "measured worst case); preferring high-bisection\nboxes removes "
+            "most of it for free, and waiting for optimal boxes removes all "
+            "of\nit at some queueing cost — the decision Section 5 proposes "
+            "driving with user\nhints.");
+  return 0;
+}

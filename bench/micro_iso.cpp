@@ -1,0 +1,57 @@
+// Micro-benchmarks (google-benchmark): the isoperimetric machinery —
+// bound evaluation, cuboid enumeration, and the exhaustive oracle.
+#include <benchmark/benchmark.h>
+
+#include "bgq/bisection.hpp"
+#include "iso/brute_force.hpp"
+#include "iso/cuboid_search.hpp"
+#include "iso/torus_bound.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace npac;
+
+void BM_TorusBound(benchmark::State& state) {
+  const topo::Dims dims{16, 16, 12, 8, 2};
+  const std::int64_t t = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        iso::torus_isoperimetric_lower_bound(dims, t).value);
+  }
+}
+BENCHMARK(BM_TorusBound)->Arg(64)->Arg(4096)->Arg(24576);
+
+void BM_EnumerateCuboids(benchmark::State& state) {
+  const topo::Dims dims{16, 16, 12, 8, 2};
+  const std::int64_t t = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::enumerate_cuboids(dims, t).size());
+  }
+}
+BENCHMARK(BM_EnumerateCuboids)->Arg(256)->Arg(4096);
+
+void BM_BruteForceIsoperimetric(benchmark::State& state) {
+  const topo::Torus torus({4, 3, 2});
+  const topo::Graph graph = torus.build_graph();
+  const std::int64_t t = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        iso::brute_force_isoperimetric(graph, t).min_cut);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(
+          iso::brute_force_isoperimetric(graph, t).subsets_examined));
+}
+BENCHMARK(BM_BruteForceIsoperimetric)->Arg(6)->Arg(12);
+
+void BM_BisectionSearchOnNodeTorus(benchmark::State& state) {
+  const bgq::Geometry g(2, 2, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgq::normalized_bisection_by_search(g));
+  }
+}
+BENCHMARK(BM_BisectionSearchOnNodeTorus);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Micro-benchmarks (google-benchmark): flow-routing throughput of the
+// contention simulator — the cost driver of Figures 3-6.
+#include <benchmark/benchmark.h>
+
+#include "simnet/pingpong.hpp"
+#include "simnet/traffic.hpp"
+
+namespace {
+
+using namespace npac;
+
+void BM_RoutePairing(benchmark::State& state) {
+  const bgq::Geometry g(state.range(0), 1, 1, 1);
+  const simnet::TorusNetwork network(g.node_torus());
+  const auto flows = simnet::furthest_node_pairing(network.torus(), 1.0e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.route_all(flows).max_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_RoutePairing)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RouteAllToAll(benchmark::State& state) {
+  const topo::Torus torus({state.range(0), 4, 4, 4, 2});
+  const simnet::TorusNetwork network(torus);
+  const auto flows = simnet::uniform_all_to_all(torus, 1.0e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.route_all(flows).max_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_RouteAllToAll)->Arg(4)->Arg(8);
+
+void BM_PingPongRound(benchmark::State& state) {
+  const bgq::Geometry g(2, 2, 1, 1);
+  const simnet::TorusNetwork network(g.node_torus());
+  simnet::PingPongConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simnet::run_pingpong(network, config).measured_seconds);
+  }
+}
+BENCHMARK(BM_PingPongRound);
+
+}  // namespace

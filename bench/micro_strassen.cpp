@@ -1,0 +1,49 @@
+// Micro-benchmarks (google-benchmark): the Strassen-Winograd kernel vs
+// classical GEMM, and the CAPS communication simulation.
+#include <benchmark/benchmark.h>
+
+#include "simmpi/communicator.hpp"
+#include "strassen/caps.hpp"
+#include "strassen/winograd.hpp"
+
+namespace {
+
+using namespace npac;
+
+void BM_ClassicalMultiply(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = strassen::Matrix::random(n, n, 1);
+  const auto b = strassen::Matrix::random(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strassen::classical_multiply(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * n * n * n);
+}
+BENCHMARK(BM_ClassicalMultiply)->Arg(128)->Arg(256);
+
+void BM_StrassenWinograd(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = strassen::Matrix::random(n, n, 1);
+  const auto b = strassen::Matrix::random(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strassen::strassen_winograd(a, b));
+  }
+}
+BENCHMARK(BM_StrassenWinograd)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_CapsSimulation(benchmark::State& state) {
+  const bgq::Geometry g(2, 1, 1, 1);
+  const simnet::TorusNetwork network(g.node_torus());
+  const simmpi::RankMap map(2401, network.torus().num_vertices());
+  const simmpi::Communicator comm(&network, map);
+  const strassen::CapsParams params{9408, 2401,
+                                    static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        strassen::simulate_caps_communication(comm, params));
+  }
+}
+BENCHMARK(BM_CapsSimulation)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Regenerates paper Table 4: strong-scaling experiment parameters on Mira
+// (n = 9408), including the bisection columns that drive Figure 6.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "strassen/caps.hpp"
+
+int main() {
+  using namespace npac;
+  std::puts("Table 4 — strong scaling experiment parameters (Mira, n = 9408)");
+  core::TextTable table({"P", "Midplanes", "MPI Ranks", "Max active cores",
+                         "Avg cores/proc", "Current BW", "Proposed BW"});
+  for (const auto& row : strassen::table4_parameters()) {
+    table.add_row(
+        {core::format_int(row.nodes), core::format_int(row.midplanes),
+         core::format_int(row.mpi_ranks),
+         core::format_int(row.max_active_cores),
+         core::format_double(row.avg_cores_per_proc, 2),
+         core::format_int(row.current_bw), core::format_int(row.proposed_bw)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Topology survey (paper Section 5): bisection and small-set-expansion
+// profiles of the network families the method extends to, computed with
+// the family-appropriate exact theory and cross-checked with the spectral
+// heuristic.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "iso/harper.hpp"
+#include "iso/lindsey.hpp"
+#include "iso/spectral.hpp"
+#include "iso/torus_bound.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/hamming.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+int main() {
+  using namespace npac;
+  std::puts("Topology survey — exact bisection vs spectral heuristic");
+  core::TextTable table({"Topology", "N", "Exact bisection", "Spectral cut",
+                         "Heuristic gap"});
+
+  const auto add = [&table](const std::string& name, const topo::Graph& g,
+                            double exact) {
+    const auto sweep = iso::spectral_sweep_cut(g, g.num_vertices() / 2);
+    table.add_row({name, core::format_int(g.num_vertices()),
+                   core::format_double(exact, 0),
+                   core::format_double(sweep.cut_capacity, 0),
+                   "x" + core::format_double(sweep.cut_capacity / exact, 2)});
+  };
+
+  {
+    const topo::Torus torus({8, 8});
+    add("torus 8x8 (Thm 2.1)", torus.build_graph(),
+        iso::torus_isoperimetric_lower_bound(torus.dims(), 32).value);
+  }
+  {
+    const topo::Torus torus({16, 4, 2});
+    add("torus 16x4x2 (Thm 3.1)", torus.build_graph(),
+        iso::torus_isoperimetric_lower_bound(torus.dims(), 64).value);
+  }
+  {
+    // ToFu-style 6-D torus (Section 5: "a high-dimensional torus with
+    // certain similarities to Blue Gene/Q"); scaled down from the
+    // K computer's 12 x 6 x 16 x 2 x 3 x 2 so the survey stays instant.
+    const topo::Torus torus({6, 4, 4, 2, 3, 2});
+    add("ToFu-style 6x4x4x2x3x2 (Thm 3.1)", torus.build_graph(),
+        iso::torus_isoperimetric_lower_bound(torus.dims(),
+                                             torus.num_vertices() / 2)
+            .value);
+  }
+  {
+    const int n = 8;
+    add("hypercube Q8 (Harper)", topo::make_hypercube(n),
+        static_cast<double>(iso::harper_cut(n, 128)));
+  }
+  {
+    const topo::Hamming h({8, 4, 4});
+    add("HyperX K8xK4xK4 (Lindsey)", h.build_graph(),
+        iso::hyperx_bisection(h));
+  }
+  {
+    const topo::Hamming h({16, 6}, {1.0, 3.0});
+    add("Dragonfly group K16xK6 (weighted Lindsey)", h.build_graph(),
+        iso::hyperx_bisection(h));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nDragonfly inter-group arrangements (no exact theory; "
+            "spectral estimate):");
+  core::TextTable df({"Arrangement", "N", "Spectral bisection estimate"});
+  for (const auto& [label, arrangement] :
+       {std::pair{"absolute", topo::GlobalArrangement::kAbsolute},
+        std::pair{"relative", topo::GlobalArrangement::kRelative},
+        std::pair{"circulant", topo::GlobalArrangement::kCirculant}}) {
+    topo::DragonflyConfig cfg;
+    cfg.a = 8;
+    cfg.h = 4;
+    cfg.groups = 6;
+    cfg.global_ports = 1;
+    cfg.arrangement = arrangement;
+    const auto g = topo::make_dragonfly(cfg);
+    const auto sweep = iso::spectral_sweep_cut(g, g.num_vertices() / 2);
+    df.add_row({label, core::format_int(g.num_vertices()),
+                core::format_double(sweep.cut_capacity, 0)});
+  }
+  std::fputs(df.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// contention_lab — drive the flow-level contention simulator over an
+// arbitrary partition geometry and several traffic patterns, printing the
+// max-channel load and the fluid-model completion time of each.
+//
+// Usage:
+//   contention_lab              # defaults to the 2 x 2 x 1 x 1 geometry
+//   contention_lab 4 1 1 1      # midplane dimensions
+//
+// This is the tool to poke at "what does the network feel like inside this
+// partition": the furthest-node pairing saturates the bisection, the halo
+// exchange shows the contention-free floor, and random permutations land
+// in between.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bgq/bisection.hpp"
+#include "core/report.hpp"
+#include "simnet/network.hpp"
+#include "simnet/traffic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace npac;
+
+  bgq::Geometry geometry(2, 2, 1, 1);
+  if (argc == 5) {
+    geometry = bgq::Geometry(std::atoll(argv[1]), std::atoll(argv[2]),
+                             std::atoll(argv[3]), std::atoll(argv[4]));
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [A B C D]\n", argv[0]);
+    return 2;
+  }
+
+  const topo::Torus torus = geometry.node_torus();
+  std::printf("Partition %s: node torus ", geometry.to_string().c_str());
+  std::printf("%s (%lld nodes), normalized bisection %lld links\n\n",
+              torus.to_string().c_str(),
+              static_cast<long long>(torus.num_vertices()),
+              static_cast<long long>(bgq::normalized_bisection(geometry)));
+
+  const simnet::TorusNetwork network(torus);
+  const double bytes = 0.1342e9;  // the paper's chunk size
+
+  struct Pattern {
+    const char* name;
+    std::vector<simnet::Flow> flows;
+  };
+  const std::vector<Pattern> patterns = {
+      {"furthest-node pairing", simnet::furthest_node_pairing(torus, bytes)},
+      {"random permutation", simnet::random_permutation(torus, bytes, 1)},
+      {"uniform all-to-all", simnet::uniform_all_to_all(torus, bytes)},
+      {"nearest-neighbor halo", simnet::nearest_neighbor_halo(torus, bytes)},
+  };
+
+  core::TextTable table(
+      {"Pattern", "Flows", "Max channel (MB)", "Time (ms)", "vs halo"});
+  std::vector<std::array<double, 2>> results;
+  for (const Pattern& pattern : patterns) {
+    const auto loads = network.route_all(pattern.flows);
+    const double seconds = network.completion_seconds(loads, pattern.flows);
+    results.push_back({loads.max_load(), seconds});
+  }
+  const double halo_seconds = results.back()[1];
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    table.add_row(
+        {patterns[i].name, core::format_int(static_cast<std::int64_t>(
+                               patterns[i].flows.size())),
+         core::format_double(results[i][0] / 1e6, 1),
+         core::format_double(results[i][1] * 1e3, 2),
+         "x" + core::format_double(results[i][1] / halo_seconds, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nThe pairing / halo ratio is the contention penalty of "
+      "bisection-crossing traffic in this geometry.");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// partition_advisor — command-line front end to the PartitionAdvisor.
+//
+// Usage:
+//   partition_advisor                      # full report for all machines
+//   partition_advisor mira                 # one machine, all sizes
+//   partition_advisor juqueen 16           # one machine, one job size
+//
+// Machines: mira | juqueen | sequoia
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using npac::core::AllocationPolicy;
+using npac::core::PartitionAdvisor;
+
+PartitionAdvisor make_advisor(const std::string& name) {
+  if (name == "mira") return PartitionAdvisor::for_mira();
+  if (name == "juqueen") return PartitionAdvisor::for_juqueen();
+  if (name == "sequoia") return PartitionAdvisor::for_sequoia();
+  std::fprintf(stderr, "unknown machine '%s' (mira|juqueen|sequoia)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void print_report(const PartitionAdvisor& advisor) {
+  const auto& machine = advisor.machine();
+  std::printf("%s — %lld midplanes (%lld nodes), policy: %s\n",
+              machine.name.c_str(),
+              static_cast<long long>(machine.midplanes()),
+              static_cast<long long>(machine.nodes()),
+              advisor.policy() == AllocationPolicy::kFixedList
+                  ? "fixed scheduler list"
+                  : "any fitting cuboid (worst case shown)");
+  npac::core::TextTable table({"Midplanes", "Nodes", "Assigned", "BW",
+                               "Proposed", "BW", "Speedup"});
+  for (const auto& rec : advisor.advise_all()) {
+    table.add_row({npac::core::format_int(rec.midplanes),
+                   npac::core::format_int(rec.nodes),
+                   rec.assigned.to_string(),
+                   npac::core::format_int(rec.assigned_bisection),
+                   rec.improvable ? rec.best.to_string() : "-",
+                   rec.improvable
+                       ? npac::core::format_int(rec.best_bisection)
+                       : "-",
+                   rec.improvable
+                       ? "x" + npac::core::format_double(rec.predicted_speedup, 2)
+                       : "optimal"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc <= 1) {
+    for (const char* name : {"mira", "juqueen", "sequoia"}) {
+      print_report(make_advisor(name));
+    }
+    return 0;
+  }
+  const auto advisor = make_advisor(argv[1]);
+  if (argc == 2) {
+    print_report(advisor);
+    return 0;
+  }
+  const long long size = std::atoll(argv[2]);
+  const auto rec = advisor.advise(size);
+  if (!rec) {
+    std::printf("%s cannot allocate %lld midplanes\n",
+                advisor.machine().name.c_str(), size);
+    return 1;
+  }
+  std::puts(rec->to_string().c_str());
+  return 0;
+}

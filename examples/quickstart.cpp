@@ -1,0 +1,50 @@
+// Quickstart: the paper's workflow in ~40 lines.
+//
+// 1. Ask the PartitionAdvisor what your scheduler would hand you for an
+//    8-midplane (4096-node) job on JUQUEEN and what it *should* hand you.
+// 2. Validate the predicted speedup by running the bisection-pairing
+//    benchmark (paper Experiment A) on the contention simulator.
+//
+// Build & run:   ./quickstart
+#include <cstdio>
+
+#include "core/advisor.hpp"
+#include "core/experiments.hpp"
+#include "simnet/pingpong.hpp"
+
+int main() {
+  using namespace npac;
+
+  // Step 1: analyze the allocation policy.
+  const auto advisor = core::PartitionAdvisor::for_juqueen();
+  const auto rec = advisor.advise(/*midplanes=*/8);
+  if (!rec) {
+    std::puts("8 midplanes is not allocatable on JUQUEEN");
+    return 1;
+  }
+  std::printf("Job size: %lld midplanes (%lld nodes)\n",
+              static_cast<long long>(rec->midplanes),
+              static_cast<long long>(rec->nodes));
+  std::printf("Scheduler worst case : %s  (bisection %lld links)\n",
+              rec->assigned.to_string().c_str(),
+              static_cast<long long>(rec->assigned_bisection));
+  std::printf("Optimal geometry     : %s  (bisection %lld links)\n",
+              rec->best.to_string().c_str(),
+              static_cast<long long>(rec->best_bisection));
+  std::printf("Predicted contention-bound speedup: x%.2f\n\n",
+              rec->predicted_speedup);
+
+  // Step 2: check the prediction with the flow-level simulator.
+  const auto config = core::paper_pingpong_config();
+  const auto slow = simnet::run_pingpong(rec->assigned, config);
+  const auto fast = simnet::run_pingpong(rec->best, config);
+  std::printf("Bisection pairing, 26 measured rounds of 2 GiB per pair:\n");
+  std::printf("  %s : %.1f s\n", rec->assigned.to_string().c_str(),
+              slow.measured_seconds);
+  std::printf("  %s : %.1f s\n", rec->best.to_string().c_str(),
+              fast.measured_seconds);
+  std::printf("  measured speedup x%.2f (predicted x%.2f)\n",
+              slow.measured_seconds / fast.measured_seconds,
+              rec->predicted_speedup);
+  return 0;
+}

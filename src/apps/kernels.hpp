@@ -1,0 +1,76 @@
+// Communication models of the kernels the paper's Future Work singles out.
+//
+// "Direct N-body simulation [has] greater asymptotic contention cost lower
+//  bounds than fast matrix multiplication [7], increasing the impact of the
+//  internal bisection bandwidth. High-performance implementations of FFT
+//  [...] may better utilize the available hardware resources" (Section 5).
+//
+// Each kernel is expressed as the sequence of communication phases its
+// textbook parallelization performs; the flow simulator then times it on a
+// concrete partition geometry. The interesting quantity is the *geometry
+// sensitivity*: how much of the x2 bisection ratio each kernel realizes.
+//  * Direct N-body (all-pairs, replicated positions): an all-to-all per
+//    timestep — fully bisection-bound, realizes the whole ratio.
+//  * Binary-exchange FFT: log2(P) butterfly phases; only the high-order
+//    phases cross the bisection, so it realizes part of the ratio.
+//  * Halo exchange (stencil): nearest-neighbour only — contention-free,
+//    realizes none of it. The control case.
+#pragma once
+
+#include <cstdint>
+
+#include "bgq/policy.hpp"
+#include "simmpi/communicator.hpp"
+
+namespace npac::apps {
+
+struct NBodyParams {
+  std::int64_t bodies = 0;        ///< total bodies N
+  int steps = 1;                  ///< simulated timesteps
+  double bytes_per_body = 32.0;   ///< position + velocity + mass
+};
+
+/// All-pairs N-body: per step every rank redistributes its N/P bodies to
+/// every other rank (replicated-positions scheme). Returns total seconds.
+double simulate_nbody_communication(const simmpi::Communicator& comm,
+                                    const NBodyParams& params,
+                                    simmpi::Timeline* timeline = nullptr);
+
+struct FftParams {
+  std::int64_t points = 0;        ///< total FFT length n
+  double bytes_per_point = 16.0;  ///< complex double
+};
+
+/// Binary-exchange FFT: log2(P) phases; in phase i every rank exchanges
+/// its n/P points with rank XOR 2^i. P must be a power of two. Returns
+/// total seconds.
+double simulate_fft_communication(const simmpi::Communicator& comm,
+                                  const FftParams& params,
+                                  simmpi::Timeline* timeline = nullptr);
+
+struct HaloParams {
+  int steps = 1;
+  double bytes_per_face = 1.0e6;  ///< ghost-layer bytes per torus face
+};
+
+/// Nearest-neighbour halo exchange on the partition's node torus: one
+/// phase per step, each node sending a face to every torus neighbour.
+double simulate_halo_communication(const simmpi::Communicator& comm,
+                                   const HaloParams& params,
+                                   simmpi::Timeline* timeline = nullptr);
+
+/// Convenience: ratio of a kernel's simulated time on `worse` vs `better`
+/// (both node-torus geometries, one rank per node). The bisection ratio of
+/// the pair is an upper bound; halo lands near 1.
+struct KernelSensitivity {
+  double nbody = 1.0;
+  double fft = 1.0;
+  double halo = 1.0;
+  double bisection_ratio = 1.0;
+};
+KernelSensitivity kernel_sensitivity(const bgq::Geometry& worse,
+                                     const bgq::Geometry& better,
+                                     std::int64_t nbody_bodies = 1 << 22,
+                                     std::int64_t fft_points = 1 << 26);
+
+}  // namespace npac::apps

@@ -1,0 +1,34 @@
+#include "bgq/bisection.hpp"
+
+#include <stdexcept>
+
+#include "iso/cuboid_search.hpp"
+
+namespace npac::bgq {
+
+std::int64_t normalized_bisection(const Geometry& geometry) {
+  return 2 * geometry.nodes() / geometry.longest_node_dim();
+}
+
+std::int64_t normalized_bisection_by_search(const Geometry& geometry) {
+  const topo::Dims node_dims = geometry.node_dims();
+  const std::int64_t half = geometry.nodes() / 2;
+  const auto best = iso::min_cut_cuboid(node_dims, half);
+  if (!best) {
+    throw std::logic_error(
+        "normalized_bisection_by_search: no cuboid bisection exists");
+  }
+  return best->cut;
+}
+
+double bisection_bytes_per_second(const Geometry& geometry,
+                                  double link_bytes_per_second) {
+  if (link_bytes_per_second <= 0.0) {
+    throw std::invalid_argument(
+        "bisection_bytes_per_second: bandwidth must be positive");
+  }
+  return static_cast<double>(normalized_bisection(geometry)) *
+         link_bytes_per_second;
+}
+
+}  // namespace npac::bgq

@@ -1,0 +1,29 @@
+// Internal bisection bandwidth of Blue Gene/Q partitions.
+//
+// Chen et al. [12] give the Blue Gene/Q bisection as 2 * N / L * B (N nodes,
+// L longest dimension, B link capacity). This module provides that closed
+// form in normalized units (B = 1) plus two independent verification paths:
+// the optimal-cuboid search of Lemma 3.3 on the node torus, and explicit
+// graph cuts (used in tests on small geometries).
+#pragma once
+
+#include <cstdint>
+
+#include "bgq/geometry.hpp"
+
+namespace npac::bgq {
+
+/// Normalized internal bisection bandwidth of a partition geometry (each
+/// link contributes 1 unit). Closed form: 2 * nodes / longest_node_dim.
+std::int64_t normalized_bisection(const Geometry& geometry);
+
+/// Same quantity via the optimal-cuboid search on the 5-D node torus
+/// (Lemma 3.3). Slower; exists so tests can confirm the closed form.
+std::int64_t normalized_bisection_by_search(const Geometry& geometry);
+
+/// Bisection bandwidth in bytes/second given a per-link bandwidth
+/// (Blue Gene/Q: 2 GB/s per direction per link).
+double bisection_bytes_per_second(const Geometry& geometry,
+                                  double link_bytes_per_second);
+
+}  // namespace npac::bgq

@@ -1,0 +1,62 @@
+// Midplane-level partition geometry for Blue Gene/Q systems.
+//
+// A Blue Gene/Q midplane is 512 compute nodes wired as a 4x4x4x4x2 torus;
+// the length-2 "E" dimension is internal to the midplane. Machines and
+// partitions are cuboids of midplanes described by 4 dimensions (Section 2
+// of the paper). The paper's canonical representation sorts dimensions in
+// descending order, treating rotations of the same cuboid as one geometry.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "topo/torus.hpp"
+
+namespace npac::bgq {
+
+/// Nodes per midplane dimension (the node torus of geometry A is
+/// 4A_1 x 4A_2 x 4A_3 x 4A_4 x 2).
+inline constexpr std::int64_t kNodesPerMidplaneDim = 4;
+inline constexpr std::int64_t kEDimension = 2;
+inline constexpr std::int64_t kNodesPerMidplane = 512;
+
+/// A 4-dimensional cuboid of midplanes in canonical (descending) order.
+class Geometry {
+ public:
+  /// Canonicalizes (sorts descending). All entries must be >= 1.
+  Geometry(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d);
+
+  explicit Geometry(const std::array<std::int64_t, 4>& dims);
+
+  const std::array<std::int64_t, 4>& dims() const { return dims_; }
+  std::int64_t operator[](std::size_t i) const { return dims_.at(i); }
+
+  std::int64_t midplanes() const;
+  std::int64_t nodes() const { return midplanes() * kNodesPerMidplane; }
+
+  /// The 5-D node-level torus dimensions (descending, E-dimension last):
+  /// 4A_1, 4A_2, 4A_3, 4A_4, 2.
+  topo::Dims node_dims() const;
+
+  /// Node torus object for this geometry (unit link capacities).
+  topo::Torus node_torus() const;
+
+  /// Longest node-level dimension (4 * A_1).
+  std::int64_t longest_node_dim() const;
+
+  /// True if this cuboid fits inside `host` (element-wise on canonical
+  /// forms; valid because both are sorted descending).
+  bool fits_in(const Geometry& host) const;
+
+  /// "A1 x A2 x A3 x A4".
+  std::string to_string() const;
+
+  auto operator<=>(const Geometry&) const = default;
+
+ private:
+  std::array<std::int64_t, 4> dims_;
+};
+
+}  // namespace npac::bgq

@@ -1,0 +1,19 @@
+#include "bgq/machine.hpp"
+
+namespace npac::bgq {
+
+Machine mira() { return {"Mira", Geometry(4, 4, 3, 2)}; }
+
+Machine juqueen() { return {"JUQUEEN", Geometry(7, 2, 2, 2)}; }
+
+Machine sequoia() { return {"Sequoia", Geometry(4, 4, 4, 3)}; }
+
+Machine juqueen48() { return {"JUQUEEN-48", Geometry(4, 3, 2, 2)}; }
+
+Machine juqueen54() { return {"JUQUEEN-54", Geometry(3, 3, 3, 2)}; }
+
+std::vector<Machine> all_machines() {
+  return {mira(), juqueen(), sequoia(), juqueen48(), juqueen54()};
+}
+
+}  // namespace npac::bgq

@@ -1,0 +1,41 @@
+// Blue Gene/Q machine definitions.
+//
+// Real systems analyzed by the paper (Mira, JUQUEEN, Sequoia) and the two
+// hypothetical machines of Section 5 (JUQUEEN-48, JUQUEEN-54), all
+// expressed as midplane-level cuboids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgq/geometry.hpp"
+
+namespace npac::bgq {
+
+struct Machine {
+  std::string name;
+  Geometry shape;  ///< midplane-level dimensions of the full machine
+
+  std::int64_t midplanes() const { return shape.midplanes(); }
+  std::int64_t nodes() const { return shape.nodes(); }
+};
+
+/// Mira (Argonne): 49152 nodes, 16x16x12x8x2 network = 4x4x3x2 midplanes.
+Machine mira();
+
+/// JUQUEEN (Jülich): 28672 nodes, 28x8x8x8x2 network = 7x2x2x2 midplanes.
+Machine juqueen();
+
+/// Sequoia (LLNL): 98304 nodes, 16x16x16x12x2 network = 4x4x4x3 midplanes.
+Machine sequoia();
+
+/// Hypothetical balanced machine of Section 5: 4x3x2x2 (48 midplanes).
+Machine juqueen48();
+
+/// Hypothetical balanced machine of Section 5: 3x3x3x2 (54 midplanes).
+Machine juqueen54();
+
+/// All machines above, in paper order.
+std::vector<Machine> all_machines();
+
+}  // namespace npac::bgq

@@ -1,0 +1,108 @@
+#include "bgq/policy.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace npac::bgq {
+
+std::vector<Geometry> enumerate_geometries(const Machine& machine,
+                                           std::int64_t midplanes) {
+  if (midplanes < 1) {
+    throw std::invalid_argument("enumerate_geometries: midplanes must be >= 1");
+  }
+  const auto& host = machine.shape.dims();
+  std::set<Geometry> seen;
+  // 4 nested divisor scans; hosts are tiny (dims <= 7) so this is trivial.
+  for (std::int64_t a = 1; a <= host[0]; ++a) {
+    if (midplanes % a != 0) continue;
+    const std::int64_t rest_a = midplanes / a;
+    for (std::int64_t b = 1; b <= host[1]; ++b) {
+      if (rest_a % b != 0) continue;
+      const std::int64_t rest_b = rest_a / b;
+      for (std::int64_t c = 1; c <= host[2]; ++c) {
+        if (rest_b % c != 0) continue;
+        const std::int64_t d = rest_b / c;
+        if (d < 1 || d > host[3]) continue;
+        const Geometry candidate(a, b, c, d);
+        if (candidate.fits_in(machine.shape)) seen.insert(candidate);
+      }
+    }
+  }
+  std::vector<Geometry> result(seen.begin(), seen.end());
+  std::sort(result.begin(), result.end(),
+            [](const Geometry& x, const Geometry& y) {
+              const std::int64_t bx = normalized_bisection(x);
+              const std::int64_t by = normalized_bisection(y);
+              if (bx != by) return bx > by;
+              return x.dims() < y.dims();
+            });
+  return result;
+}
+
+std::vector<std::int64_t> feasible_sizes(const Machine& machine) {
+  std::set<std::int64_t> sizes;
+  const auto& host = machine.shape.dims();
+  for (std::int64_t a = 1; a <= host[0]; ++a) {
+    for (std::int64_t b = 1; b <= host[1]; ++b) {
+      for (std::int64_t c = 1; c <= host[2]; ++c) {
+        for (std::int64_t d = 1; d <= host[3]; ++d) {
+          if (Geometry(a, b, c, d).fits_in(machine.shape)) {
+            sizes.insert(a * b * c * d);
+          }
+        }
+      }
+    }
+  }
+  return {sizes.begin(), sizes.end()};
+}
+
+std::optional<Geometry> best_geometry(const Machine& machine,
+                                      std::int64_t midplanes) {
+  const auto all = enumerate_geometries(machine, midplanes);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::optional<Geometry> worst_geometry(const Machine& machine,
+                                       std::int64_t midplanes) {
+  const auto all = enumerate_geometries(machine, midplanes);
+  if (all.empty()) return std::nullopt;
+  return all.back();
+}
+
+std::vector<PolicyEntry> mira_scheduler_partitions() {
+  // Paper Table 6 ("Current Geometry" column).
+  return {
+      {1, Geometry(1, 1, 1, 1)},  {2, Geometry(2, 1, 1, 1)},
+      {4, Geometry(4, 1, 1, 1)},  {8, Geometry(4, 2, 1, 1)},
+      {16, Geometry(4, 4, 1, 1)}, {24, Geometry(4, 3, 2, 1)},
+      {32, Geometry(4, 4, 2, 1)}, {48, Geometry(4, 4, 3, 1)},
+      {64, Geometry(4, 4, 2, 2)}, {96, Geometry(4, 4, 3, 2)},
+  };
+}
+
+std::optional<Geometry> propose_improvement(const Machine& machine,
+                                            const Geometry& current) {
+  if (!current.fits_in(machine.shape)) {
+    throw std::invalid_argument(
+        "propose_improvement: geometry does not fit the machine");
+  }
+  const auto best = best_geometry(machine, current.midplanes());
+  if (!best) return std::nullopt;
+  if (normalized_bisection(*best) > normalized_bisection(current)) {
+    return best;
+  }
+  return std::nullopt;
+}
+
+double predicted_speedup(const Geometry& current, const Geometry& proposed) {
+  if (current.midplanes() != proposed.midplanes()) {
+    throw std::invalid_argument(
+        "predicted_speedup: geometries must have equal size");
+  }
+  return static_cast<double>(normalized_bisection(proposed)) /
+         static_cast<double>(normalized_bisection(current));
+}
+
+}  // namespace npac::bgq

@@ -1,0 +1,57 @@
+// Processor-allocation policies and the paper's proposed improvements.
+//
+// Mira's scheduler permits only a predefined list of partition geometries
+// (Table 6); JUQUEEN's permits any cuboid of midplanes that fits the
+// machine, so both optimal and pessimal geometries can be handed out for
+// the same job size (Table 7). This module models both policies, finds
+// best/worst geometries by exhaustive cuboid enumeration, and produces the
+// paper's proposed replacements via Corollary 3.4 (shrinking the longest
+// dimension strictly increases the internal bisection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgq/bisection.hpp"
+#include "bgq/machine.hpp"
+
+namespace npac::bgq {
+
+/// One scheduler table row: a job size and the geometry the policy assigns.
+struct PolicyEntry {
+  std::int64_t midplanes = 0;
+  Geometry geometry{1, 1, 1, 1};
+};
+
+/// All distinct geometries with exactly `midplanes` midplanes that fit in
+/// the host machine, sorted by descending bisection (best first).
+std::vector<Geometry> enumerate_geometries(const Machine& machine,
+                                           std::int64_t midplanes);
+
+/// All midplane counts for which at least one cuboid fits the machine.
+std::vector<std::int64_t> feasible_sizes(const Machine& machine);
+
+/// Geometry with maximal internal bisection for the size, if feasible.
+std::optional<Geometry> best_geometry(const Machine& machine,
+                                      std::int64_t midplanes);
+
+/// Geometry with minimal internal bisection for the size, if feasible.
+std::optional<Geometry> worst_geometry(const Machine& machine,
+                                       std::int64_t midplanes);
+
+/// Mira's predefined partition list (paper Table 6, "Current Geometry").
+std::vector<PolicyEntry> mira_scheduler_partitions();
+
+/// The paper's proposed replacement for a policy geometry: the best
+/// geometry of equal size, returned only when it strictly improves the
+/// bisection (Corollary 3.4 guarantees this happens exactly when the
+/// longest dimension can shrink).
+std::optional<Geometry> propose_improvement(const Machine& machine,
+                                            const Geometry& current);
+
+/// Predicted contention-bound speedup from switching geometries: the ratio
+/// of normalized bisections (>= 1 when `proposed` is no worse).
+double predicted_speedup(const Geometry& current, const Geometry& proposed);
+
+}  // namespace npac::bgq

@@ -1,0 +1,102 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace npac::core {
+
+std::string Recommendation::to_string() const {
+  std::ostringstream out;
+  out << midplanes << " midplanes (" << nodes << " nodes): assigned "
+      << assigned.to_string() << " (bw " << assigned_bisection << ")";
+  if (improvable) {
+    out << ", proposed " << best.to_string() << " (bw " << best_bisection
+        << ", x" << predicted_speedup << ")";
+  } else {
+    out << ", already optimal";
+  }
+  return out.str();
+}
+
+PartitionAdvisor::PartitionAdvisor(bgq::Machine machine,
+                                   AllocationPolicy policy)
+    : machine_(std::move(machine)), policy_(policy) {
+  if (policy_ == AllocationPolicy::kFixedList) {
+    fixed_list_ = bgq::mira_scheduler_partitions();
+  }
+}
+
+PartitionAdvisor PartitionAdvisor::for_mira() {
+  return {bgq::mira(), AllocationPolicy::kFixedList};
+}
+
+PartitionAdvisor PartitionAdvisor::for_juqueen() {
+  return {bgq::juqueen(), AllocationPolicy::kFreeCuboid};
+}
+
+PartitionAdvisor PartitionAdvisor::for_sequoia() {
+  return {bgq::sequoia(), AllocationPolicy::kFreeCuboid};
+}
+
+std::optional<bgq::Geometry> PartitionAdvisor::assigned_geometry(
+    std::int64_t midplanes) const {
+  if (policy_ == AllocationPolicy::kFixedList) {
+    const auto it = std::find_if(
+        fixed_list_.begin(), fixed_list_.end(),
+        [midplanes](const bgq::PolicyEntry& e) {
+          return e.midplanes == midplanes;
+        });
+    if (it == fixed_list_.end()) return std::nullopt;
+    return it->geometry;
+  }
+  return bgq::worst_geometry(machine_, midplanes);
+}
+
+std::optional<Recommendation> PartitionAdvisor::advise(
+    std::int64_t midplanes) const {
+  const auto assigned = assigned_geometry(midplanes);
+  if (!assigned) return std::nullopt;
+  const auto best = bgq::best_geometry(machine_, midplanes);
+  if (!best) return std::nullopt;
+
+  Recommendation rec;
+  rec.midplanes = midplanes;
+  rec.nodes = assigned->nodes();
+  rec.assigned = *assigned;
+  rec.assigned_bisection = bgq::normalized_bisection(*assigned);
+  rec.best = *best;
+  rec.best_bisection = bgq::normalized_bisection(*best);
+  rec.predicted_speedup = bgq::predicted_speedup(*assigned, *best);
+  rec.improvable = rec.best_bisection > rec.assigned_bisection;
+  return rec;
+}
+
+std::vector<Recommendation> PartitionAdvisor::advise_all() const {
+  std::vector<std::int64_t> sizes;
+  if (policy_ == AllocationPolicy::kFixedList) {
+    sizes.reserve(fixed_list_.size());
+    for (const bgq::PolicyEntry& entry : fixed_list_) {
+      sizes.push_back(entry.midplanes);
+    }
+    std::sort(sizes.begin(), sizes.end());
+  } else {
+    sizes = bgq::feasible_sizes(machine_);
+  }
+  std::vector<Recommendation> result;
+  result.reserve(sizes.size());
+  for (const std::int64_t size : sizes) {
+    if (auto rec = advise(size)) result.push_back(*rec);
+  }
+  return result;
+}
+
+std::vector<std::int64_t> PartitionAdvisor::improvable_sizes() const {
+  std::vector<std::int64_t> sizes;
+  for (const Recommendation& rec : advise_all()) {
+    if (rec.improvable) sizes.push_back(rec.midplanes);
+  }
+  return sizes;
+}
+
+}  // namespace npac::core

@@ -1,0 +1,77 @@
+// PartitionAdvisor — the library's headline façade.
+//
+// Given a machine and a job size (in midplanes), the advisor reports the
+// geometry the machine's allocation policy would assign, the geometry with
+// maximal internal bisection bandwidth (Theorem 3.1 / Lemma 3.3 applied to
+// the midplane cuboid space), and the predicted contention-bound speedup of
+// switching — the paper's end-to-end workflow condensed into one call.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgq/policy.hpp"
+
+namespace npac::core {
+
+/// How a machine's scheduler assigns geometries.
+enum class AllocationPolicy {
+  /// A fixed table of geometries, one per size (Mira).
+  kFixedList,
+  /// Any cuboid of midplanes that fits; the scheduler may hand out either
+  /// the best or the worst geometry for a size (JUQUEEN, Sequoia).
+  kFreeCuboid,
+};
+
+/// Everything the advisor knows about one job size.
+struct Recommendation {
+  std::int64_t midplanes = 0;
+  std::int64_t nodes = 0;
+  /// Geometry the current policy assigns (fixed-list entry, or the
+  /// worst-case free cuboid — the pessimistic bound the paper analyzes).
+  bgq::Geometry assigned{1, 1, 1, 1};
+  std::int64_t assigned_bisection = 0;
+  /// Geometry with maximal internal bisection of the same size.
+  bgq::Geometry best{1, 1, 1, 1};
+  std::int64_t best_bisection = 0;
+  /// best_bisection / assigned_bisection (>= 1).
+  double predicted_speedup = 1.0;
+  /// True when the proposed geometry strictly improves the bisection.
+  bool improvable = false;
+
+  std::string to_string() const;
+};
+
+class PartitionAdvisor {
+ public:
+  PartitionAdvisor(bgq::Machine machine, AllocationPolicy policy);
+
+  /// Convenience factories matching the paper's systems.
+  static PartitionAdvisor for_mira();
+  static PartitionAdvisor for_juqueen();
+  static PartitionAdvisor for_sequoia();
+
+  const bgq::Machine& machine() const { return machine_; }
+  AllocationPolicy policy() const { return policy_; }
+
+  /// Recommendation for one job size; nullopt when no policy geometry of
+  /// that size exists.
+  std::optional<Recommendation> advise(std::int64_t midplanes) const;
+
+  /// Recommendations for every size the policy can allocate, ascending.
+  std::vector<Recommendation> advise_all() const;
+
+  /// Sizes for which the policy can hand out a sub-optimal geometry.
+  std::vector<std::int64_t> improvable_sizes() const;
+
+ private:
+  std::optional<bgq::Geometry> assigned_geometry(std::int64_t midplanes) const;
+
+  bgq::Machine machine_;
+  AllocationPolicy policy_;
+  std::vector<bgq::PolicyEntry> fixed_list_;  // only for kFixedList
+};
+
+}  // namespace npac::core

@@ -1,0 +1,269 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "simmpi/communicator.hpp"
+
+namespace npac::core {
+
+namespace {
+
+/// Simulated CAPS communication time of `params` on one geometry.
+double caps_comm_seconds(const bgq::Geometry& geometry,
+                         const strassen::CapsParams& params) {
+  const simnet::TorusNetwork network(geometry.node_torus());
+  const simmpi::RankMap map(params.ranks, network.torus().num_vertices());
+  const simmpi::Communicator comm(&network, map);
+  return strassen::simulate_caps_communication(comm, params);
+}
+
+bgq::Geometry require_best(const bgq::Machine& machine,
+                           std::int64_t midplanes) {
+  const auto best = bgq::best_geometry(machine, midplanes);
+  if (!best) {
+    throw std::logic_error("no feasible geometry for requested size");
+  }
+  return *best;
+}
+
+PairingComparison run_pairing(std::int64_t midplanes,
+                              const bgq::Geometry& baseline,
+                              const bgq::Geometry& proposed,
+                              const simnet::PingPongConfig& config) {
+  PairingComparison cmp;
+  cmp.midplanes = midplanes;
+  cmp.baseline = baseline;
+  cmp.proposed = proposed;
+  cmp.baseline_result = simnet::run_pingpong(baseline, config);
+  cmp.proposed_result = simnet::run_pingpong(proposed, config);
+  cmp.speedup = cmp.baseline_result.measured_seconds /
+                cmp.proposed_result.measured_seconds;
+  cmp.predicted_speedup = bgq::predicted_speedup(baseline, proposed);
+  return cmp;
+}
+
+}  // namespace
+
+std::vector<MiraRow> mira_rows() {
+  const bgq::Machine machine = bgq::mira();
+  std::vector<MiraRow> rows;
+  for (const bgq::PolicyEntry& entry : bgq::mira_scheduler_partitions()) {
+    MiraRow row;
+    row.midplanes = entry.midplanes;
+    row.nodes = entry.geometry.nodes();
+    row.current = entry.geometry;
+    row.current_bw = bgq::normalized_bisection(entry.geometry);
+    row.proposed = bgq::propose_improvement(machine, entry.geometry);
+    row.proposed_bw =
+        row.proposed ? bgq::normalized_bisection(*row.proposed) : row.current_bw;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<MiraRow> table1_rows() {
+  std::vector<MiraRow> rows;
+  for (const MiraRow& row : mira_rows()) {
+    if (row.proposed) rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+std::vector<BestWorstRow> best_worst_rows(const bgq::Machine& machine) {
+  std::vector<BestWorstRow> rows;
+  for (const std::int64_t size : bgq::feasible_sizes(machine)) {
+    BestWorstRow row;
+    row.midplanes = size;
+    row.nodes = size * bgq::kNodesPerMidplane;
+    row.worst = *bgq::worst_geometry(machine, size);
+    row.worst_bw = bgq::normalized_bisection(row.worst);
+    row.best = *bgq::best_geometry(machine, size);
+    row.best_bw = bgq::normalized_bisection(row.best);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<BestWorstRow> juqueen_rows() {
+  return best_worst_rows(bgq::juqueen());
+}
+
+std::vector<BestWorstRow> table2_rows() {
+  std::vector<BestWorstRow> rows;
+  for (const BestWorstRow& row : juqueen_rows()) {
+    if (row.best_bw != row.worst_bw) rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<BestWorstRow> sequoia_rows() {
+  return best_worst_rows(bgq::sequoia());
+}
+
+std::vector<BestWorstRow> sequoia_improvable_rows() {
+  std::vector<BestWorstRow> rows;
+  for (const BestWorstRow& row : sequoia_rows()) {
+    if (row.best_bw != row.worst_bw) rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<MachineDesignRow> table5_rows() {
+  const bgq::Machine jq = bgq::juqueen();
+  const bgq::Machine j54 = bgq::juqueen54();
+  const bgq::Machine j48 = bgq::juqueen48();
+
+  std::vector<std::int64_t> sizes;
+  {
+    std::vector<std::int64_t> all;
+    for (const bgq::Machine& m : {jq, j54, j48}) {
+      const auto feasible = bgq::feasible_sizes(m);
+      all.insert(all.end(), feasible.begin(), feasible.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    sizes = std::move(all);
+  }
+
+  std::vector<MachineDesignRow> rows;
+  for (const std::int64_t size : sizes) {
+    MachineDesignRow row;
+    row.midplanes = size;
+    if (auto g = bgq::best_geometry(jq, size)) {
+      row.juqueen = g;
+      row.juqueen_bw = bgq::normalized_bisection(*g);
+    }
+    if (auto g = bgq::best_geometry(j54, size)) {
+      row.j54 = g;
+      row.j54_bw = bgq::normalized_bisection(*g);
+    }
+    if (auto g = bgq::best_geometry(j48, size)) {
+      row.j48 = g;
+      row.j48_bw = bgq::normalized_bisection(*g);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+simnet::PingPongConfig paper_pingpong_config() {
+  simnet::PingPongConfig config;
+  config.total_rounds = 30;
+  config.warmup_rounds = 4;
+  config.bytes_per_round = 2147483648.0;  // 2 GiB; 16 chunks of 0.1342 GB
+  config.chunks_per_round = 16;
+  return config;
+}
+
+std::vector<PairingComparison> fig3_mira_pairing(
+    const simnet::PingPongConfig& config) {
+  const bgq::Machine machine = bgq::mira();
+  std::vector<PairingComparison> result;
+  for (const MiraRow& row : table1_rows()) {
+    result.push_back(
+        run_pairing(row.midplanes, row.current, *row.proposed, config));
+  }
+  (void)machine;
+  return result;
+}
+
+std::vector<PairingComparison> fig4_juqueen_pairing(
+    const simnet::PingPongConfig& config) {
+  const bgq::Machine machine = bgq::juqueen();
+  std::vector<PairingComparison> result;
+  for (const std::int64_t size : {4, 6, 8, 12, 16}) {
+    const bgq::Geometry worst = *bgq::worst_geometry(machine, size);
+    const bgq::Geometry best = require_best(machine, size);
+    result.push_back(run_pairing(size, worst, best, config));
+  }
+  return result;
+}
+
+std::vector<MatmulComparison> fig5_matmul(bool include_24_midplanes,
+                                          int bfs_steps) {
+  const bgq::Machine machine = bgq::mira();
+  // Computation seconds the paper measured (geometry-independent).
+  struct Case {
+    std::int64_t midplanes;
+    std::int64_t ranks;
+    std::int64_t n;
+    double computation_seconds;
+  };
+  std::vector<Case> cases = {
+      {4, 31213, 32928, 0.554},
+      {8, 31213, 32928, 0.5115},
+      {16, 31213, 32928, 0.4965},
+  };
+  if (include_24_midplanes) cases.push_back({24, 117649, 21952, 0.0604});
+
+  std::vector<MatmulComparison> result;
+  for (const Case& c : cases) {
+    MatmulComparison cmp;
+    cmp.midplanes = c.midplanes;
+    cmp.params = {c.n, c.ranks, bfs_steps};
+    cmp.paper_computation_seconds = c.computation_seconds;
+
+    const auto current_entry = bgq::mira_scheduler_partitions();
+    const auto it =
+        std::find_if(current_entry.begin(), current_entry.end(),
+                     [&](const bgq::PolicyEntry& e) {
+                       return e.midplanes == c.midplanes;
+                     });
+    if (it == current_entry.end()) {
+      throw std::logic_error("fig5: size missing from Mira scheduler list");
+    }
+    cmp.current = it->geometry;
+    cmp.proposed = require_best(machine, c.midplanes);
+    cmp.current_comm_seconds = caps_comm_seconds(cmp.current, cmp.params);
+    cmp.proposed_comm_seconds = caps_comm_seconds(cmp.proposed, cmp.params);
+    cmp.comm_speedup = cmp.current_comm_seconds / cmp.proposed_comm_seconds;
+    result.push_back(cmp);
+  }
+  return result;
+}
+
+std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps) {
+  const bgq::Machine machine = bgq::mira();
+  struct Case {
+    std::int64_t midplanes;
+    std::int64_t ranks;
+    double computation_seconds;
+  };
+  const std::vector<Case> cases = {
+      {2, 2401, 9.84e-2},
+      {4, 4802, 4.21e-2},
+      {8, 9604, 2.98e-2},
+  };
+
+  std::vector<ScalingPoint> result;
+  for (const Case& c : cases) {
+    ScalingPoint point;
+    point.midplanes = c.midplanes;
+    point.params = {9408, c.ranks, bfs_steps};
+    point.paper_computation_seconds = c.computation_seconds;
+
+    const auto list = bgq::mira_scheduler_partitions();
+    const auto it = std::find_if(list.begin(), list.end(),
+                                 [&](const bgq::PolicyEntry& e) {
+                                   return e.midplanes == c.midplanes;
+                                 });
+    if (it == list.end()) {
+      throw std::logic_error("fig6: size missing from Mira scheduler list");
+    }
+    point.current = it->geometry;
+    point.proposed = require_best(machine, c.midplanes);
+    point.current_comm_seconds = caps_comm_seconds(point.current, point.params);
+    point.proposed_comm_seconds =
+        caps_comm_seconds(point.proposed, point.params);
+    result.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace npac::core

@@ -1,0 +1,148 @@
+// Drivers that regenerate every table and figure of the paper's evaluation.
+//
+// Each function returns structured rows; the bench binaries render them via
+// core/report.hpp. Figures 3-6 run the flow-level contention simulator in
+// place of the dismantled Blue Gene/Q hardware (see DESIGN.md for why the
+// fluid model reproduces the paper's ratios); Figures 1-2/7 and all tables
+// are exact analytical outputs of the isoperimetric machinery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgq/policy.hpp"
+#include "simnet/pingpong.hpp"
+#include "strassen/caps.hpp"
+
+namespace npac::core {
+
+// ---------------------------------------------------------------------------
+// Figures 1, 2, 7 and Tables 1, 2, 5, 6, 7: bisection-bandwidth analysis.
+// ---------------------------------------------------------------------------
+
+/// One size on Mira's scheduler list: the current geometry and, when the
+/// bisection can be improved, the paper's proposed replacement.
+struct MiraRow {
+  std::int64_t midplanes = 0;
+  std::int64_t nodes = 0;
+  bgq::Geometry current{1, 1, 1, 1};
+  std::int64_t current_bw = 0;
+  std::optional<bgq::Geometry> proposed;  ///< set only when strictly better
+  std::int64_t proposed_bw = 0;           ///< == current_bw when !proposed
+};
+
+/// Table 6 (all scheduler sizes) / Figure 1 (same data as a series).
+std::vector<MiraRow> mira_rows();
+
+/// Table 1: the subset of mira_rows() where the bisection improves.
+std::vector<MiraRow> table1_rows();
+
+/// One size on a free-cuboid machine: worst and best geometries.
+struct BestWorstRow {
+  std::int64_t midplanes = 0;
+  std::int64_t nodes = 0;
+  bgq::Geometry worst{1, 1, 1, 1};
+  std::int64_t worst_bw = 0;
+  bgq::Geometry best{1, 1, 1, 1};
+  std::int64_t best_bw = 0;
+};
+
+/// Table 7 / Figure 2: every feasible JUQUEEN size.
+std::vector<BestWorstRow> juqueen_rows();
+
+/// Table 2: the subset of juqueen_rows() where best and worst differ.
+std::vector<BestWorstRow> table2_rows();
+
+/// Section 5's Sequoia analysis (no table in the paper — experiments were
+/// impossible after its transition to classified work, but the analysis
+/// applies): every feasible size of the 4 x 4 x 4 x 3 machine.
+std::vector<BestWorstRow> sequoia_rows();
+
+/// The Sequoia sizes where the free-cuboid policy can hand out a
+/// sub-optimal geometry.
+std::vector<BestWorstRow> sequoia_improvable_rows();
+
+/// One size in the machine-design comparison (Table 5 / Figure 7): the
+/// best-case bisection on JUQUEEN and on the hypothetical JUQUEEN-54 and
+/// JUQUEEN-48. Fields are nullopt when the size does not fit the machine.
+struct MachineDesignRow {
+  std::int64_t midplanes = 0;
+  std::optional<bgq::Geometry> juqueen, j54, j48;
+  std::int64_t juqueen_bw = 0, j54_bw = 0, j48_bw = 0;
+};
+
+std::vector<MachineDesignRow> table5_rows();
+
+// ---------------------------------------------------------------------------
+// Figures 3-4: bisection-pairing experiment (Experiment A).
+// ---------------------------------------------------------------------------
+
+/// The paper's protocol: 30 rounds (4 warm-up + 26 counted), 2 GiB per pair
+/// per round sent as 16 chunks of 0.1342 GB, 2 GB/s/direction links.
+simnet::PingPongConfig paper_pingpong_config();
+
+/// One midplane count: the same ping-pong run on two geometries.
+struct PairingComparison {
+  std::int64_t midplanes = 0;
+  bgq::Geometry baseline{1, 1, 1, 1};  ///< current (Mira) / worst (JUQUEEN)
+  bgq::Geometry proposed{1, 1, 1, 1};
+  simnet::PingPongResult baseline_result;
+  simnet::PingPongResult proposed_result;
+  /// baseline time / proposed time (paper: >= 1.92 where prediction is 2.0).
+  double speedup = 1.0;
+  /// proposed_bw / baseline_bw — the prediction the measurement validates.
+  double predicted_speedup = 1.0;
+};
+
+/// Figure 3: Mira, 4/8/16/24 midplanes, current vs proposed.
+std::vector<PairingComparison> fig3_mira_pairing(
+    const simnet::PingPongConfig& config = paper_pingpong_config());
+
+/// Figure 4: JUQUEEN, 4/6/8/12/16 midplanes, worst vs best.
+std::vector<PairingComparison> fig4_juqueen_pairing(
+    const simnet::PingPongConfig& config = paper_pingpong_config());
+
+// ---------------------------------------------------------------------------
+// Figure 5: CAPS Strassen-Winograd matrix multiplication (Experiment B).
+// ---------------------------------------------------------------------------
+
+struct MatmulComparison {
+  std::int64_t midplanes = 0;
+  strassen::CapsParams params;
+  bgq::Geometry current{1, 1, 1, 1};
+  bgq::Geometry proposed{1, 1, 1, 1};
+  double current_comm_seconds = 0.0;
+  double proposed_comm_seconds = 0.0;
+  double comm_speedup = 1.0;  ///< current / proposed (paper: 1.37-1.52)
+  /// Computation time the paper measured for this size (geometry-
+  /// independent): 0.554 / 0.5115 / 0.4965 / 0.0604 s.
+  double paper_computation_seconds = 0.0;
+};
+
+/// Figure 5 / Table 3: Mira, 4/8/16/24 midplanes. The 24-midplane case
+/// routes ~1.5e8 node flows per phase; pass include_24_midplanes = false
+/// for a quick run.
+std::vector<MatmulComparison> fig5_matmul(bool include_24_midplanes = true,
+                                          int bfs_steps = 4);
+
+// ---------------------------------------------------------------------------
+// Figure 6: strong-scaling illusion (Experiment C).
+// ---------------------------------------------------------------------------
+
+struct ScalingPoint {
+  std::int64_t midplanes = 0;
+  strassen::CapsParams params;
+  bgq::Geometry current{1, 1, 1, 1};
+  bgq::Geometry proposed{1, 1, 1, 1};
+  double current_comm_seconds = 0.0;
+  double proposed_comm_seconds = 0.0;
+  /// Paper-measured computation seconds (9.84e-2 / 4.21e-2 / 2.98e-2).
+  double paper_computation_seconds = 0.0;
+};
+
+/// Figure 6 / Table 4: Mira, 2/4/8 midplanes, n = 9408. The 2-midplane
+/// point admits only one geometry, so current == proposed there.
+std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps = 4);
+
+}  // namespace npac::core

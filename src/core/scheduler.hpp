@@ -1,0 +1,130 @@
+// Bisection-aware job scheduling — the paper's Future Work proposal made
+// runnable.
+//
+// "Processor allocation policy decisions of job schedulers can be improved
+//  if they are informed whether a given computation is expected to be
+//  network-bound or not. [...] a scheduler may decide whether to allocate
+//  [a sub-optimal partition] to a pending job, or to wait for a partition
+//  with better bisection bandwidth." (Section 5)
+//
+// This module simulates exactly that trade-off: a machine is a grid of
+// midplanes, jobs arrive in a queue, and an allocation policy chooses a
+// *placed* cuboid for each job. Contention-bound jobs run slower on
+// partitions with sub-optimal internal bisection (time scales with the
+// bisection ratio, the relationship Experiments A-C validated); compute-
+// bound jobs do not care. Policies differ in how they weigh utilization
+// against partition quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgq/policy.hpp"
+
+namespace npac::core {
+
+/// A cuboid of midplanes anchored at a grid position. `extent` is the
+/// oriented shape (not canonicalized); the cuboid may wrap around any
+/// dimension, as Blue Gene/Q partitions may.
+struct Placement {
+  std::array<std::int64_t, 4> origin{0, 0, 0, 0};
+  std::array<std::int64_t, 4> extent{1, 1, 1, 1};
+
+  std::int64_t midplanes() const;
+  bgq::Geometry geometry() const;  ///< canonical form of the extent
+  std::string to_string() const;
+};
+
+/// Occupancy tracker over a machine's midplane grid.
+class MidplaneGrid {
+ public:
+  explicit MidplaneGrid(bgq::Machine machine);
+
+  const bgq::Machine& machine() const { return machine_; }
+  std::int64_t free_midplanes() const { return free_; }
+
+  /// True if every cell of the placement is inside the grid (modulo
+  /// wrap-around) and currently free.
+  bool fits(const Placement& placement) const;
+
+  /// Marks the placement's cells as owned by `job_id`. Throws if any cell
+  /// is occupied.
+  void occupy(const Placement& placement, std::int64_t job_id);
+
+  /// Frees every cell owned by `job_id`. Returns the number freed.
+  std::int64_t release(std::int64_t job_id);
+
+  /// Finds a free anchored placement whose canonical shape is `shape`,
+  /// trying all axis permutations and origins; nullopt when none fits.
+  std::optional<Placement> find_placement(const bgq::Geometry& shape) const;
+
+ private:
+  std::size_t cell_index(const std::array<std::int64_t, 4>& cell) const;
+  template <typename Fn>
+  void for_each_cell(const Placement& placement, Fn&& fn) const;
+
+  bgq::Machine machine_;
+  std::array<std::int64_t, 4> dims_;
+  std::vector<std::int64_t> owner_;  // -1 = free
+  std::int64_t free_ = 0;
+};
+
+/// One job in the stream.
+struct Job {
+  std::int64_t id = 0;
+  std::int64_t midplanes = 1;
+  double base_seconds = 1.0;  ///< runtime on a best-bisection partition
+  bool contention_bound = true;
+  double arrival_seconds = 0.0;
+};
+
+/// How the scheduler picks partitions for queued jobs (FCFS order).
+enum class SchedulerPolicy {
+  /// Any fitting geometry, scanned in enumeration order — models a
+  /// utilization-only scheduler that is blind to partition quality.
+  kFirstFit,
+  /// Prefer the free geometry with the largest internal bisection, but
+  /// never leave the job waiting if something fits (greedy quality).
+  kBestBisection,
+  /// For contention-bound jobs, wait until a best-bisection geometry is
+  /// free; compute-bound jobs place greedily. The paper's hint-driven
+  /// policy.
+  kWaitForBest,
+};
+
+std::string to_string(SchedulerPolicy policy);
+
+/// Outcome of one job.
+struct ScheduledJob {
+  Job job;
+  Placement placement;
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  /// Achieved-runtime inflation vs the best geometry of the same size
+  /// (1.0 = optimal partition; 2.0 = paper's worst case).
+  double slowdown = 1.0;
+};
+
+struct ScheduleResult {
+  std::vector<ScheduledJob> jobs;
+  double makespan_seconds = 0.0;
+  double mean_slowdown = 1.0;       ///< over contention-bound jobs
+  double mean_wait_seconds = 0.0;   ///< queue wait over all jobs
+};
+
+/// Event-driven FCFS simulation of `jobs` on `machine` under `policy`.
+/// Jobs must have non-decreasing arrival times and feasible sizes.
+ScheduleResult simulate_schedule(const bgq::Machine& machine,
+                                 SchedulerPolicy policy,
+                                 std::vector<Job> jobs);
+
+/// Runtime of a contention-bound job on `assigned` relative to the best
+/// same-size geometry: base * best_bw / assigned_bw.
+double contention_runtime_seconds(const bgq::Machine& machine,
+                                  const bgq::Geometry& assigned,
+                                  double base_seconds);
+
+}  // namespace npac::core

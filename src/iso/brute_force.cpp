@@ -1,0 +1,229 @@
+#include "iso/brute_force.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace npac::iso {
+
+namespace {
+
+/// Binomial coefficients C(n, k) for n <= 62, saturating at int64 max.
+std::int64_t binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  std::int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result * (n - k + i) may overflow only for huge n; n <= 62 keeps the
+    // intermediate below 2^62 for all cases we enumerate in practice.
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+/// The `rank`-th t-subset of [0, n) in colexicographic Gosper order.
+std::uint64_t unrank_combination(int n, int t, std::int64_t rank) {
+  std::uint64_t mask = 0;
+  int remaining = t;
+  std::int64_t r = rank;
+  for (int position = n - 1; position >= 0 && remaining > 0; --position) {
+    const std::int64_t without = binomial(position, remaining);
+    if (r >= without) {
+      mask |= std::uint64_t{1} << position;
+      r -= without;
+      --remaining;
+    }
+  }
+  return mask;
+}
+
+/// Advances `mask` to the next t-subset in Gosper order.
+std::uint64_t next_combination(std::uint64_t mask) {
+  const std::uint64_t c = mask & (~mask + 1);
+  const std::uint64_t r = mask + c;
+  return (((r ^ mask) >> 2) / c) | r;
+}
+
+struct AdjacencyCache {
+  std::vector<std::uint64_t> adj_mask;  // neighbor bitmask per vertex
+  std::vector<std::vector<topo::Arc>> arcs;
+  bool uniform = true;
+  double uniform_capacity = 1.0;
+};
+
+AdjacencyCache build_cache(const topo::Graph& graph) {
+  const auto n = graph.num_vertices();
+  AdjacencyCache cache;
+  cache.adj_mask.assign(static_cast<std::size_t>(n), 0);
+  cache.arcs.resize(static_cast<std::size_t>(n));
+  bool first = true;
+  for (topo::VertexId v = 0; v < n; ++v) {
+    for (const topo::Arc& a : graph.neighbors(v)) {
+      cache.adj_mask[static_cast<std::size_t>(v)] |= std::uint64_t{1}
+                                                     << a.to;
+      cache.arcs[static_cast<std::size_t>(v)].push_back(a);
+      if (first) {
+        cache.uniform_capacity = a.capacity;
+        first = false;
+      } else if (a.capacity != cache.uniform_capacity) {
+        cache.uniform = false;
+      }
+    }
+  }
+  return cache;
+}
+
+double cut_of_mask(const AdjacencyCache& cache, std::uint64_t mask) {
+  double cut = 0.0;
+  std::uint64_t scan = mask;
+  if (cache.uniform) {
+    std::int64_t crossing = 0;
+    while (scan != 0) {
+      const int v = std::countr_zero(scan);
+      scan &= scan - 1;
+      crossing += std::popcount(cache.adj_mask[static_cast<std::size_t>(v)] &
+                                ~mask);
+    }
+    cut = cache.uniform_capacity * static_cast<double>(crossing);
+  } else {
+    while (scan != 0) {
+      const int v = std::countr_zero(scan);
+      scan &= scan - 1;
+      for (const topo::Arc& a : cache.arcs[static_cast<std::size_t>(v)]) {
+        if ((mask & (std::uint64_t{1} << a.to)) == 0) cut += a.capacity;
+      }
+    }
+  }
+  return cut;
+}
+
+double volume_of_mask(const AdjacencyCache& cache, std::uint64_t mask) {
+  double volume = 0.0;
+  std::uint64_t scan = mask;
+  while (scan != 0) {
+    const int v = std::countr_zero(scan);
+    scan &= scan - 1;
+    for (const topo::Arc& a : cache.arcs[static_cast<std::size_t>(v)]) {
+      volume += a.capacity;
+    }
+  }
+  return volume;
+}
+
+}  // namespace
+
+BruteForceResult brute_force_isoperimetric(const topo::Graph& graph,
+                                           std::int64_t t) {
+  const int n = static_cast<int>(graph.num_vertices());
+  if (n < 1 || n > 62) {
+    throw std::invalid_argument(
+        "brute_force_isoperimetric: need 1 <= |V| <= 62");
+  }
+  if (t < 1 || t > graph.num_vertices()) {
+    throw std::invalid_argument("brute_force_isoperimetric: t out of range");
+  }
+  const AdjacencyCache cache = build_cache(graph);
+  const std::int64_t total = binomial(n, static_cast<int>(t));
+
+  BruteForceResult best;
+  best.min_cut = std::numeric_limits<double>::infinity();
+  best.subsets_examined = static_cast<std::uint64_t>(total);
+
+#ifdef _OPENMP
+  const int threads = omp_get_max_threads();
+#else
+  const int threads = 1;
+#endif
+  const std::int64_t chunk = (total + threads - 1) / threads;
+
+  std::vector<double> thread_best(static_cast<std::size_t>(threads),
+                                  std::numeric_limits<double>::infinity());
+  std::vector<std::uint64_t> thread_mask(static_cast<std::size_t>(threads), 0);
+
+#pragma omp parallel num_threads(threads)
+  {
+#ifdef _OPENMP
+    const int tid = omp_get_thread_num();
+#else
+    const int tid = 0;
+#endif
+    const std::int64_t begin = tid * chunk;
+    const std::int64_t end = std::min<std::int64_t>(total, begin + chunk);
+    if (begin < end) {
+      std::uint64_t mask = unrank_combination(n, static_cast<int>(t), begin);
+      double local_best = std::numeric_limits<double>::infinity();
+      std::uint64_t local_mask = 0;
+      for (std::int64_t i = begin; i < end; ++i) {
+        const double cut = cut_of_mask(cache, mask);
+        if (cut < local_best) {
+          local_best = cut;
+          local_mask = mask;
+        }
+        if (i + 1 < end) mask = next_combination(mask);
+      }
+      thread_best[static_cast<std::size_t>(tid)] = local_best;
+      thread_mask[static_cast<std::size_t>(tid)] = local_mask;
+    }
+  }
+
+  for (int tid = 0; tid < threads; ++tid) {
+    if (thread_best[static_cast<std::size_t>(tid)] < best.min_cut) {
+      best.min_cut = thread_best[static_cast<std::size_t>(tid)];
+      best.witness_mask = thread_mask[static_cast<std::size_t>(tid)];
+    }
+  }
+  return best;
+}
+
+double brute_force_small_set_expansion(const topo::Graph& graph,
+                                       std::int64_t t) {
+  const int n = static_cast<int>(graph.num_vertices());
+  if (n < 1 || n > 62) {
+    throw std::invalid_argument(
+        "brute_force_small_set_expansion: need 1 <= |V| <= 62");
+  }
+  if (t < 1 || t > graph.num_vertices()) {
+    throw std::invalid_argument(
+        "brute_force_small_set_expansion: t out of range");
+  }
+  const AdjacencyCache cache = build_cache(graph);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::int64_t size = 1; size <= t; ++size) {
+    const std::int64_t total = binomial(n, static_cast<int>(size));
+    double size_best = std::numeric_limits<double>::infinity();
+#pragma omp parallel reduction(min : size_best)
+    {
+#ifdef _OPENMP
+      const int tid = omp_get_thread_num();
+      const int threads = omp_get_num_threads();
+#else
+      const int tid = 0;
+      const int threads = 1;
+#endif
+      const std::int64_t chunk = (total + threads - 1) / threads;
+      const std::int64_t begin = tid * chunk;
+      const std::int64_t end = std::min<std::int64_t>(total, begin + chunk);
+      if (begin < end) {
+        std::uint64_t mask =
+            unrank_combination(n, static_cast<int>(size), begin);
+        for (std::int64_t i = begin; i < end; ++i) {
+          const double cut = cut_of_mask(cache, mask);
+          const double volume = volume_of_mask(cache, mask);
+          if (volume > 0.0) {
+            size_best = std::min(size_best, cut / volume);
+          }
+          if (i + 1 < end) mask = next_combination(mask);
+        }
+      }
+    }
+    best = std::min(best, size_best);
+  }
+  return best;
+}
+
+}  // namespace npac::iso

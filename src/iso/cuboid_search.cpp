@@ -1,0 +1,89 @@
+#include "iso/cuboid_search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace npac::iso {
+
+namespace {
+
+void enumerate_rec(const Dims& dims, std::size_t index, std::int64_t remaining,
+                   Dims& current, std::vector<Dims>& out) {
+  if (index == dims.size()) {
+    if (remaining == 1) out.push_back(current);
+    return;
+  }
+  // Remaining dimensions can absorb at most the product of their lengths;
+  // prune branches that cannot reach the target volume.
+  std::int64_t capacity = 1;
+  for (std::size_t i = index; i < dims.size(); ++i) {
+    capacity *= dims[i];
+    if (capacity >= remaining) break;  // avoid overflow; enough capacity
+  }
+  if (capacity < remaining) return;
+
+  for (std::int64_t side = 1; side <= dims[index]; ++side) {
+    if (remaining % side != 0) continue;
+    current[index] = side;
+    enumerate_rec(dims, index + 1, remaining / side, current, out);
+  }
+  current[index] = 1;
+}
+
+}  // namespace
+
+std::vector<CuboidCut> enumerate_cuboids(const Dims& dims, std::int64_t t) {
+  if (dims.empty()) {
+    throw std::invalid_argument("enumerate_cuboids: empty dimension list");
+  }
+  if (t < 1) {
+    throw std::invalid_argument("enumerate_cuboids: t must be >= 1");
+  }
+  std::vector<Dims> shapes;
+  Dims current(dims.size(), 1);
+  enumerate_rec(dims, 0, t, current, shapes);
+
+  // Deduplicate shapes that coincide after permuting equal host dimensions:
+  // the signature pairs (host length, side length) sorted canonically.
+  std::map<std::vector<std::pair<std::int64_t, std::int64_t>>, Dims> canonical;
+  for (const Dims& shape : shapes) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> signature;
+    signature.reserve(dims.size());
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      signature.emplace_back(dims[i], shape[i]);
+    }
+    std::sort(signature.begin(), signature.end());
+    canonical.emplace(std::move(signature), shape);
+  }
+
+  std::vector<CuboidCut> result;
+  result.reserve(canonical.size());
+  for (const auto& [signature, shape] : canonical) {
+    result.push_back({shape, cuboid_cut(dims, shape)});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const CuboidCut& a, const CuboidCut& b) {
+              if (a.cut != b.cut) return a.cut < b.cut;
+              return a.lengths < b.lengths;
+            });
+  return result;
+}
+
+std::optional<CuboidCut> min_cut_cuboid(const Dims& dims, std::int64_t t) {
+  const auto all = enumerate_cuboids(dims, t);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::optional<CuboidCut> max_cut_cuboid(const Dims& dims, std::int64_t t) {
+  const auto all = enumerate_cuboids(dims, t);
+  if (all.empty()) return std::nullopt;
+  return all.back();
+}
+
+bool cuboid_constructible(const Dims& dims, std::int64_t t) {
+  return !enumerate_cuboids(dims, t).empty();
+}
+
+}  // namespace npac::iso

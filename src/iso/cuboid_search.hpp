@@ -1,0 +1,40 @@
+// Exhaustive search over axis-aligned cuboid subsets of a torus.
+//
+// Lemma 3.3 proves the S_r family is optimal *among cuboids*; the paper
+// conjectures optimality among arbitrary subsets. This module enumerates
+// every cuboid of a given volume that fits in a host torus, which gives:
+//  * the exact optimal-cuboid cut (used to validate Theorem 3.1 and to
+//    drive the Blue Gene/Q partition search), and
+//  * the worst-case cuboid cut (the "bad geometry" a scheduler may hand
+//    out).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "iso/torus_bound.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+
+struct CuboidCut {
+  Dims lengths;        ///< side lengths, aligned with the host dims argument
+  std::int64_t cut = 0;
+};
+
+/// All distinct cuboid shapes of volume t fitting in `dims` (len[i] <=
+/// dims[i]). Shapes identical up to permuting equal host dimensions are
+/// deduplicated. Returns an empty vector when t has no valid factorization.
+std::vector<CuboidCut> enumerate_cuboids(const Dims& dims, std::int64_t t);
+
+/// The cuboid of volume t with minimal perimeter, if any exists.
+std::optional<CuboidCut> min_cut_cuboid(const Dims& dims, std::int64_t t);
+
+/// The cuboid of volume t with maximal perimeter, if any exists.
+std::optional<CuboidCut> max_cut_cuboid(const Dims& dims, std::int64_t t);
+
+/// True if some cuboid of volume t fits in `dims`.
+bool cuboid_constructible(const Dims& dims, std::int64_t t);
+
+}  // namespace npac::iso

@@ -1,0 +1,27 @@
+// Harper's theorem: exact edge-isoperimetric sets on the hypercube Q_n.
+//
+// Harper (1964) showed that initial segments of the binary-counting order
+// {0, 1, ..., t-1} minimize the edge boundary among all t-subsets of Q_n.
+// The paper uses this to apply its partition analysis directly to
+// hypercube-based machines (e.g. Pleiades) and, via Lemma 3.2, to torus
+// dimensions of length 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace npac::iso {
+
+/// Vertices of the Harper-optimal t-subset of Q_n (simply 0..t-1).
+std::vector<topo::VertexId> harper_set(int n, std::int64_t t);
+
+/// Edge boundary size of the initial segment {0..t-1} in Q_n, computed by
+/// direct counting in O(t * n).
+std::int64_t harper_cut(int n, std::int64_t t);
+
+/// Closed-form edge boundary for t = 2^k (a subcube): (n - k) * 2^k.
+std::int64_t subcube_cut(int n, int k);
+
+}  // namespace npac::iso

@@ -1,0 +1,102 @@
+#include "iso/lindsey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace npac::iso {
+
+namespace {
+
+/// Dimension indices sorted by descending factor size (stable, so equal
+/// factors keep their original order).
+std::vector<std::size_t> descending_order(const Dims& dims) {
+  std::vector<std::size_t> order(dims.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&dims](std::size_t a, std::size_t b) {
+                     return dims[a] > dims[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::vector<topo::VertexId> lindsey_set(const topo::Hamming& graph,
+                                        std::int64_t t) {
+  if (t < 0 || t > graph.num_vertices()) {
+    throw std::invalid_argument("lindsey_set: t out of range");
+  }
+  const Dims& dims = graph.dims();
+  const auto order = descending_order(dims);
+
+  std::vector<topo::VertexId> set;
+  set.reserve(static_cast<std::size_t>(t));
+  topo::Coord c(dims.size(), 0);
+  for (std::int64_t taken = 0; taken < t; ++taken) {
+    set.push_back(graph.index_of(c));
+    // Mixed-radix increment where order[0] (the largest factor) is the
+    // fastest-varying digit.
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t dim = order[pos];
+      if (++c[dim] < dims[dim]) break;
+      c[dim] = 0;
+    }
+  }
+  return set;
+}
+
+double lindsey_cut(const topo::Hamming& graph, std::int64_t t) {
+  const auto set = lindsey_set(graph, t);
+  std::vector<bool> in_set(static_cast<std::size_t>(graph.num_vertices()),
+                           false);
+  for (const topo::VertexId v : set) {
+    in_set[static_cast<std::size_t>(v)] = true;
+  }
+  const Dims& dims = graph.dims();
+  const auto& caps = graph.capacities();
+  double cut = 0.0;
+  for (const topo::VertexId v : set) {
+    const topo::Coord c = graph.coord_of(v);
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      for (std::int64_t other = 0; other < dims[i]; ++other) {
+        if (other == c[i]) continue;
+        topo::Coord peer = c;
+        peer[i] = other;
+        if (!in_set[static_cast<std::size_t>(graph.index_of(peer))]) {
+          cut += caps[i];
+        }
+      }
+    }
+  }
+  return cut;
+}
+
+double hyperx_bisection(const topo::Hamming& graph) {
+  // Ahn et al. [2]: the HyperX bisection is attained by taking half of the
+  // vertices of one clique factor K_{a_i} and all vertices of the others.
+  // That set has exactly N/2 vertices only when a_i is even, so only even
+  // factors are candidates; each contributes (a_i/2)^2 clique edges per
+  // fiber over N/a_i fibers.
+  const Dims& dims = graph.dims();
+  const auto& caps = graph.capacities();
+  const std::int64_t n = graph.num_vertices();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] < 2 || dims[i] % 2 != 0) continue;
+    const std::int64_t half = dims[i] / 2;
+    const double cut = static_cast<double>(half) * static_cast<double>(half) *
+                       static_cast<double>(n / dims[i]) * caps[i];
+    best = std::min(best, cut);
+  }
+  if (!std::isfinite(best)) {
+    throw std::invalid_argument(
+        "hyperx_bisection: no even clique factor to halve");
+  }
+  return best;
+}
+
+}  // namespace npac::iso

@@ -1,0 +1,35 @@
+// Lindsey's theorem: exact edge-isoperimetric sets on Cartesian products of
+// cliques (Hamming graphs) — the structure of regular HyperX networks.
+//
+// Lindsey (1964) showed that initial segments of the lexicographic order in
+// which the *largest* clique factor varies fastest minimize the edge
+// boundary. The paper's Section 5 uses this to transfer the partition
+// analysis to HyperX machines ("choosing vertices of the product cliques in
+// order of descending size").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/hamming.hpp"
+
+namespace npac::iso {
+
+using topo::Dims;
+
+/// Coordinates (in the Hamming graph's own dimension order) of the t-vertex
+/// Lindsey-optimal set. Factors are filled in descending-size order.
+std::vector<topo::VertexId> lindsey_set(const topo::Hamming& graph,
+                                        std::int64_t t);
+
+/// Edge boundary of the Lindsey set, by direct counting (uniform unit
+/// capacities assumed; the Hamming graph's per-dimension capacities are
+/// honored).
+double lindsey_cut(const topo::Hamming& graph, std::int64_t t);
+
+/// Bisection bandwidth of a regular HyperX per Ahn et al.: cut K_i in half
+/// for the i minimizing (a_i / 4) * N restricted to even a_i; computed here
+/// by evaluating all factors. Returns the cut capacity.
+double hyperx_bisection(const topo::Hamming& graph);
+
+}  // namespace npac::iso

@@ -1,0 +1,61 @@
+#include "iso/sse.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "iso/cuboid_search.hpp"
+
+namespace npac::iso {
+
+double subset_expansion(const topo::Graph& graph,
+                        const std::vector<bool>& in_set) {
+  const double cut = graph.cut_capacity(in_set);
+  const double interior = graph.interior_capacity(in_set);
+  const double volume = 2.0 * interior + cut;
+  if (volume <= 0.0) {
+    throw std::invalid_argument("subset_expansion: empty or isolated subset");
+  }
+  return cut / volume;
+}
+
+double cuboid_small_set_expansion(const topo::Torus& torus, std::int64_t t) {
+  if (t < 1 || t > torus.num_vertices()) {
+    throw std::invalid_argument("cuboid_small_set_expansion: t out of range");
+  }
+  const double degree_capacity =
+      static_cast<double>(torus.degree()) * torus.link_capacity();
+  if (degree_capacity <= 0.0) {
+    throw std::invalid_argument(
+        "cuboid_small_set_expansion: torus has no edges");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::int64_t size = 1; size <= t; ++size) {
+    const auto cuboid = min_cut_cuboid(torus.dims(), size);
+    if (!cuboid) continue;
+    // Tori are capacity-regular, so volume(A) = degree_capacity * |A|.
+    const double expansion =
+        static_cast<double>(cuboid->cut) * torus.link_capacity() /
+        (degree_capacity * static_cast<double>(size));
+    best = std::min(best, expansion);
+  }
+  return best;
+}
+
+double torus_bisection_expansion(const topo::Torus& torus) {
+  if (torus.num_vertices() % 2 != 0) {
+    throw std::invalid_argument(
+        "torus_bisection_expansion: vertex count must be even");
+  }
+  const std::int64_t half = torus.num_vertices() / 2;
+  const auto cuboid = min_cut_cuboid(torus.dims(), half);
+  if (!cuboid) {
+    throw std::invalid_argument(
+        "torus_bisection_expansion: no cuboid bisection exists");
+  }
+  const double degree_capacity =
+      static_cast<double>(torus.degree()) * torus.link_capacity();
+  return static_cast<double>(cuboid->cut) * torus.link_capacity() /
+         (degree_capacity * static_cast<double>(half));
+}
+
+}  // namespace npac::iso

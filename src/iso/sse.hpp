@@ -1,0 +1,32 @@
+// Small-set expansion h_t(G) — contention lower-bound machinery.
+//
+// Section 2 of the paper: h_t(G) = min_{|A| <= t} cut(A) / volume(A), where
+// volume(A) = 2 |E(A,A)| + |E(A, Ā)| (for k-regular graphs this equals
+// k |A| by Equation (1)). Ballard et al. [7] use h_t to decide whether an
+// algorithm with known per-processor communication is inevitably
+// contention-bound on a network; the paper notes that for all networks and
+// partitions it considers, h_t is attained by the bisection — a fact the
+// tests verify on small instances.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+
+/// Exact small-set expansion restricted to axis-aligned cuboid subsets of a
+/// torus (conjectured exact for general subsets by the paper). Considers
+/// all cuboid volumes in [1, t].
+double cuboid_small_set_expansion(const topo::Torus& torus, std::int64_t t);
+
+/// Expansion of a single subset: cut / (2 * interior + cut).
+double subset_expansion(const topo::Graph& graph,
+                        const std::vector<bool>& in_set);
+
+/// Expansion of the best bisection-sized cuboid of a torus: the quantity
+/// the paper compares partitions by. Assumes |V| even.
+double torus_bisection_expansion(const topo::Torus& torus);
+
+}  // namespace npac::iso

@@ -1,0 +1,212 @@
+#include "iso/torus_bound.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace npac::iso {
+
+Dims sorted_desc(Dims dims) {
+  std::sort(dims.begin(), dims.end(), std::greater<>());
+  return dims;
+}
+
+std::optional<std::int64_t> integer_root(std::int64_t x, int p) {
+  if (x < 0 || p < 1) return std::nullopt;
+  if (p == 1) return x;
+  if (x == 0) return 0;
+  auto pow_check = [p](std::int64_t base, std::int64_t limit) -> std::int64_t {
+    // Computes base^p, clamping at limit+1 to avoid overflow.
+    std::int64_t result = 1;
+    for (int i = 0; i < p; ++i) {
+      if (result > limit / std::max<std::int64_t>(base, 1)) return limit + 1;
+      result *= base;
+    }
+    return result;
+  };
+  const auto guess = static_cast<std::int64_t>(
+      std::llround(std::pow(static_cast<double>(x), 1.0 / p)));
+  for (std::int64_t candidate = std::max<std::int64_t>(1, guess - 2);
+       candidate <= guess + 2; ++candidate) {
+    if (pow_check(candidate, x) == x) return candidate;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void validate(const Dims& dims, std::int64_t t) {
+  if (dims.empty()) {
+    throw std::invalid_argument("torus bound: empty dimension list");
+  }
+  std::int64_t volume = 1;
+  for (const std::int64_t a : dims) {
+    if (a < 1) throw std::invalid_argument("torus bound: dims must be >= 1");
+    volume *= a;
+  }
+  if (t < 1 || 2 * t > volume) {
+    throw std::invalid_argument("torus bound: t must satisfy 1 <= t <= |V|/2");
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Cut contribution of one boundary fiber in a dimension of length `a`
+/// under the simple-graph torus convention of Section 2: a proper cycle is
+/// cut twice, the degenerate C_2 (single edge) once, and a length-1
+/// dimension has no edges at all.
+double cut_weight(std::int64_t a) {
+  if (a >= 3) return 2.0;
+  if (a == 2) return 1.0;
+  return 0.0;
+}
+
+}  // namespace
+
+double torus_bound_term(const Dims& dims, std::int64_t t, int r) {
+  // Weighted generalization of the Theorem 3.1 expression. A cuboid that
+  // fully covers the dimension subset R and has interior side lengths
+  // elsewhere cuts sum_{i not in R} c_i * t / len_i edges, where c_i is the
+  // per-fiber cut weight above. By AM-GM (with prod len_i = t / prod_{i in
+  // R} a_i) this is at least
+  //
+  //   (D - r) * (prod_{i in R} a_i * prod_{i not in R} c_i)^{1/(D-r)}
+  //           * t^{(D-r-1)/(D-r)},
+  //
+  // so minimizing the parenthesized product over all r-subsets R yields a
+  // valid lower bound for every cuboid covering exactly r dimensions. When
+  // all dimensions have length >= 3 every c_i = 2 and the minimizing R is
+  // the r smallest dimensions, recovering the paper's expression
+  // 2 (D - r) (prod of r smallest)^{1/(D-r)} t^{(D-r-1)/(D-r)} verbatim.
+  // Dimensions of length 1 can never be left uncovered by a cuboid, so
+  // subsets that exclude them are skipped.
+  const Dims a = sorted_desc(dims);
+  const int d = static_cast<int>(a.size());
+  if (r < 0 || r >= d) {
+    throw std::invalid_argument("torus_bound_term: r out of range");
+  }
+  if (d > 20) {
+    throw std::invalid_argument("torus_bound_term: too many dimensions");
+  }
+
+  double best_product = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << d); ++mask) {
+    if (std::popcount(mask) != r) continue;
+    double product = 1.0;
+    bool valid = true;
+    for (int i = 0; i < d; ++i) {
+      const std::int64_t length = a[static_cast<std::size_t>(i)];
+      if (mask & (1u << i)) {
+        product *= static_cast<double>(length);
+      } else if (length == 1) {
+        valid = false;  // a cuboid always covers length-1 dimensions
+        break;
+      } else {
+        product *= cut_weight(length);
+      }
+    }
+    if (valid) best_product = std::min(best_product, product);
+  }
+  if (!std::isfinite(best_product)) {
+    // No admissible subset (r is smaller than the number of length-1
+    // dimensions): no cuboid covers exactly r dimensions, so this term
+    // never constrains the minimum.
+    return std::numeric_limits<double>::infinity();
+  }
+
+  const double inv = 1.0 / static_cast<double>(d - r);
+  return (d - r) * std::pow(best_product, inv) *
+         std::pow(static_cast<double>(t), static_cast<double>(d - r - 1) * inv);
+}
+
+BoundResult torus_isoperimetric_lower_bound(const Dims& dims, std::int64_t t) {
+  validate(dims, t);
+  const int d = static_cast<int>(dims.size());
+  BoundResult best{std::numeric_limits<double>::infinity(), 0};
+  for (int r = 0; r < d; ++r) {
+    const double value = torus_bound_term(dims, t, r);
+    if (value < best.value) {
+      best.value = value;
+      best.arg_min_r = r;
+    }
+  }
+  return best;
+}
+
+BoundResult cubic_isoperimetric_lower_bound(std::int64_t n, int d,
+                                            std::int64_t t) {
+  if (n < 1 || d < 1) {
+    throw std::invalid_argument("cubic bound: n and d must be >= 1");
+  }
+  return torus_isoperimetric_lower_bound(Dims(static_cast<std::size_t>(d), n),
+                                         t);
+}
+
+std::int64_t cuboid_cut(const Dims& dims, const Dims& len) {
+  if (dims.size() != len.size()) {
+    throw std::invalid_argument("cuboid_cut: dimension count mismatch");
+  }
+  std::int64_t volume = 1;
+  for (std::size_t i = 0; i < len.size(); ++i) {
+    if (len[i] < 1 || len[i] > dims[i]) {
+      throw std::invalid_argument("cuboid_cut: side length out of range");
+    }
+    volume *= len[i];
+  }
+  std::int64_t cut = 0;
+  for (std::size_t i = 0; i < len.size(); ++i) {
+    if (len[i] == dims[i]) continue;
+    cut += ((dims[i] == 2) ? 1 : 2) * (volume / len[i]);
+  }
+  return cut;
+}
+
+std::optional<Dims> extremal_cuboid(const Dims& dims, std::int64_t t, int r) {
+  validate(dims, t);
+  const Dims a = sorted_desc(dims);
+  const int d = static_cast<int>(a.size());
+  if (r < 0 || r >= d) return std::nullopt;
+
+  std::int64_t k = 1;
+  for (int i = 0; i < r; ++i) {
+    k *= a[static_cast<std::size_t>(d - 1 - i)];
+  }
+  if (t % k != 0) return std::nullopt;
+  const auto side = integer_root(t / k, d - r);
+  if (!side) return std::nullopt;
+
+  Dims len(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    if (i < d - r) {
+      // The D-r largest dimensions get side length s; it must fit.
+      if (*side > a[static_cast<std::size_t>(i)]) return std::nullopt;
+      len[static_cast<std::size_t>(i)] = *side;
+    } else {
+      len[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+    }
+  }
+  return len;
+}
+
+std::optional<Dims> best_extremal_cuboid(const Dims& dims, std::int64_t t) {
+  const Dims a = sorted_desc(dims);
+  const int d = static_cast<int>(a.size());
+  std::optional<Dims> best;
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  for (int r = 0; r < d; ++r) {
+    const auto candidate = extremal_cuboid(a, t, r);
+    if (!candidate) continue;
+    const std::int64_t cut = cuboid_cut(a, *candidate);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace npac::iso

@@ -1,0 +1,105 @@
+#include "iso/weighted.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "iso/cuboid_search.hpp"
+
+namespace npac::iso {
+
+namespace {
+
+void validate_capacities(const Dims& dims,
+                         const std::vector<double>& capacities) {
+  if (capacities.size() != dims.size()) {
+    throw std::invalid_argument(
+        "weighted isoperimetry: capacity count must match dimension count");
+  }
+  for (const double c : capacities) {
+    if (c <= 0.0) {
+      throw std::invalid_argument(
+          "weighted isoperimetry: capacities must be positive");
+    }
+  }
+}
+
+}  // namespace
+
+double weighted_cuboid_cut(const Dims& dims,
+                           const std::vector<double>& capacities,
+                           const Dims& len) {
+  validate_capacities(dims, capacities);
+  if (len.size() != dims.size()) {
+    throw std::invalid_argument("weighted_cuboid_cut: length count mismatch");
+  }
+  std::int64_t volume = 1;
+  for (std::size_t i = 0; i < len.size(); ++i) {
+    if (len[i] < 1 || len[i] > dims[i]) {
+      throw std::invalid_argument(
+          "weighted_cuboid_cut: side length out of range");
+    }
+    volume *= len[i];
+  }
+  double cut = 0.0;
+  for (std::size_t i = 0; i < len.size(); ++i) {
+    if (len[i] == dims[i]) continue;
+    const double boundary_links = dims[i] == 2 ? 1.0 : 2.0;
+    cut += boundary_links * capacities[i] *
+           static_cast<double>(volume / len[i]);
+  }
+  return cut;
+}
+
+std::optional<WeightedCuboidCut> weighted_min_cut_cuboid(
+    const Dims& dims, const std::vector<double>& capacities, std::int64_t t) {
+  validate_capacities(dims, capacities);
+  std::optional<WeightedCuboidCut> best;
+  // enumerate_cuboids dedups rotations of *equal host dims*; with unequal
+  // capacities those rotations differ, so enumerate raw factorizations via
+  // the unweighted enumeration on each permutation-free host — simplest
+  // correct route: walk every factorization directly.
+  std::vector<Dims> shapes;
+  Dims current(dims.size(), 1);
+  const auto recurse = [&](auto&& self, std::size_t index,
+                           std::int64_t remaining) -> void {
+    if (index == dims.size()) {
+      if (remaining == 1) shapes.push_back(current);
+      return;
+    }
+    for (std::int64_t side = 1; side <= dims[index]; ++side) {
+      if (remaining % side != 0) continue;
+      current[index] = side;
+      self(self, index + 1, remaining / side);
+    }
+    current[index] = 1;
+  };
+  if (t < 1) {
+    throw std::invalid_argument("weighted_min_cut_cuboid: t must be >= 1");
+  }
+  recurse(recurse, 0, t);
+
+  for (const Dims& shape : shapes) {
+    const double cut = weighted_cuboid_cut(dims, capacities, shape);
+    if (!best || cut < best->cut) best = WeightedCuboidCut{shape, cut};
+  }
+  return best;
+}
+
+double weighted_torus_bisection(const Dims& dims,
+                                const std::vector<double>& capacities) {
+  validate_capacities(dims, capacities);
+  std::int64_t volume = 1;
+  for (const std::int64_t a : dims) volume *= a;
+  if (volume % 2 != 0) {
+    throw std::invalid_argument(
+        "weighted_torus_bisection: vertex count must be even");
+  }
+  const auto best = weighted_min_cut_cuboid(dims, capacities, volume / 2);
+  if (!best) {
+    throw std::invalid_argument(
+        "weighted_torus_bisection: no cuboid bisection exists");
+  }
+  return best->cut;
+}
+
+}  // namespace npac::iso

@@ -1,0 +1,47 @@
+// Weighted edge-isoperimetric machinery.
+//
+// Section 5: "Torus networks of lower dimension, such as the Cray XK7
+// 3D-torus machine Titan, may require a formulation of the edge-
+// isoperimetric problem that considers weighted edges", and Dragonfly's
+// K_16 x K_6 groups carry per-factor capacities. This module extends the
+// cuboid analysis to tori whose dimensions have distinct per-link
+// capacities: cut sizes become capacity sums, and the optimal cuboid may
+// change shape to avoid cutting expensive dimensions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+
+using topo::Dims;
+
+/// Closed-form cut capacity of an axis-aligned cuboid with side lengths
+/// `len` in a torus with per-dimension link capacities `capacities`
+/// (capacities.size() == dims.size()): each uncut dimension contributes
+/// nothing; a cut dimension of length >= 3 contributes 2 boundary links
+/// per fiber, length 2 contributes 1, both scaled by its capacity.
+double weighted_cuboid_cut(const Dims& dims,
+                           const std::vector<double>& capacities,
+                           const Dims& len);
+
+struct WeightedCuboidCut {
+  Dims lengths;
+  double cut = 0.0;
+};
+
+/// Minimum-capacity cuboid of volume t (exhaustive over factorizations,
+/// like iso::min_cut_cuboid but capacity-aware). nullopt when t admits no
+/// cuboid.
+std::optional<WeightedCuboidCut> weighted_min_cut_cuboid(
+    const Dims& dims, const std::vector<double>& capacities, std::int64_t t);
+
+/// Bisection capacity via the optimal half-volume cuboid. Requires an even
+/// vertex count and a constructible bisection cuboid.
+double weighted_torus_bisection(const Dims& dims,
+                                const std::vector<double>& capacities);
+
+}  // namespace npac::iso

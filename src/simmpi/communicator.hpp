@@ -1,0 +1,107 @@
+// Simulated message-passing communicator.
+//
+// Ranks live on the nodes of a TorusNetwork partition (via RankMap);
+// communication phases are expressed as rank-level volumes, aggregated into
+// node-level flows (intra-node traffic is free, as on real Blue Gene/Q
+// where ranks on one node share memory), routed by the flow simulator, and
+// timed under the max-congestion fluid model. A Timeline accumulates phase
+// costs so multi-phase algorithms (CAPS BFS steps, collectives) report a
+// total communication time the way an MPI profiler would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simmpi/rank_map.hpp"
+#include "simnet/network.hpp"
+
+namespace npac::simmpi {
+
+/// Record of one timed communication phase.
+struct PhaseRecord {
+  std::string label;
+  double seconds = 0.0;
+  double max_channel_bytes = 0.0;
+  double total_bytes = 0.0;  ///< inter-node bytes injected in this phase
+};
+
+class Timeline {
+ public:
+  void add(PhaseRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<PhaseRecord>& records() const { return records_; }
+  double total_seconds() const;
+
+ private:
+  std::vector<PhaseRecord> records_;
+};
+
+class Communicator {
+ public:
+  /// `network` must outlive the communicator.
+  Communicator(const simnet::TorusNetwork* network, RankMap map);
+
+  std::int64_t size() const { return map_.num_ranks(); }
+  const RankMap& rank_map() const { return map_; }
+  const simnet::TorusNetwork& network() const { return *network_; }
+
+  /// Times an explicit flow set as one phase, appending it to `timeline`.
+  double run_phase(const std::string& label,
+                   const std::vector<simnet::Flow>& flows,
+                   Timeline& timeline) const;
+
+  /// Uniform all-to-all within consecutive rank groups of `group_size`
+  /// (must divide size()): each rank spreads `bytes_per_rank` uniformly
+  /// over the other ranks of its group. Returns node-aggregated flows.
+  std::vector<simnet::Flow> alltoall_in_groups(std::int64_t group_size,
+                                               double bytes_per_rank) const;
+
+  /// Point-to-point rank-level messages aggregated to node flows.
+  /// Each triple is (src_rank, dst_rank, bytes).
+  struct RankMessage {
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    double bytes = 0.0;
+  };
+  std::vector<simnet::Flow> rank_messages(
+      const std::vector<RankMessage>& messages) const;
+
+  /// Binomial-tree broadcast of `bytes` from rank 0 to all ranks; returns
+  /// the flow sets of each tree level (levels are sequential phases).
+  std::vector<std::vector<simnet::Flow>> broadcast_phases(double bytes) const;
+
+  /// Recursive-doubling allreduce of `bytes` (size() must be a power of 2
+  /// for the textbook schedule; other sizes use the next-lower power with a
+  /// fold-in pre/post phase).
+  std::vector<std::vector<simnet::Flow>> allreduce_phases(double bytes) const;
+
+  /// Ring allgather of `bytes` contributed per rank: size()-1 steps.
+  std::vector<std::vector<simnet::Flow>> ring_allgather_phases(
+      double bytes) const;
+
+  /// Binomial-tree scatter from rank 0: at level i the senders forward the
+  /// chunks of the whole subtree they hand off, so payloads shrink as the
+  /// tree descends. `bytes` is the per-rank chunk size.
+  std::vector<std::vector<simnet::Flow>> scatter_phases(double bytes) const;
+
+  /// Binomial-tree gather to rank 0 (the scatter schedule reversed).
+  std::vector<std::vector<simnet::Flow>> gather_phases(double bytes) const;
+
+  /// Recursive-halving reduce-scatter of a `bytes`-sized buffer: log2(p)
+  /// phases, each exchanging half the remaining data with a partner at
+  /// stride p/2, p/4, ... size() must be a power of two.
+  std::vector<std::vector<simnet::Flow>> reduce_scatter_phases(
+      double bytes) const;
+
+  /// Pairwise-exchange all-to-all: size()-1 phases; in phase k every rank
+  /// r sends `bytes_per_peer` to rank (r + k) mod size(). The grouped
+  /// all-to-all used by CAPS aggregates exactly these phases.
+  std::vector<std::vector<simnet::Flow>> pairwise_alltoall_phases(
+      double bytes_per_peer) const;
+
+ private:
+  const simnet::TorusNetwork* network_;
+  RankMap map_;
+};
+
+}  // namespace npac::simmpi

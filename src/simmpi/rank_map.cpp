@@ -1,0 +1,106 @@
+#include "simmpi/rank_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace npac::simmpi {
+
+RankMap::RankMap(std::int64_t num_ranks, std::int64_t num_nodes)
+    : num_ranks_(num_ranks), num_nodes_(num_nodes) {
+  if (num_ranks < 1 || num_nodes < 1) {
+    throw std::invalid_argument("RankMap: ranks and nodes must be >= 1");
+  }
+  base_ = num_ranks / num_nodes;
+  extra_ = num_ranks % num_nodes;
+}
+
+RankMap RankMap::with_mapping(std::int64_t num_ranks, std::int64_t num_nodes,
+                              MappingStrategy strategy, std::uint64_t seed) {
+  RankMap map(num_ranks, num_nodes);
+  if (strategy == MappingStrategy::kBlocked) return map;
+
+  std::vector<topo::VertexId> order(static_cast<std::size_t>(num_nodes));
+  std::iota(order.begin(), order.end(), topo::VertexId{0});
+  switch (strategy) {
+    case MappingStrategy::kBlocked:
+      break;
+    case MappingStrategy::kStrided: {
+      // Stride coprime to N near sqrt(N) walks the node ids far apart.
+      std::int64_t stride = 1;
+      while (stride * stride < num_nodes) ++stride;
+      while (stride < num_nodes && std::gcd(stride, num_nodes) != 1) {
+        ++stride;
+      }
+      if (stride >= num_nodes) stride = 1;
+      for (std::int64_t slot = 0; slot < num_nodes; ++slot) {
+        order[static_cast<std::size_t>(slot)] = (slot * stride) % num_nodes;
+      }
+      break;
+    }
+    case MappingStrategy::kRandom: {
+      std::mt19937_64 rng(seed);
+      std::shuffle(order.begin(), order.end(), rng);
+      break;
+    }
+  }
+  map.slot_to_node_ = std::move(order);
+  map.node_to_slot_.assign(static_cast<std::size_t>(num_nodes), 0);
+  for (std::int64_t slot = 0; slot < num_nodes; ++slot) {
+    map.node_to_slot_[static_cast<std::size_t>(
+        map.slot_to_node_[static_cast<std::size_t>(slot)])] = slot;
+  }
+  return map;
+}
+
+std::int64_t RankMap::slot_of(std::int64_t rank) const {
+  // The first `extra_` slots hold base_ + 1 ranks each.
+  const std::int64_t boundary = extra_ * (base_ + 1);
+  if (rank < boundary) return rank / (base_ + 1);
+  if (base_ == 0) {
+    throw std::logic_error("RankMap::slot_of: internal inconsistency");
+  }
+  return extra_ + (rank - boundary) / base_;
+}
+
+std::int64_t RankMap::slot_of_node(topo::VertexId node) const {
+  return node_to_slot_.empty()
+             ? node
+             : node_to_slot_[static_cast<std::size_t>(node)];
+}
+
+topo::VertexId RankMap::node_of(std::int64_t rank) const {
+  if (rank < 0 || rank >= num_ranks_) {
+    throw std::out_of_range("RankMap::node_of: rank out of range");
+  }
+  const std::int64_t slot = slot_of(rank);
+  return slot_to_node_.empty() ? slot
+                               : slot_to_node_[static_cast<std::size_t>(slot)];
+}
+
+std::int64_t RankMap::ranks_on(topo::VertexId node) const {
+  if (node < 0 || node >= num_nodes_) {
+    throw std::out_of_range("RankMap::ranks_on: node out of range");
+  }
+  return slot_of_node(node) < extra_ ? base_ + 1 : base_;
+}
+
+std::int64_t RankMap::first_rank_on(topo::VertexId node) const {
+  if (node < 0 || node >= num_nodes_) {
+    throw std::out_of_range("RankMap::first_rank_on: node out of range");
+  }
+  const std::int64_t slot = slot_of_node(node);
+  if (slot < extra_) return slot * (base_ + 1);
+  return extra_ * (base_ + 1) + (slot - extra_) * base_;
+}
+
+std::int64_t RankMap::max_ranks_per_node() const {
+  return extra_ > 0 ? base_ + 1 : base_;
+}
+
+double RankMap::avg_ranks_per_node() const {
+  return static_cast<double>(num_ranks_) / static_cast<double>(num_nodes_);
+}
+
+}  // namespace npac::simmpi

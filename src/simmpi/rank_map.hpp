@@ -1,0 +1,72 @@
+// Rank-to-node placement.
+//
+// Blue Gene/Q assigns MPI ranks to nodes in ABCDE coordinate order, which
+// for our node numbering is simply blocked ascending node ids. The paper's
+// matrix-multiplication runs place up to 16 ranks per node (Table 3); this
+// map distributes R ranks over N nodes as evenly as possible, filling nodes
+// in id order (first R mod N nodes get one extra rank).
+//
+// Alternative mapping strategies (the topology-aware task-mapping axis of
+// Bhatele et al., Related Work [10]) permute which physical node each
+// placement slot lands on: kBlocked is the ABCDE default, kStrided scatters
+// consecutive slots round-robin, kRandom is a seeded shuffle. Partition
+// geometry and mapping choice compose — see bench_ext_mapping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace npac::simmpi {
+
+/// How placement slots map onto physical node ids.
+enum class MappingStrategy {
+  kBlocked,  ///< slot i -> node i (ABCDE order; the Blue Gene/Q default)
+  kStrided,  ///< slot i -> (i * stride) mod N, scattering consecutive
+             ///< ranks far apart
+  kRandom,   ///< seeded uniform shuffle of the node ids
+};
+
+class RankMap {
+ public:
+  /// Blocked (ABCDE-order) placement.
+  RankMap(std::int64_t num_ranks, std::int64_t num_nodes);
+
+  /// Placement with an explicit mapping strategy.
+  static RankMap with_mapping(std::int64_t num_ranks, std::int64_t num_nodes,
+                              MappingStrategy strategy,
+                              std::uint64_t seed = 0);
+
+  std::int64_t num_ranks() const { return num_ranks_; }
+  std::int64_t num_nodes() const { return num_nodes_; }
+
+  /// Node hosting `rank`.
+  topo::VertexId node_of(std::int64_t rank) const;
+
+  /// Number of ranks on `node`.
+  std::int64_t ranks_on(topo::VertexId node) const;
+
+  /// First rank hosted on `node` (the ranks of one node are contiguous).
+  std::int64_t first_rank_on(topo::VertexId node) const;
+
+  /// Maximum ranks per node ("max active cores" in the paper's Table 3).
+  std::int64_t max_ranks_per_node() const;
+
+  /// Mean ranks per node ("avg cores per proc").
+  double avg_ranks_per_node() const;
+
+ private:
+  /// Blocked placement slot of `rank`; strategies permute slot -> node.
+  std::int64_t slot_of(std::int64_t rank) const;
+  std::int64_t slot_of_node(topo::VertexId node) const;
+
+  std::int64_t num_ranks_;
+  std::int64_t num_nodes_;
+  std::int64_t base_;   // ranks every slot gets
+  std::int64_t extra_;  // slots receiving one extra rank
+  std::vector<topo::VertexId> slot_to_node_;  // empty = identity (blocked)
+  std::vector<std::int64_t> node_to_slot_;    // inverse, same emptiness
+};
+
+}  // namespace npac::simmpi

@@ -1,0 +1,32 @@
+// Flow-level traffic primitives for the contention simulator.
+//
+// The paper's experiments are contention-bound: completion time is governed
+// by the most-loaded link (fluid model). A Flow is a (source node,
+// destination node, byte count) triple; the simulator routes every flow,
+// accumulates per-directed-channel byte loads, and reports
+// max-load / link-bandwidth as the phase time. This is exactly the quantity
+// the isoperimetric analysis bounds, which is why the simulator reproduces
+// the paper's speedup ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/torus.hpp"
+
+namespace npac::simnet {
+
+struct Flow {
+  topo::VertexId src = 0;
+  topo::VertexId dst = 0;
+  double bytes = 0.0;
+};
+
+/// How a flow is steered when both ring directions have equal distance
+/// (source and destination are antipodal in a dimension).
+enum class TieBreak {
+  kSplit,     ///< split the flow 50/50 across both directions (adaptive)
+  kPositive,  ///< always take the + direction (static dimension-order)
+};
+
+}  // namespace npac::simnet

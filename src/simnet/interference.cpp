@@ -1,0 +1,77 @@
+#include "simnet/interference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace npac::simnet {
+
+TenantAssignment split_tenants(const topo::Torus& torus,
+                               TenantLayout layout) {
+  const topo::Dims& dims = torus.dims();
+  if (dims[0] % 2 != 0) {
+    throw std::invalid_argument(
+        "split_tenants: leading dimension must be even");
+  }
+  TenantAssignment assignment;
+  const std::int64_t half = dims[0] / 2;
+  for (topo::VertexId v = 0; v < torus.num_vertices(); ++v) {
+    const std::int64_t x = torus.coord_of(v)[0];
+    const bool in_a = layout == TenantLayout::kCompact ? x < half
+                                                       : x % 2 == 0;
+    (in_a ? assignment.tenant_a : assignment.tenant_b).push_back(v);
+  }
+  return assignment;
+}
+
+std::vector<Flow> tenant_pairing(const topo::Torus& torus,
+                                 const std::vector<topo::VertexId>& members,
+                                 double bytes) {
+  std::vector<Flow> flows;
+  flows.reserve(members.size());
+  for (const topo::VertexId u : members) {
+    const topo::Coord cu = torus.coord_of(u);
+    topo::VertexId peer = u;
+    std::int64_t best = -1;
+    for (const topo::VertexId v : members) {
+      if (v == u) continue;
+      const std::int64_t d = torus.distance(cu, torus.coord_of(v));
+      if (d > best) {
+        best = d;
+        peer = v;
+      }
+    }
+    if (peer != u) flows.push_back({u, peer, bytes});
+  }
+  return flows;
+}
+
+InterferenceReport measure_interference(const TorusNetwork& network,
+                                        const std::vector<Flow>& tenant_a,
+                                        const std::vector<Flow>& tenant_b) {
+  InterferenceReport report;
+  report.alone_seconds_a = network.completion_seconds(tenant_a);
+  report.alone_seconds_b = network.completion_seconds(tenant_b);
+
+  std::vector<Flow> combined;
+  combined.reserve(tenant_a.size() + tenant_b.size());
+  combined.insert(combined.end(), tenant_a.begin(), tenant_a.end());
+  combined.insert(combined.end(), tenant_b.begin(), tenant_b.end());
+  report.shared_seconds = network.completion_seconds(combined);
+
+  const double alone =
+      std::max(report.alone_seconds_a, report.alone_seconds_b);
+  report.interference_factor =
+      alone > 0.0 ? report.shared_seconds / alone : 1.0;
+  return report;
+}
+
+InterferenceReport tenant_pairing_interference(const TorusNetwork& network,
+                                               TenantLayout layout,
+                                               double bytes) {
+  const auto assignment = split_tenants(network.torus(), layout);
+  return measure_interference(
+      network, tenant_pairing(network.torus(), assignment.tenant_a, bytes),
+      tenant_pairing(network.torus(), assignment.tenant_b, bytes));
+}
+
+}  // namespace npac::simnet

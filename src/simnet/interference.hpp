@@ -1,0 +1,68 @@
+// Inter-job (multi-tenant) interference experiments.
+//
+// The paper's footnote 1: "Some cloud platforms allow 'multi-tenancy', in
+// which case exclusivity is not guaranteed. This adds further challenge
+// which we do not address in this paper." Related work [18] (Jain et al.)
+// partitions low-diameter networks precisely to eliminate this inter-job
+// interference. This module makes the phenomenon measurable on the flow
+// simulator: two tenants share one torus, each running its own
+// furthest-node pairing among its own nodes, and we compare compact
+// (cuboid) against interleaved (scattered, cloud-style) allocations.
+//
+// Under minimal routing, compact convex allocations are interference-free
+// — every minimal path stays inside the tenant's own cuboid, which is the
+// network-level reason Blue Gene/Q-style electrical isolation by cuboid
+// works at all. Interleaved allocations interleave *links* too, so each
+// tenant's traffic rides through the other's channels and both slow down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/network.hpp"
+
+namespace npac::simnet {
+
+/// How the nodes of one torus are divided between two tenants.
+enum class TenantLayout {
+  /// Two half-machine cuboids split across the longest dimension.
+  kCompact,
+  /// Even/odd slices of the longest dimension (scattered, cloud-style).
+  kInterleaved,
+};
+
+struct TenantAssignment {
+  std::vector<topo::VertexId> tenant_a;
+  std::vector<topo::VertexId> tenant_b;
+};
+
+/// Splits the torus's nodes between two tenants. The first dimension must
+/// have even length.
+TenantAssignment split_tenants(const topo::Torus& torus, TenantLayout layout);
+
+/// Furthest-node pairing restricted to one tenant: every member exchanges
+/// `bytes` with the member at maximal hop distance (ties broken by lowest
+/// node id), mirroring Experiment A inside an allocation.
+std::vector<Flow> tenant_pairing(const topo::Torus& torus,
+                                 const std::vector<topo::VertexId>& members,
+                                 double bytes);
+
+struct InterferenceReport {
+  double alone_seconds_a = 0.0;  ///< tenant A's flows routed alone
+  double alone_seconds_b = 0.0;
+  double shared_seconds = 0.0;   ///< both flow sets routed concurrently
+  /// shared / max(alone): 1.0 means the tenants are network-disjoint.
+  double interference_factor = 1.0;
+};
+
+/// Times each tenant's traffic alone and together on `network`.
+InterferenceReport measure_interference(const TorusNetwork& network,
+                                        const std::vector<Flow>& tenant_a,
+                                        const std::vector<Flow>& tenant_b);
+
+/// Convenience: split, generate per-tenant pairing traffic, and measure.
+InterferenceReport tenant_pairing_interference(const TorusNetwork& network,
+                                               TenantLayout layout,
+                                               double bytes);
+
+}  // namespace npac::simnet

@@ -1,0 +1,181 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace npac::simnet {
+
+LinkLoads::LinkLoads(std::int64_t num_nodes, std::size_t num_dims)
+    : num_nodes_(num_nodes),
+      num_dims_(num_dims),
+      loads_(static_cast<std::size_t>(num_nodes) * num_dims * 2, 0.0) {}
+
+std::size_t LinkLoads::channel_index(topo::VertexId node, std::size_t dim,
+                                     int direction) const {
+  return (static_cast<std::size_t>(node) * num_dims_ + dim) * 2 +
+         static_cast<std::size_t>(direction);
+}
+
+double& LinkLoads::at(topo::VertexId node, std::size_t dim, int direction) {
+  return loads_[channel_index(node, dim, direction)];
+}
+
+double LinkLoads::at(topo::VertexId node, std::size_t dim,
+                     int direction) const {
+  return loads_[channel_index(node, dim, direction)];
+}
+
+double LinkLoads::max_load() const {
+  double best = 0.0;
+  for (const double load : loads_) best = std::max(best, load);
+  return best;
+}
+
+double LinkLoads::total_load() const {
+  double sum = 0.0;
+  for (const double load : loads_) sum += load;
+  return sum;
+}
+
+double LinkLoads::max_load_in_dim(std::size_t dim) const {
+  double best = 0.0;
+  for (topo::VertexId node = 0; node < num_nodes_; ++node) {
+    best = std::max(best, at(node, dim, 0));
+    best = std::max(best, at(node, dim, 1));
+  }
+  return best;
+}
+
+void LinkLoads::add(const LinkLoads& other) {
+  if (other.loads_.size() != loads_.size()) {
+    throw std::invalid_argument("LinkLoads::add: shape mismatch");
+  }
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    loads_[i] += other.loads_[i];
+  }
+}
+
+TorusNetwork::TorusNetwork(topo::Torus torus, NetworkOptions options)
+    : torus_(std::move(torus)), options_(options) {
+  if (options_.link_bytes_per_second <= 0.0) {
+    throw std::invalid_argument(
+        "TorusNetwork: link bandwidth must be positive");
+  }
+}
+
+void TorusNetwork::route_dimension(topo::Coord& at, std::int64_t target,
+                                   std::size_t dim, double bytes,
+                                   LinkLoads& loads) const {
+  const std::int64_t a = torus_.dims()[dim];
+  const std::int64_t from = at[dim];
+  if (from == target) return;
+
+  const std::int64_t forward = ((target - from) % a + a) % a;
+  const std::int64_t backward = a - forward;
+
+  auto walk = [&](int direction, std::int64_t hops, double weight) {
+    topo::Coord cursor = at;
+    for (std::int64_t step = 0; step < hops; ++step) {
+      const topo::VertexId node = torus_.index_of(cursor);
+      loads.at(node, dim, direction) += weight;
+      const std::int64_t delta = (direction == 0) ? 1 : -1;
+      cursor[dim] = ((cursor[dim] + delta) % a + a) % a;
+    }
+  };
+
+  if (a == 2) {
+    // The two directions name the same physical link; charge the sender-side
+    // + channel.
+    walk(0, 1, bytes);
+  } else if (forward < backward) {
+    walk(0, forward, bytes);
+  } else if (backward < forward) {
+    walk(1, backward, bytes);
+  } else {
+    // Antipodal tie.
+    if (options_.tie_break == TieBreak::kSplit) {
+      walk(0, forward, bytes / 2.0);
+      walk(1, backward, bytes / 2.0);
+    } else {
+      walk(0, forward, bytes);
+    }
+  }
+  at[dim] = target;
+}
+
+void TorusNetwork::route_flow(const Flow& flow, LinkLoads& loads) const {
+  if (flow.bytes < 0.0) {
+    throw std::invalid_argument("route_flow: negative byte count");
+  }
+  if (flow.src == flow.dst || flow.bytes == 0.0) return;
+  topo::Coord at = torus_.coord_of(flow.src);
+  const topo::Coord dst = torus_.coord_of(flow.dst);
+  for (std::size_t dim = 0; dim < torus_.num_dims(); ++dim) {
+    route_dimension(at, dst[dim], dim, flow.bytes, loads);
+  }
+}
+
+LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
+  const std::int64_t n = torus_.num_vertices();
+  const std::size_t d = torus_.num_dims();
+  LinkLoads total(n, d);
+
+#ifdef _OPENMP
+  const int max_threads = omp_get_max_threads();
+#else
+  const int max_threads = 1;
+#endif
+  if (max_threads == 1 || flows.size() < 1024) {
+    for (const Flow& flow : flows) route_flow(flow, total);
+    return total;
+  }
+
+#pragma omp parallel
+  {
+    LinkLoads local(n, d);
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(flows.size());
+         ++i) {
+      route_flow(flows[static_cast<std::size_t>(i)], local);
+    }
+#pragma omp critical(npac_simnet_route_all)
+    total.add(local);
+  }
+  return total;
+}
+
+double TorusNetwork::completion_seconds(const LinkLoads& loads,
+                                        std::span<const Flow> flows) const {
+  double time = loads.max_load() / options_.link_bytes_per_second;
+  if (options_.injection_bytes_per_second > 0.0) {
+    std::vector<double> injected(
+        static_cast<std::size_t>(torus_.num_vertices()), 0.0);
+    std::vector<double> ejected(
+        static_cast<std::size_t>(torus_.num_vertices()), 0.0);
+    for (const Flow& flow : flows) {
+      if (flow.src == flow.dst) continue;
+      injected[static_cast<std::size_t>(flow.src)] += flow.bytes;
+      ejected[static_cast<std::size_t>(flow.dst)] += flow.bytes;
+    }
+    double peak = 0.0;
+    for (std::size_t i = 0; i < injected.size(); ++i) {
+      peak = std::max({peak, injected[i], ejected[i]});
+    }
+    time = std::max(time, peak / options_.injection_bytes_per_second);
+  }
+  return time;
+}
+
+double TorusNetwork::completion_seconds(std::span<const Flow> flows) const {
+  return completion_seconds(route_all(flows), flows);
+}
+
+std::int64_t TorusNetwork::path_hops(const Flow& flow) const {
+  return torus_.distance(torus_.coord_of(flow.src), torus_.coord_of(flow.dst));
+}
+
+}  // namespace npac::simnet

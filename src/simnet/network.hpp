@@ -1,0 +1,102 @@
+// Torus network with per-direction channels and a max-congestion
+// completion-time model.
+//
+// Channels: every node has, per torus dimension, a + channel and a −
+// channel (a directed link to its ring successor / predecessor). Dimensions
+// of length 1 have no channels; dimensions of length 2 collapse both
+// directions onto the single physical link (one channel per direction of
+// that link, reached by either sign).
+//
+// Routing is dimension-ordered along minimal ring paths, with ties broken
+// per TieBreak. Splitting yields fractional loads, which is the fluid-model
+// idealization of Blue Gene/Q's adaptive routing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simnet/flow.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::simnet {
+
+/// Blue Gene/Q link bandwidth: 2 GB per second per direction [12].
+inline constexpr double kBgqLinkBytesPerSecond = 2.0e9;
+
+struct NetworkOptions {
+  double link_bytes_per_second = kBgqLinkBytesPerSecond;
+  TieBreak tie_break = TieBreak::kSplit;
+  /// Per-node injection/ejection cap in bytes per second; 0 disables the
+  /// cap. Blue Gene/Q nodes inject at most 10 links' worth of traffic.
+  double injection_bytes_per_second = 0.0;
+};
+
+/// Per-channel byte loads produced by routing a set of flows.
+class LinkLoads {
+ public:
+  LinkLoads(std::int64_t num_nodes, std::size_t num_dims);
+
+  /// Channel index for (node, dimension, direction). direction: 0 = +, 1 = −.
+  std::size_t channel_index(topo::VertexId node, std::size_t dim,
+                            int direction) const;
+
+  double& at(topo::VertexId node, std::size_t dim, int direction);
+  double at(topo::VertexId node, std::size_t dim, int direction) const;
+
+  std::span<const double> raw() const { return loads_; }
+  std::span<double> raw() { return loads_; }
+
+  double max_load() const;
+
+  /// Sum of all channel loads (byte-hops), for flow-conservation checks.
+  double total_load() const;
+
+  /// Maximum load among channels of one dimension.
+  double max_load_in_dim(std::size_t dim) const;
+
+  void add(const LinkLoads& other);
+
+ private:
+  std::int64_t num_nodes_;
+  std::size_t num_dims_;
+  std::vector<double> loads_;
+};
+
+/// The simulated interconnect of one partition.
+class TorusNetwork {
+ public:
+  TorusNetwork(topo::Torus torus, NetworkOptions options = {});
+
+  const topo::Torus& torus() const { return torus_; }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Routes one flow, adding its bytes to `loads`. Weight scales the flow
+  /// (used internally for tie splits).
+  void route_flow(const Flow& flow, LinkLoads& loads) const;
+
+  /// Routes every flow (OpenMP-parallel) and returns the accumulated loads.
+  LinkLoads route_all(std::span<const Flow> flows) const;
+
+  /// Completion time of a set of flows that start simultaneously:
+  /// max-channel-load / link-bandwidth, floored by the injection cap when
+  /// one is configured.
+  double completion_seconds(std::span<const Flow> flows) const;
+
+  /// Completion time given precomputed loads plus the flows' injection
+  /// profile (exposed so callers can reuse loads).
+  double completion_seconds(const LinkLoads& loads,
+                            std::span<const Flow> flows) const;
+
+  /// Total hop count of the minimal route of a flow (for diagnostics).
+  std::int64_t path_hops(const Flow& flow) const;
+
+ private:
+  void route_dimension(topo::Coord& at, std::int64_t target, std::size_t dim,
+                       double bytes, LinkLoads& loads) const;
+
+  topo::Torus torus_;
+  NetworkOptions options_;
+};
+
+}  // namespace npac::simnet

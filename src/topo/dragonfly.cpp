@@ -1,0 +1,99 @@
+#include "topo/dragonfly.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace npac::topo {
+
+std::int64_t dragonfly_group_size(const DragonflyConfig& config) {
+  return config.a * config.h;
+}
+
+namespace {
+
+/// Maps (group, port-slot) to the peer group that slot reaches, per the
+/// chosen arrangement. `slot` ranges over [0, group_size * global_ports).
+std::int64_t peer_group(const DragonflyConfig& cfg, std::int64_t group,
+                        std::int64_t slot) {
+  const std::int64_t g = cfg.groups;
+  switch (cfg.arrangement) {
+    case GlobalArrangement::kAbsolute: {
+      // Slot k points at absolute group k, skipping the own group.
+      const std::int64_t target = slot % (g - 1);
+      return target >= group ? target + 1 : target;
+    }
+    case GlobalArrangement::kRelative: {
+      const std::int64_t offset = 1 + slot % (g - 1);
+      return (group + offset) % g;
+    }
+    case GlobalArrangement::kCirculant: {
+      // Offsets alternate +1, -1, +2, -2, ...
+      const std::int64_t k = slot % (g - 1);
+      const std::int64_t magnitude = k / 2 + 1;
+      const std::int64_t offset = (k % 2 == 0) ? magnitude : -magnitude;
+      return ((group + offset) % g + g) % g;
+    }
+  }
+  throw std::logic_error("peer_group: unknown arrangement");
+}
+
+}  // namespace
+
+Graph make_dragonfly(const DragonflyConfig& cfg) {
+  if (cfg.a < 1 || cfg.h < 1 || cfg.groups < 2 || cfg.global_ports < 1) {
+    throw std::invalid_argument("make_dragonfly: invalid configuration");
+  }
+  const std::int64_t group_size = dragonfly_group_size(cfg);
+  const std::int64_t slots = group_size * cfg.global_ports;
+  if (slots < cfg.groups - 1) {
+    throw std::invalid_argument(
+        "make_dragonfly: not enough global ports to reach every group");
+  }
+  const std::int64_t n = cfg.groups * group_size;
+  std::vector<EdgeSpec> edges;
+
+  // Intra-group K_a x K_h links.
+  for (std::int64_t group = 0; group < cfg.groups; ++group) {
+    const std::int64_t base = group * group_size;
+    for (std::int64_t col = 0; col < cfg.h; ++col) {
+      for (std::int64_t r1 = 0; r1 < cfg.a; ++r1) {
+        for (std::int64_t r2 = r1 + 1; r2 < cfg.a; ++r2) {
+          edges.push_back(
+              {base + col * cfg.a + r1, base + col * cfg.a + r2, cfg.cap_a});
+        }
+      }
+    }
+    for (std::int64_t row = 0; row < cfg.a; ++row) {
+      for (std::int64_t c1 = 0; c1 < cfg.h; ++c1) {
+        for (std::int64_t c2 = c1 + 1; c2 < cfg.h; ++c2) {
+          edges.push_back(
+              {base + c1 * cfg.a + row, base + c2 * cfg.a + row, cfg.cap_h});
+        }
+      }
+    }
+  }
+
+  // Global links: walk every group's port slots; to avoid double-adding an
+  // undirected link, only emit when this group's id is smaller than the
+  // peer's. Router for slot s is s % group_size, so consecutive slots use
+  // distinct routers (spreads global links across the group).
+  //
+  // Paired endpoints: within the peer group, the router is chosen by a
+  // deterministic reciprocal slot so the arrangement is consistent (each
+  // emitted edge consumes one port on each side in expectation; this is the
+  // standard simplification used when modeling Dragonfly at link level).
+  for (std::int64_t group = 0; group < cfg.groups; ++group) {
+    for (std::int64_t slot = 0; slot < slots; ++slot) {
+      const std::int64_t peer = peer_group(cfg, group, slot);
+      if (peer <= group) continue;
+      const std::int64_t local_router = slot % group_size;
+      const std::int64_t remote_router = slot % group_size;
+      edges.push_back({group * group_size + local_router,
+                       peer * group_size + remote_router, cfg.cap_global});
+    }
+  }
+
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace npac::topo

@@ -1,0 +1,53 @@
+// Dragonfly topology (Kim et al., ISCA'08) as deployed in the Cray XC
+// series: each group is a Hamming graph K_a x K_h (Aries: K_16 x K_6) whose
+// K_h ("green") links have 3x the capacity of the K_a ("black") links, and
+// groups are joined by "blue" global links of 4x capacity.
+//
+// The paper notes no public description of the inter-group arrangement
+// exists and points to Hastings et al. (CLUSTER'15), which studies three
+// schemes. All three are implemented here; they assign, for each router's
+// global ports, which peer group each port reaches.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+
+namespace npac::topo {
+
+/// Global (inter-group) link arrangement per Hastings et al.
+enum class GlobalArrangement {
+  /// Port k of every router connects towards group slot k (skipping self):
+  /// consecutive ports of a router span distinct groups.
+  kAbsolute,
+  /// Port k of a router in group g connects to group (g + offset) mod G with
+  /// offsets assigned consecutively per router.
+  kRelative,
+  /// Circulant-style: offsets alternate +d, -d around the group ring.
+  kCirculant,
+};
+
+struct DragonflyConfig {
+  std::int64_t a = 16;         ///< routers per chassis (K_a factor)
+  std::int64_t h = 6;          ///< chassis per group (K_h factor)
+  std::int64_t groups = 9;     ///< number of groups
+  std::int64_t global_ports = 2;  ///< global ports per router
+  double cap_a = 1.0;          ///< K_a (black) link capacity
+  double cap_h = 3.0;          ///< K_h (green) link capacity
+  double cap_global = 4.0;     ///< blue link capacity
+  GlobalArrangement arrangement = GlobalArrangement::kAbsolute;
+};
+
+/// Builds the router-level Dragonfly graph. Vertices are routers, numbered
+/// group-major: router r of group g has id g * (a*h) + r, where within a
+/// group r = row + a * col on the K_a x K_h grid.
+///
+/// Requires groups - 1 <= a * h * global_ports (every pair of groups gets at
+/// least one global link; extra port capacity adds parallel links spread
+/// round-robin).
+Graph make_dragonfly(const DragonflyConfig& config);
+
+/// Routers per group for a config.
+std::int64_t dragonfly_group_size(const DragonflyConfig& config);
+
+}  // namespace npac::topo

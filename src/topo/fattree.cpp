@@ -1,0 +1,78 @@
+#include "topo/fattree.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace npac::topo {
+
+namespace {
+
+void validate(const FatTreeConfig& config) {
+  if (config.k < 2 || config.k % 2 != 0) {
+    throw std::invalid_argument("fat tree: k must be even and >= 2");
+  }
+  if (config.link_capacity <= 0.0) {
+    throw std::invalid_argument("fat tree: link capacity must be positive");
+  }
+}
+
+}  // namespace
+
+std::int64_t fat_tree_hosts(const FatTreeConfig& config) {
+  validate(config);
+  return config.k * config.k * config.k / 4;
+}
+
+std::int64_t fat_tree_switches(const FatTreeConfig& config) {
+  validate(config);
+  const std::int64_t half = config.k / 2;
+  return config.k * config.k /*edge+agg*/ + half * half /*core*/;
+}
+
+VertexId fat_tree_host(const FatTreeConfig& config, std::int64_t h) {
+  if (h < 0 || h >= fat_tree_hosts(config)) {
+    throw std::out_of_range("fat_tree_host: index out of range");
+  }
+  return h;
+}
+
+Graph make_fat_tree(const FatTreeConfig& config) {
+  validate(config);
+  const std::int64_t k = config.k;
+  const std::int64_t half = k / 2;
+  const std::int64_t hosts = fat_tree_hosts(config);
+  const std::int64_t edge_base = hosts;
+  const std::int64_t agg_base = edge_base + k * half;
+  const std::int64_t core_base = agg_base + k * half;
+  const std::int64_t total = core_base + half * half;
+  const double cap = config.link_capacity;
+
+  std::vector<EdgeSpec> edges;
+  // Hosts to edge switches: host h sits in pod h / (half * half), under
+  // edge switch (h / half) within that pod.
+  for (std::int64_t h = 0; h < hosts; ++h) {
+    edges.push_back({h, edge_base + h / half, cap});
+  }
+  // Edge to aggregation: full bipartite within each pod.
+  for (std::int64_t pod = 0; pod < k; ++pod) {
+    for (std::int64_t e = 0; e < half; ++e) {
+      for (std::int64_t a = 0; a < half; ++a) {
+        edges.push_back({edge_base + pod * half + e,
+                         agg_base + pod * half + a, cap});
+      }
+    }
+  }
+  // Aggregation to core: aggregation switch a of a pod connects to core
+  // switches a * half .. a * half + half - 1.
+  for (std::int64_t pod = 0; pod < k; ++pod) {
+    for (std::int64_t a = 0; a < half; ++a) {
+      for (std::int64_t c = 0; c < half; ++c) {
+        edges.push_back({agg_base + pod * half + a,
+                         core_base + a * half + c, cap});
+      }
+    }
+  }
+  return Graph::from_edges(total, edges);
+}
+
+}  // namespace npac::topo

@@ -1,0 +1,43 @@
+// Three-level k-ary fat-tree (Clos) topology.
+//
+// Section 5 discusses why the partition-geometry method is hard to apply
+// to Fat-Tree machines (shared network resources or fully-constrained
+// policies); this generator exists so that claim can be *demonstrated*:
+// host-set cuts of a non-blocking fat-tree are flat in the set's shape,
+// unlike the torus cuts the rest of the library analyzes.
+//
+// Structure for even k:
+//   * (k/2)^2 core switches;
+//   * k pods, each with k/2 aggregation and k/2 edge switches;
+//   * k^3/4 hosts, k/2 per edge switch.
+// Every link has capacity `link_capacity` (full bisection bandwidth).
+//
+// Vertex numbering: hosts first (0 .. k^3/4 - 1), then edge switches, then
+// aggregation switches, then core switches.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+
+namespace npac::topo {
+
+struct FatTreeConfig {
+  std::int64_t k = 4;           ///< switch radix (even, >= 2)
+  double link_capacity = 1.0;
+};
+
+/// Number of hosts: k^3 / 4.
+std::int64_t fat_tree_hosts(const FatTreeConfig& config);
+
+/// Number of switches: k^2 (edge + aggregation) + (k/2)^2 core... see
+/// header comment; hosts + switches is the graph's vertex count.
+std::int64_t fat_tree_switches(const FatTreeConfig& config);
+
+/// Builds the fat-tree graph. Throws on odd or non-positive k.
+Graph make_fat_tree(const FatTreeConfig& config);
+
+/// Vertex id of host `h` (hosts are the first fat_tree_hosts ids).
+VertexId fat_tree_host(const FatTreeConfig& config, std::int64_t h);
+
+}  // namespace npac::topo

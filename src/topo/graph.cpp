@@ -1,0 +1,235 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace npac::topo {
+
+Graph Graph::from_edges(VertexId num_vertices,
+                        const std::vector<EdgeSpec>& edges) {
+  if (num_vertices < 0) {
+    throw std::invalid_argument("Graph: negative vertex count");
+  }
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edge_count_ = edges.size();
+
+  std::vector<std::size_t> degree(static_cast<std::size_t>(num_vertices), 0);
+  for (const EdgeSpec& e : edges) {
+    if (e.u < 0 || e.u >= num_vertices || e.v < 0 || e.v >= num_vertices) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("Graph: self-loops are not supported");
+    }
+    if (e.capacity < 0.0) {
+      throw std::invalid_argument("Graph: negative edge capacity");
+    }
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+    g.total_capacity_ += e.capacity;
+  }
+
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.offsets_[static_cast<std::size_t>(v) + 1] =
+        g.offsets_[static_cast<std::size_t>(v)] +
+        degree[static_cast<std::size_t>(v)];
+  }
+  g.arcs_.resize(2 * edges.size());
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const EdgeSpec& e : edges) {
+    g.arcs_[cursor[static_cast<std::size_t>(e.u)]++] = Arc{e.v, e.capacity};
+    g.arcs_[cursor[static_cast<std::size_t>(e.v)]++] = Arc{e.u, e.capacity};
+  }
+  // Sort adjacency lists for cache-friendly scans and O(log d) edge lookup.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    auto begin = g.arcs_.begin() +
+                 static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v)]);
+    auto end = g.arcs_.begin() +
+               static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v) + 1]);
+    std::sort(begin, end,
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+void Graph::check_vertex(VertexId v) const {
+  if (v < 0 || v >= num_vertices_) {
+    throw std::out_of_range("Graph: vertex id out of range");
+  }
+}
+
+std::span<const Arc> Graph::neighbors(VertexId v) const {
+  check_vertex(v);
+  const std::size_t begin = offsets_[static_cast<std::size_t>(v)];
+  const std::size_t end = offsets_[static_cast<std::size_t>(v) + 1];
+  return {arcs_.data() + begin, end - begin};
+}
+
+std::size_t Graph::degree(VertexId v) const { return neighbors(v).size(); }
+
+double Graph::degree_capacity(VertexId v) const {
+  double sum = 0.0;
+  for (const Arc& a : neighbors(v)) sum += a.capacity;
+  return sum;
+}
+
+bool Graph::is_regular() const {
+  if (num_vertices_ == 0) return true;
+  const std::size_t d0 = degree(0);
+  for (VertexId v = 1; v < num_vertices_; ++v) {
+    if (degree(v) != d0) return false;
+  }
+  return true;
+}
+
+bool Graph::is_capacity_regular(double tol) const {
+  if (num_vertices_ == 0) return true;
+  const double d0 = degree_capacity(0);
+  for (VertexId v = 1; v < num_vertices_; ++v) {
+    if (std::abs(degree_capacity(v) - d0) > tol) return false;
+  }
+  return true;
+}
+
+double Graph::cut_capacity(const std::vector<bool>& in_set) const {
+  if (static_cast<VertexId>(in_set.size()) != num_vertices_) {
+    throw std::invalid_argument("Graph::cut_capacity: indicator size mismatch");
+  }
+  double cut = 0.0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (!in_set[static_cast<std::size_t>(v)]) continue;
+    for (const Arc& a : neighbors(v)) {
+      if (!in_set[static_cast<std::size_t>(a.to)]) cut += a.capacity;
+    }
+  }
+  return cut;
+}
+
+std::size_t Graph::cut_edges(const std::vector<bool>& in_set) const {
+  if (static_cast<VertexId>(in_set.size()) != num_vertices_) {
+    throw std::invalid_argument("Graph::cut_edges: indicator size mismatch");
+  }
+  std::size_t cut = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (!in_set[static_cast<std::size_t>(v)]) continue;
+    for (const Arc& a : neighbors(v)) {
+      if (!in_set[static_cast<std::size_t>(a.to)]) ++cut;
+    }
+  }
+  return cut;
+}
+
+double Graph::interior_capacity(const std::vector<bool>& in_set) const {
+  if (static_cast<VertexId>(in_set.size()) != num_vertices_) {
+    throw std::invalid_argument(
+        "Graph::interior_capacity: indicator size mismatch");
+  }
+  double interior = 0.0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (!in_set[static_cast<std::size_t>(v)]) continue;
+    for (const Arc& a : neighbors(v)) {
+      if (in_set[static_cast<std::size_t>(a.to)]) interior += a.capacity;
+    }
+  }
+  return interior / 2.0;  // each interior edge visited from both endpoints
+}
+
+std::size_t Graph::interior_edges(const std::vector<bool>& in_set) const {
+  if (static_cast<VertexId>(in_set.size()) != num_vertices_) {
+    throw std::invalid_argument(
+        "Graph::interior_edges: indicator size mismatch");
+  }
+  std::size_t twice = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (!in_set[static_cast<std::size_t>(v)]) continue;
+    for (const Arc& a : neighbors(v)) {
+      if (in_set[static_cast<std::size_t>(a.to)]) ++twice;
+    }
+  }
+  return twice / 2;
+}
+
+std::vector<bool> Graph::indicator(
+    const std::vector<VertexId>& vertices) const {
+  std::vector<bool> in_set(static_cast<std::size_t>(num_vertices_), false);
+  for (VertexId v : vertices) {
+    check_vertex(v);
+    if (in_set[static_cast<std::size_t>(v)]) {
+      throw std::invalid_argument("Graph::indicator: duplicate vertex");
+    }
+    in_set[static_cast<std::size_t>(v)] = true;
+  }
+  return in_set;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Arc& a, VertexId target) { return a.to < target; });
+  return it != adj.end() && it->to == v;
+}
+
+std::size_t Graph::connected_components() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_vertices_), false);
+  std::size_t components = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < num_vertices_; ++start) {
+    if (seen[static_cast<std::size_t>(start)]) continue;
+    ++components;
+    stack.push_back(start);
+    seen[static_cast<std::size_t>(start)] = true;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(a.to)]) {
+          seen[static_cast<std::size_t>(a.to)] = true;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<std::int64_t> Graph::bfs_distances(VertexId source) const {
+  check_vertex(source);
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(num_vertices_), -1);
+  std::queue<VertexId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const Arc& a : neighbors(v)) {
+      if (dist[static_cast<std::size_t>(a.to)] < 0) {
+        dist[static_cast<std::size_t>(a.to)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::int64_t Graph::diameter() const {
+  std::int64_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const auto dist = bfs_distances(v);
+    for (const std::int64_t d : dist) {
+      if (d < 0) return -1;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace npac::topo

@@ -1,0 +1,117 @@
+// Compact undirected graph with per-edge capacities.
+//
+// This is the substrate every analysis in npac runs on: topology generators
+// (torus, hypercube, Hamming/HyperX, Dragonfly, ...) materialize into a
+// Graph, and the isoperimetric machinery (perimeter / interior / cuts,
+// Equation (1) of the paper) is computed against it.
+//
+// Representation: CSR adjacency. Each undirected edge {u,v} with capacity c
+// is stored twice (once per endpoint) but counted once by the cut and
+// edge-count queries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace npac::topo {
+
+using VertexId = std::int64_t;
+
+/// One directed half of an undirected edge as seen from a vertex's
+/// adjacency list.
+struct Arc {
+  VertexId to = 0;
+  double capacity = 1.0;
+};
+
+/// An undirected edge used while assembling a graph.
+struct EdgeSpec {
+  VertexId u = 0;
+  VertexId v = 0;
+  double capacity = 1.0;
+};
+
+/// Immutable undirected multigraph with non-negative edge capacities.
+///
+/// Self-loops are rejected. Parallel edges are allowed (a torus dimension of
+/// length 2 is modeled as a single edge by the generators, but callers may
+/// build multigraphs explicitly).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on `num_vertices` vertices from an undirected edge list.
+  /// Throws std::invalid_argument on out-of-range endpoints, self-loops, or
+  /// negative capacities.
+  static Graph from_edges(VertexId num_vertices,
+                          const std::vector<EdgeSpec>& edges);
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return edge_count_; }
+
+  /// Sum of capacities over all undirected edges.
+  double total_capacity() const { return total_capacity_; }
+
+  /// Adjacency of `v` (each undirected edge appears once here and once in
+  /// the other endpoint's list).
+  std::span<const Arc> neighbors(VertexId v) const;
+
+  /// Unweighted degree of `v` (number of incident undirected edges).
+  std::size_t degree(VertexId v) const;
+
+  /// Sum of capacities of edges incident to `v`.
+  double degree_capacity(VertexId v) const;
+
+  /// True if every vertex has the same unweighted degree.
+  bool is_regular() const;
+
+  /// True if every vertex has the same capacity-weighted degree (within
+  /// `tol`). Regular graphs with uniform capacities satisfy this.
+  bool is_capacity_regular(double tol = 1e-9) const;
+
+  /// Capacity of the cut E(S, V\S). `in_set` must have num_vertices()
+  /// entries.
+  double cut_capacity(const std::vector<bool>& in_set) const;
+
+  /// Number of (unweighted) edges crossing the cut.
+  std::size_t cut_edges(const std::vector<bool>& in_set) const;
+
+  /// Capacity of the interior E(S, S): edges with both endpoints in S.
+  double interior_capacity(const std::vector<bool>& in_set) const;
+
+  /// Number of edges with both endpoints in S.
+  std::size_t interior_edges(const std::vector<bool>& in_set) const;
+
+  /// Converts a vertex list into the indicator vector used by the cut
+  /// queries. Throws on out-of-range or duplicated vertices.
+  std::vector<bool> indicator(const std::vector<VertexId>& vertices) const;
+
+  /// True if there is at least one edge {u, v}.
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Number of connected components (capacity-blind).
+  std::size_t connected_components() const;
+
+  /// BFS hop distances from `source` (-1 for unreachable vertices).
+  std::vector<std::int64_t> bfs_distances(VertexId source) const;
+
+  /// Maximum finite BFS distance over all pairs. O(V * E); intended for the
+  /// small graphs used in tests and topology surveys. Returns -1 for graphs
+  /// with unreachable pairs.
+  std::int64_t diameter() const;
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  VertexId num_vertices_ = 0;
+  std::size_t edge_count_ = 0;
+  double total_capacity_ = 0.0;
+  std::vector<std::size_t> offsets_;  // size num_vertices_ + 1
+  std::vector<Arc> arcs_;             // size 2 * edge_count_
+};
+
+}  // namespace npac::topo

@@ -1,0 +1,83 @@
+#include "topo/hamming.hpp"
+
+#include <stdexcept>
+
+namespace npac::topo {
+
+Hamming::Hamming(Dims dims, std::vector<double> capacities)
+    : dims_(std::move(dims)), capacities_(std::move(capacities)) {
+  if (dims_.empty()) {
+    throw std::invalid_argument("Hamming: at least one factor required");
+  }
+  if (capacities_.empty()) {
+    capacities_.assign(dims_.size(), 1.0);
+  }
+  if (capacities_.size() != dims_.size()) {
+    throw std::invalid_argument(
+        "Hamming: capacity count must match factor count");
+  }
+  strides_.resize(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i] < 1) {
+      throw std::invalid_argument("Hamming: factor sizes must be >= 1");
+    }
+    if (capacities_[i] <= 0.0) {
+      throw std::invalid_argument("Hamming: capacities must be positive");
+    }
+    strides_[i] = num_vertices_;
+    num_vertices_ *= dims_[i];
+  }
+}
+
+VertexId Hamming::index_of(const Coord& c) const {
+  if (c.size() != dims_.size()) {
+    throw std::invalid_argument("Hamming::index_of: dimension count mismatch");
+  }
+  VertexId idx = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (c[i] < 0 || c[i] >= dims_[i]) {
+      throw std::out_of_range("Hamming::index_of: coordinate out of range");
+    }
+    idx += c[i] * strides_[i];
+  }
+  return idx;
+}
+
+Coord Hamming::coord_of(VertexId v) const {
+  if (v < 0 || v >= num_vertices_) {
+    throw std::out_of_range("Hamming::coord_of: vertex out of range");
+  }
+  Coord c(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    c[i] = v % dims_[i];
+    v /= dims_[i];
+  }
+  return c;
+}
+
+std::size_t Hamming::degree() const {
+  std::size_t d = 0;
+  for (const std::int64_t a : dims_) d += static_cast<std::size_t>(a - 1);
+  return d;
+}
+
+Graph Hamming::build_graph() const {
+  std::vector<EdgeSpec> edges;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const Coord c = coord_of(v);
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      for (std::int64_t other = c[i] + 1; other < dims_[i]; ++other) {
+        Coord peer = c;
+        peer[i] = other;
+        edges.push_back({v, index_of(peer), capacities_[i]});
+      }
+    }
+  }
+  return Graph::from_edges(num_vertices_, edges);
+}
+
+Graph make_clique(std::int64_t n, double link_capacity) {
+  return Hamming(Dims{n}, {link_capacity}).build_graph();
+}
+
+}  // namespace npac::topo

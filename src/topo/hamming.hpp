@@ -1,0 +1,49 @@
+// Hamming graphs — Cartesian products of cliques K_{a1} x ... x K_{aD}.
+//
+// This is the structure of HyperX networks (Ahn et al.); when every link has
+// the same capacity the network is called "regular HyperX". Lindsey's
+// theorem solves the edge-isoperimetric problem on these graphs (see
+// iso/lindsey.hpp), which is how the paper's method transfers to HyperX.
+//
+// Per-dimension capacities are supported so the Dragonfly group structure
+// (K_16 x K_6 with K_6 links at 3x capacity) can also be expressed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/torus.hpp"  // Dims / Coord aliases
+
+namespace npac::topo {
+
+/// Geometry of a clique product; materializes to a Graph.
+class Hamming {
+ public:
+  /// `dims[i]` is the size of the i-th clique factor. `capacities` gives the
+  /// per-dimension link capacity (default: all 1.0 — regular HyperX).
+  explicit Hamming(Dims dims, std::vector<double> capacities = {});
+
+  const Dims& dims() const { return dims_; }
+  const std::vector<double>& capacities() const { return capacities_; }
+  std::int64_t num_vertices() const { return num_vertices_; }
+
+  VertexId index_of(const Coord& c) const;
+  Coord coord_of(VertexId v) const;
+
+  /// Unweighted degree: sum of (a_i - 1).
+  std::size_t degree() const;
+
+  Graph build_graph() const;
+
+ private:
+  Dims dims_;
+  std::vector<double> capacities_;
+  std::int64_t num_vertices_ = 1;
+  std::vector<std::int64_t> strides_;
+};
+
+/// Complete graph K_n.
+Graph make_clique(std::int64_t n, double link_capacity = 1.0);
+
+}  // namespace npac::topo

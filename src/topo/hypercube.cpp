@@ -1,0 +1,27 @@
+#include "topo/hypercube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace npac::topo {
+
+Graph make_hypercube(int n, double link_capacity) {
+  if (n < 0 || n > 30) {
+    throw std::invalid_argument("make_hypercube: n must be in [0, 30]");
+  }
+  const VertexId count = VertexId{1} << n;
+  std::vector<EdgeSpec> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(count) /
+                2);
+  for (VertexId v = 0; v < count; ++v) {
+    for (int bit = 0; bit < n; ++bit) {
+      const VertexId u = v ^ (VertexId{1} << bit);
+      if (u > v) edges.push_back({v, u, link_capacity});
+    }
+  }
+  return Graph::from_edges(count, edges);
+}
+
+int popcount64(std::uint64_t x) { return std::popcount(x); }
+
+}  // namespace npac::topo

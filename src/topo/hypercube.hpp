@@ -1,0 +1,19 @@
+// Hypercube topology Q_n — used by Pleiades-class machines; its
+// edge-isoperimetric problem is solved exactly by Harper's theorem (see
+// iso/harper.hpp), so the paper's method is directly applicable.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.hpp"
+
+namespace npac::topo {
+
+/// Builds Q_n: vertices are n-bit strings, edges connect strings at Hamming
+/// distance 1. 2^n vertices, n * 2^(n-1) edges.
+Graph make_hypercube(int n, double link_capacity = 1.0);
+
+/// Hamming weight helper exposed for tests and Harper-order code.
+int popcount64(std::uint64_t x);
+
+}  // namespace npac::topo

@@ -1,0 +1,34 @@
+#include "topo/product.hpp"
+
+namespace npac::topo {
+
+Graph cartesian_product(const Graph& g, const Graph& h) {
+  const VertexId gn = g.num_vertices();
+  const VertexId hn = h.num_vertices();
+  const VertexId n = gn * hn;
+  std::vector<EdgeSpec> edges;
+  edges.reserve(g.num_edges() * static_cast<std::size_t>(hn) +
+                h.num_edges() * static_cast<std::size_t>(gn));
+
+  for (VertexId hv = 0; hv < hn; ++hv) {
+    for (VertexId gv = 0; gv < gn; ++gv) {
+      for (const Arc& a : g.neighbors(gv)) {
+        if (a.to > gv) {
+          edges.push_back({gv + gn * hv, a.to + gn * hv, a.capacity});
+        }
+      }
+    }
+  }
+  for (VertexId gv = 0; gv < gn; ++gv) {
+    for (VertexId hv = 0; hv < hn; ++hv) {
+      for (const Arc& a : h.neighbors(hv)) {
+        if (a.to > hv) {
+          edges.push_back({gv + gn * hv, gv + gn * a.to, a.capacity});
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace npac::topo

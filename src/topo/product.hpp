@@ -1,0 +1,18 @@
+// Cartesian product of graphs.
+//
+// Torus = product of cycles, Hamming/HyperX = product of cliques, hypercube
+// = product of K_2's. This generic combinator lets tests cross-check the
+// specialized generators against each other and lets users compose novel
+// topologies (e.g. a torus of cliques).
+#pragma once
+
+#include "topo/graph.hpp"
+
+namespace npac::topo {
+
+/// G [] H: vertices are pairs (g, h) encoded as g + |G| * h; (g1,h) ~ (g2,h)
+/// iff g1 ~ g2 in G, and (g,h1) ~ (g,h2) iff h1 ~ h2 in H. Edge capacities
+/// are inherited from the factor supplying the edge.
+Graph cartesian_product(const Graph& g, const Graph& h);
+
+}  // namespace npac::topo

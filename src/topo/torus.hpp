@@ -1,0 +1,114 @@
+// D-dimensional torus topology with arbitrary (possibly unequal) dimension
+// lengths — the network family analyzed by Theorem 3.1 of the paper.
+//
+// Conventions:
+//  * A dimension of length 1 contributes no edges.
+//  * A dimension of length 2 contributes a single edge per pair (the cycle
+//    C_2 degenerates to one edge; this matches the simple-graph torus
+//    definition in Section 2 of the paper, where u_k = v_k +/- 1 (mod 2)
+//    names the same neighbor twice).
+//  * A dimension of length >= 3 is a proper cycle: two boundary edges per
+//    column when cut.
+//
+// Vertex ids are mixed-radix encodings of coordinates with coordinate 0
+// varying fastest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace npac::topo {
+
+using Coord = std::vector<std::int64_t>;
+using Dims = std::vector<std::int64_t>;
+
+/// Geometry + coordinate arithmetic for a torus; materializes to a Graph on
+/// demand.
+class Torus {
+ public:
+  /// Constructs a torus with the given dimension lengths (all >= 1).
+  /// `link_capacity` is applied uniformly to every edge.
+  explicit Torus(Dims dims, double link_capacity = 1.0);
+
+  const Dims& dims() const { return dims_; }
+  std::size_t num_dims() const { return dims_.size(); }
+  double link_capacity() const { return link_capacity_; }
+
+  /// Product of dimension lengths.
+  std::int64_t num_vertices() const { return num_vertices_; }
+
+  /// Longest dimension length.
+  std::int64_t longest_dim() const;
+
+  /// Vertex id for a coordinate (throws on out-of-range coordinates).
+  VertexId index_of(const Coord& c) const;
+
+  /// Coordinate of a vertex id.
+  Coord coord_of(VertexId v) const;
+
+  /// Number of undirected edges: for each dimension, one edge per vertex for
+  /// lengths >= 3, half that for length 2, none for length 1.
+  std::size_t expected_num_edges() const;
+
+  /// Uniform unweighted degree of the torus (2 per dim of length >= 3,
+  /// 1 per dim of length 2, 0 per dim of length 1).
+  std::size_t degree() const;
+
+  /// Minimal hop distance between two coordinates (sum of per-dimension ring
+  /// distances).
+  std::int64_t distance(const Coord& a, const Coord& b) const;
+
+  /// The node at maximal hop distance from `c`: offset by floor(a_i/2) in
+  /// every dimension. Used by the furthest-node bisection pairing of [12].
+  Coord antipode(const Coord& c) const;
+
+  /// Materializes the adjacency structure.
+  Graph build_graph() const;
+
+  /// Dimensions sorted descending — the canonical form used throughout the
+  /// paper ("we always present the dimensions of a torus network and its
+  /// partitions in sorted order by length").
+  Dims canonical_dims() const;
+
+  /// Indicator vector of the axis-aligned cuboid [lo, lo+len) (coordinates
+  /// taken modulo the dimension length, so the cuboid may wrap).
+  /// `len[i]` must satisfy 1 <= len[i] <= dims[i].
+  std::vector<bool> cuboid_indicator(const Coord& lo,
+                                     const Dims& len) const;
+
+  /// Number of edges on the perimeter of an axis-aligned cuboid with side
+  /// lengths `len`, by direct counting (closed form; cross-checked against
+  /// Graph::cut_edges in tests). Position-independent.
+  std::int64_t cuboid_cut_edges(const Dims& len) const;
+
+  /// "a1 x a2 x ... x aD" rendering of the dimensions.
+  std::string to_string() const;
+
+ private:
+  Dims dims_;
+  double link_capacity_ = 1.0;
+  std::int64_t num_vertices_ = 1;
+  std::vector<std::int64_t> strides_;
+};
+
+/// Convenience: cycle graph C_n as a 1-D torus.
+Graph make_cycle(std::int64_t n, double link_capacity = 1.0);
+
+/// Convenience: path graph P_n (n vertices, n-1 edges).
+Graph make_path(std::int64_t n, double link_capacity = 1.0);
+
+/// D-dimensional mesh (grid without wraparound) on the same vertex
+/// numbering as Torus; used for the 2-D mesh isoperimetry of
+/// Ahlswede–Bezrukov referenced in Related Work.
+Graph make_mesh(const Dims& dims, double link_capacity = 1.0);
+
+/// Torus with per-dimension link capacities (capacities.size() must equal
+/// dims.size()) — the weighted formulation Section 5 needs for Titan-style
+/// 3-D tori and Dragonfly factor analysis.
+Graph make_weighted_torus(const Dims& dims,
+                          const std::vector<double>& capacities);
+
+}  // namespace npac::topo

@@ -1,0 +1,115 @@
+// Kernel communication-model tests: N-body realizes the full bisection
+// ratio, FFT part of it, halo none — the geometry-sensitivity spectrum the
+// paper's Future Work predicts.
+#include "apps/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace npac::apps {
+namespace {
+
+simnet::TorusNetwork unit_network(topo::Dims dims) {
+  simnet::NetworkOptions options;
+  options.link_bytes_per_second = 1.0;
+  return simnet::TorusNetwork(topo::Torus(std::move(dims)), options);
+}
+
+TEST(NBodyTest, TimeScalesLinearlyWithSteps) {
+  const auto net = unit_network({8});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(8, 8));
+  const double one = simulate_nbody_communication(comm, {1024, 1, 32.0});
+  const double three = simulate_nbody_communication(comm, {1024, 3, 32.0});
+  EXPECT_NEAR(three, 3.0 * one, one * 1e-9);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST(NBodyTest, RecordsOnePhasePerStep) {
+  const auto net = unit_network({4, 4});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(16, 16));
+  simmpi::Timeline timeline;
+  simulate_nbody_communication(comm, {256, 4, 32.0}, &timeline);
+  EXPECT_EQ(timeline.records().size(), 4u);
+}
+
+TEST(NBodyTest, Validation) {
+  const auto net = unit_network({4});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(4, 4));
+  EXPECT_THROW(simulate_nbody_communication(comm, {0, 1, 32.0}),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_nbody_communication(comm, {16, 0, 32.0}),
+               std::invalid_argument);
+}
+
+TEST(FftTest, HasLogPPhases) {
+  const auto net = unit_network({16});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(16, 16));
+  simmpi::Timeline timeline;
+  simulate_fft_communication(comm, {1 << 12, 16.0}, &timeline);
+  EXPECT_EQ(timeline.records().size(), 4u);  // log2(16)
+}
+
+TEST(FftTest, HighStridePhasesDominateOnARing) {
+  // On a ring the early (stride 1) butterfly is nearest-neighbour; the
+  // late (stride P/2) one is antipodal and bisection-bound.
+  const auto net = unit_network({16});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(16, 16));
+  simmpi::Timeline timeline;
+  simulate_fft_communication(comm, {1 << 12, 16.0}, &timeline);
+  const auto& records = timeline.records();
+  EXPECT_GT(records.back().seconds, records.front().seconds);
+}
+
+TEST(FftTest, RequiresPowerOfTwoRanks) {
+  const auto net = unit_network({6});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(6, 6));
+  EXPECT_THROW(simulate_fft_communication(comm, {1 << 10, 16.0}),
+               std::invalid_argument);
+}
+
+TEST(FftTest, RequiresEnoughPoints) {
+  const auto net = unit_network({8});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(8, 8));
+  EXPECT_THROW(simulate_fft_communication(comm, {4, 16.0}),
+               std::invalid_argument);
+}
+
+TEST(HaloTest, ContentionFreeTimeEqualsFaceOverBandwidth) {
+  // Every channel carries exactly one face per step.
+  const auto net = unit_network({8, 8});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(64, 64));
+  const double seconds = simulate_halo_communication(comm, {1, 100.0});
+  EXPECT_DOUBLE_EQ(seconds, 100.0);
+}
+
+TEST(HaloTest, Validation) {
+  const auto net = unit_network({4});
+  const simmpi::Communicator comm(&net, simmpi::RankMap(4, 4));
+  EXPECT_THROW(simulate_halo_communication(comm, {0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(KernelSensitivityTest, NBodyRealizesTheFullRatioHaloNone) {
+  // The paper's 4-midplane pair: bisection ratio exactly 2.
+  const auto s = kernel_sensitivity(bgq::Geometry(4, 1, 1, 1),
+                                    bgq::Geometry(2, 2, 1, 1),
+                                    /*nbody_bodies=*/1 << 16,
+                                    /*fft_points=*/1 << 20);
+  EXPECT_DOUBLE_EQ(s.bisection_ratio, 2.0);
+  EXPECT_NEAR(s.nbody, 2.0, 0.05);
+  EXPECT_NEAR(s.halo, 1.0, 1e-9);
+  // FFT sits strictly between the control and the fully bisection-bound
+  // kernel.
+  EXPECT_GT(s.fft, 1.0);
+  EXPECT_LE(s.fft, 2.0 + 1e-9);
+}
+
+TEST(KernelSensitivityTest, RequiresEqualSizes) {
+  EXPECT_THROW(kernel_sensitivity(bgq::Geometry(2, 1, 1, 1),
+                                  bgq::Geometry(2, 2, 1, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npac::apps

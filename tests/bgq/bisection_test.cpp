@@ -1,0 +1,88 @@
+// Bisection-bandwidth tests: the 2N/L closed form of Chen et al. [12]
+// against the Lemma 3.3 cuboid search and against explicit graph cuts on
+// the node torus.
+#include "bgq/bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iso/cuboid_search.hpp"
+#include "topo/graph.hpp"
+
+namespace npac::bgq {
+namespace {
+
+TEST(BisectionTest, PaperTableOneValues) {
+  // Normalized bisections quoted in Table 1.
+  EXPECT_EQ(normalized_bisection(Geometry(4, 1, 1, 1)), 256);
+  EXPECT_EQ(normalized_bisection(Geometry(2, 2, 1, 1)), 512);
+  EXPECT_EQ(normalized_bisection(Geometry(4, 2, 1, 1)), 512);
+  EXPECT_EQ(normalized_bisection(Geometry(2, 2, 2, 1)), 1024);
+  EXPECT_EQ(normalized_bisection(Geometry(4, 4, 1, 1)), 1024);
+  EXPECT_EQ(normalized_bisection(Geometry(2, 2, 2, 2)), 2048);
+  EXPECT_EQ(normalized_bisection(Geometry(4, 3, 2, 1)), 1536);
+  EXPECT_EQ(normalized_bisection(Geometry(3, 2, 2, 2)), 2048);
+}
+
+TEST(BisectionTest, SingleMidplane) {
+  // One midplane: 2 * 512 / 4 = 256 (Tables 6 and 7, P = 512).
+  EXPECT_EQ(normalized_bisection(Geometry(1, 1, 1, 1)), 256);
+}
+
+TEST(BisectionTest, FullMiraAndJuqueen) {
+  // Mira full machine: 2 * 49152 / 16 = 6144 (Table 6, 96 midplanes).
+  EXPECT_EQ(normalized_bisection(Geometry(4, 4, 3, 2)), 6144);
+  // JUQUEEN full machine: 2 * 28672 / 28 = 2048 (Table 7, 56 midplanes).
+  EXPECT_EQ(normalized_bisection(Geometry(7, 2, 2, 2)), 2048);
+}
+
+TEST(BisectionTest, ClosedFormIsTwoNOverL) {
+  for (const Geometry& g :
+       {Geometry(1, 1, 1, 1), Geometry(3, 2, 1, 1), Geometry(4, 4, 3, 2),
+        Geometry(7, 2, 2, 2), Geometry(5, 2, 2, 1)}) {
+    EXPECT_EQ(normalized_bisection(g), 2 * g.nodes() / g.longest_node_dim())
+        << g.to_string();
+  }
+}
+
+TEST(BisectionTest, SearchAgreesWithClosedForm) {
+  // Lemma 3.3's exhaustive cuboid search on the node torus must reproduce
+  // the closed form. Small geometries keep the search fast.
+  for (const Geometry& g :
+       {Geometry(1, 1, 1, 1), Geometry(2, 1, 1, 1), Geometry(2, 2, 1, 1),
+        Geometry(3, 1, 1, 1), Geometry(3, 2, 1, 1), Geometry(4, 2, 1, 1)}) {
+    EXPECT_EQ(normalized_bisection_by_search(g), normalized_bisection(g))
+        << g.to_string();
+  }
+}
+
+TEST(BisectionTest, GraphCutConfirmsClosedFormOnSmallGeometry) {
+  // Explicitly cut the node torus of a 2x1x1x1 partition in half across
+  // its longest dimension.
+  const Geometry g(2, 1, 1, 1);
+  const topo::Torus torus = g.node_torus();
+  const topo::Graph graph = torus.build_graph();
+  // Half-cuboid: 4x4x4x4x2 out of 8x4x4x4x2.
+  const auto in_set =
+      torus.cuboid_indicator({0, 0, 0, 0, 0}, {4, 4, 4, 4, 2});
+  EXPECT_EQ(static_cast<std::int64_t>(graph.cut_edges(in_set)),
+            normalized_bisection(g));
+}
+
+TEST(BisectionTest, BytesPerSecondScalesWithLinkBandwidth) {
+  const Geometry g(2, 2, 1, 1);
+  const double bw = bisection_bytes_per_second(g, 2.0e9);
+  EXPECT_DOUBLE_EQ(bw, 512 * 2.0e9);
+}
+
+TEST(BisectionTest, CorollaryThreeFour) {
+  // Corollary 3.4: equal size, strictly smaller longest dimension =>
+  // strictly greater bisection.
+  const Geometry a(4, 1, 1, 1);
+  const Geometry b(2, 2, 1, 1);
+  ASSERT_EQ(a.midplanes(), b.midplanes());
+  ASSERT_LT(b[0], a[0]);
+  EXPECT_GT(normalized_bisection(b), normalized_bisection(a));
+}
+
+}  // namespace
+}  // namespace npac::bgq

@@ -1,0 +1,98 @@
+// Midplane-geometry tests: canonical (sorted) representation, node-level
+// torus dimensions, and the fits-in relation used by the policy search.
+#include "bgq/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace npac::bgq {
+namespace {
+
+TEST(GeometryTest, CanonicalizesToDescendingOrder) {
+  const Geometry g(1, 4, 2, 3);
+  EXPECT_EQ(g.dims(), (std::array<std::int64_t, 4>{4, 3, 2, 1}));
+  EXPECT_EQ(g[0], 4);
+  EXPECT_EQ(g[3], 1);
+}
+
+TEST(GeometryTest, RotationsAreEqual) {
+  EXPECT_EQ(Geometry(2, 1, 1, 1), Geometry(1, 2, 1, 1));
+  EXPECT_EQ(Geometry(4, 3, 2, 1), Geometry(1, 2, 3, 4));
+}
+
+TEST(GeometryTest, RejectsNonPositiveDims) {
+  EXPECT_THROW(Geometry(0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Geometry(-2, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(GeometryTest, MidplaneAndNodeCounts) {
+  const Geometry g(4, 3, 2, 1);
+  EXPECT_EQ(g.midplanes(), 24);
+  EXPECT_EQ(g.nodes(), 24 * 512);
+  EXPECT_EQ(Geometry(1, 1, 1, 1).nodes(), 512);
+}
+
+TEST(GeometryTest, NodeDimsAppendEDimension) {
+  const Geometry g(4, 3, 2, 1);
+  EXPECT_EQ(g.node_dims(), (topo::Dims{16, 12, 8, 4, 2}));
+  EXPECT_EQ(g.longest_node_dim(), 16);
+}
+
+TEST(GeometryTest, NodeTorusMatchesPaperMidplaneDescription) {
+  // One midplane: 4x4x4x4x2 torus of 512 nodes (paper Section 2).
+  const auto torus = Geometry(1, 1, 1, 1).node_torus();
+  EXPECT_EQ(torus.dims(), (topo::Dims{4, 4, 4, 4, 2}));
+  EXPECT_EQ(torus.num_vertices(), 512);
+}
+
+TEST(GeometryTest, MiraNetworkShape) {
+  // Mira: 4x4x3x2 midplanes = 16x16x12x8x2 nodes (paper Section 2).
+  const Geometry mira_shape(4, 4, 3, 2);
+  EXPECT_EQ(mira_shape.node_dims(), (topo::Dims{16, 16, 12, 8, 2}));
+  EXPECT_EQ(mira_shape.nodes(), 49152);
+}
+
+TEST(GeometryTest, JuqueenNetworkShape) {
+  const Geometry juqueen_shape(7, 2, 2, 2);
+  EXPECT_EQ(juqueen_shape.node_dims(), (topo::Dims{28, 8, 8, 8, 2}));
+  EXPECT_EQ(juqueen_shape.nodes(), 28672);
+}
+
+TEST(GeometryTest, FitsInIsElementwiseOnCanonicalForms) {
+  const Geometry host(4, 4, 3, 2);
+  EXPECT_TRUE(Geometry(4, 4, 3, 2).fits_in(host));
+  EXPECT_TRUE(Geometry(2, 2, 2, 1).fits_in(host));
+  EXPECT_TRUE(Geometry(1, 1, 1, 1).fits_in(host));
+  EXPECT_FALSE(Geometry(5, 1, 1, 1).fits_in(host));
+  EXPECT_FALSE(Geometry(4, 4, 4, 1).fits_in(host));
+  // 3x3 needs two dims >= 3 but Mira has only one dim >= 3... it has
+  // 4, 4, 3 >= 3, so 3x3x1x1 fits.
+  EXPECT_TRUE(Geometry(3, 3, 1, 1).fits_in(host));
+  EXPECT_FALSE(Geometry(3, 3, 3, 1).fits_in(Geometry(7, 2, 2, 2)));
+}
+
+TEST(GeometryTest, ToStringUsesCanonicalOrder) {
+  EXPECT_EQ(Geometry(1, 2, 3, 4).to_string(), "4 x 3 x 2 x 1");
+}
+
+TEST(GeometryTest, OrderingIsLexicographicOnDims) {
+  EXPECT_LT(Geometry(2, 2, 1, 1), Geometry(4, 1, 1, 1));
+  EXPECT_LT(Geometry(2, 1, 1, 1), Geometry(2, 2, 1, 1));
+}
+
+TEST(GeometryTest, ArrayConstructor) {
+  const Geometry g(std::array<std::int64_t, 4>{2, 3, 1, 4});
+  EXPECT_EQ(g.to_string(), "4 x 3 x 2 x 1");
+}
+
+TEST(GeometryTest, PaperExampleSixMidplaneSystem) {
+  // Paper Section 2 example: 3x2x1x1 midplanes = 3072 nodes, network
+  // 12x8x4x4x2.
+  const Geometry g(3, 2, 1, 1);
+  EXPECT_EQ(g.nodes(), 3072);
+  EXPECT_EQ(g.node_dims(), (topo::Dims{12, 8, 4, 4, 2}));
+}
+
+}  // namespace
+}  // namespace npac::bgq

@@ -1,0 +1,59 @@
+// Machine-definition tests: node counts and network shapes quoted in the
+// paper for Mira, JUQUEEN, Sequoia, and the Section 5 hypotheticals.
+#include "bgq/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npac::bgq {
+namespace {
+
+TEST(MachineTest, Mira) {
+  const Machine m = mira();
+  EXPECT_EQ(m.name, "Mira");
+  EXPECT_EQ(m.shape, Geometry(4, 4, 3, 2));
+  EXPECT_EQ(m.midplanes(), 96);
+  EXPECT_EQ(m.nodes(), 49152);
+}
+
+TEST(MachineTest, Juqueen) {
+  const Machine m = juqueen();
+  EXPECT_EQ(m.name, "JUQUEEN");
+  EXPECT_EQ(m.shape, Geometry(7, 2, 2, 2));
+  EXPECT_EQ(m.midplanes(), 56);
+  EXPECT_EQ(m.nodes(), 28672);
+}
+
+TEST(MachineTest, Sequoia) {
+  const Machine m = sequoia();
+  EXPECT_EQ(m.shape, Geometry(4, 4, 4, 3));
+  EXPECT_EQ(m.midplanes(), 192);
+  EXPECT_EQ(m.nodes(), 98304);
+}
+
+TEST(MachineTest, HypotheticalMachines) {
+  EXPECT_EQ(juqueen48().shape, Geometry(4, 3, 2, 2));
+  EXPECT_EQ(juqueen48().midplanes(), 48);
+  EXPECT_EQ(juqueen54().shape, Geometry(3, 3, 3, 2));
+  EXPECT_EQ(juqueen54().midplanes(), 54);
+}
+
+TEST(MachineTest, HypotheticalsAreSubgraphsOfMira) {
+  // Section 5: "the networks of JUQUEEN-54 and JUQUEEN-48 are both
+  // subgraphs of Mira's", so their construction is feasible.
+  EXPECT_TRUE(juqueen48().shape.fits_in(mira().shape));
+  EXPECT_TRUE(juqueen54().shape.fits_in(mira().shape));
+}
+
+TEST(MachineTest, AllMachinesListsFive) {
+  const auto machines = all_machines();
+  EXPECT_EQ(machines.size(), 5u);
+}
+
+TEST(MachineTest, SequoiaHasLargerBisectionThanMira) {
+  // Sequoia: 2 * 98304 / 16 = 12288 > Mira's 6144.
+  EXPECT_GT(2 * sequoia().nodes() / sequoia().shape.node_dims()[0],
+            2 * mira().nodes() / mira().shape.node_dims()[0]);
+}
+
+}  // namespace
+}  // namespace npac::bgq

@@ -1,0 +1,161 @@
+// Allocation-policy tests: geometry enumeration, best/worst search, Mira's
+// scheduler list, and the paper's proposed improvements (Corollary 3.4).
+#include "bgq/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace npac::bgq {
+namespace {
+
+TEST(PolicyTest, EnumerationFindsAllFourMidplaneCuboidsOnJuqueen) {
+  // 4 midplanes in 7x2x2x2: 4x1x1x1 and 2x2x1x1 (no dim can hold 4...
+  // the 7-dimension can, and 2x2 uses two of the 2-dims).
+  const auto geometries = enumerate_geometries(juqueen(), 4);
+  ASSERT_EQ(geometries.size(), 2u);
+  EXPECT_EQ(geometries.front(), Geometry(2, 2, 1, 1));  // best first
+  EXPECT_EQ(geometries.back(), Geometry(4, 1, 1, 1));
+}
+
+TEST(PolicyTest, EnumerationRespectsHostShape) {
+  // 9 midplanes on JUQUEEN: 3x3 does not fit (only one dim >= 3), and 9
+  // does not fit in the 7-dim, so there is no feasible geometry.
+  EXPECT_TRUE(enumerate_geometries(juqueen(), 9).empty());
+  // On Mira 3x3x1x1 does not fit either (dims 4,4,3,2: two dims >= 3 ...
+  // 4 and 4 and 3 are >= 3, so 3x3 fits).
+  EXPECT_FALSE(enumerate_geometries(mira(), 9).empty());
+}
+
+TEST(PolicyTest, EnumerationSortedByDescendingBisection) {
+  const auto geometries = enumerate_geometries(mira(), 8);
+  ASSERT_GE(geometries.size(), 2u);
+  for (std::size_t i = 1; i < geometries.size(); ++i) {
+    EXPECT_GE(normalized_bisection(geometries[i - 1]),
+              normalized_bisection(geometries[i]));
+  }
+}
+
+TEST(PolicyTest, EnumerationRejectsInvalidSize) {
+  EXPECT_THROW(enumerate_geometries(mira(), 0), std::invalid_argument);
+}
+
+TEST(PolicyTest, FeasibleSizesOfJuqueen) {
+  const auto sizes = feasible_sizes(juqueen());
+  // Table 7 lists exactly these 19 sizes.
+  const std::vector<std::int64_t> expected = {1,  2,  3,  4,  5,  6,  7,
+                                              8,  10, 12, 14, 16, 20, 24,
+                                              28, 32, 40, 48, 56};
+  EXPECT_EQ(sizes, expected);
+}
+
+TEST(PolicyTest, FeasibleSizesOfMiraIncludeSchedulerList) {
+  const auto sizes = feasible_sizes(mira());
+  for (const auto& entry : mira_scheduler_partitions()) {
+    EXPECT_TRUE(std::find(sizes.begin(), sizes.end(), entry.midplanes) !=
+                sizes.end())
+        << entry.midplanes;
+  }
+}
+
+TEST(PolicyTest, BestAndWorstGeometryJuqueen16) {
+  // Table 7, P = 8192 (16 midplanes): worst 4x2x2x1, best 2x2x2x2.
+  EXPECT_EQ(*worst_geometry(juqueen(), 16), Geometry(4, 2, 2, 1));
+  EXPECT_EQ(*best_geometry(juqueen(), 16), Geometry(2, 2, 2, 2));
+}
+
+TEST(PolicyTest, BestGeometryInfeasibleSize) {
+  EXPECT_FALSE(best_geometry(juqueen(), 9).has_value());
+  EXPECT_FALSE(worst_geometry(juqueen(), 11).has_value());
+}
+
+TEST(PolicyTest, RingShapedSizesHaveLowBisection) {
+  // Figure 2's 'spiking drops': 5, 7, 10, 14 midplanes force geometries
+  // with a long dimension.
+  EXPECT_EQ(normalized_bisection(*best_geometry(juqueen(), 5)), 256);
+  EXPECT_EQ(normalized_bisection(*best_geometry(juqueen(), 7)), 256);
+  EXPECT_EQ(normalized_bisection(*best_geometry(juqueen(), 10)), 512);
+  EXPECT_EQ(normalized_bisection(*best_geometry(juqueen(), 14)), 512);
+}
+
+TEST(PolicyTest, MiraSchedulerListMatchesTableSix) {
+  const auto list = mira_scheduler_partitions();
+  ASSERT_EQ(list.size(), 10u);
+  EXPECT_EQ(list[2].midplanes, 4);
+  EXPECT_EQ(list[2].geometry, Geometry(4, 1, 1, 1));
+  EXPECT_EQ(list[9].midplanes, 96);
+  EXPECT_EQ(list[9].geometry, Geometry(4, 4, 3, 2));
+  // Every listed geometry fits the machine and has the stated size.
+  for (const auto& entry : list) {
+    EXPECT_TRUE(entry.geometry.fits_in(mira().shape));
+    EXPECT_EQ(entry.geometry.midplanes(), entry.midplanes);
+  }
+}
+
+TEST(PolicyTest, ProposeImprovementMatchesTableOne) {
+  const Machine m = mira();
+  EXPECT_EQ(*propose_improvement(m, Geometry(4, 1, 1, 1)),
+            Geometry(2, 2, 1, 1));
+  EXPECT_EQ(*propose_improvement(m, Geometry(4, 2, 1, 1)),
+            Geometry(2, 2, 2, 1));
+  EXPECT_EQ(*propose_improvement(m, Geometry(4, 4, 1, 1)),
+            Geometry(2, 2, 2, 2));
+  EXPECT_EQ(*propose_improvement(m, Geometry(4, 3, 2, 1)),
+            Geometry(3, 2, 2, 2));
+}
+
+TEST(PolicyTest, NoImprovementForOptimalGeometries) {
+  const Machine m = mira();
+  // Table 6 rows without a "New Geometry": already optimal.
+  EXPECT_FALSE(propose_improvement(m, Geometry(1, 1, 1, 1)).has_value());
+  EXPECT_FALSE(propose_improvement(m, Geometry(2, 1, 1, 1)).has_value());
+  EXPECT_FALSE(propose_improvement(m, Geometry(4, 4, 2, 1)).has_value());
+  EXPECT_FALSE(propose_improvement(m, Geometry(4, 4, 3, 1)).has_value());
+  EXPECT_FALSE(propose_improvement(m, Geometry(4, 4, 2, 2)).has_value());
+  EXPECT_FALSE(propose_improvement(m, Geometry(4, 4, 3, 2)).has_value());
+}
+
+TEST(PolicyTest, ProposeImprovementRejectsForeignGeometry) {
+  EXPECT_THROW(propose_improvement(juqueen(), Geometry(4, 4, 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(PolicyTest, PredictedSpeedupRatios) {
+  EXPECT_DOUBLE_EQ(
+      predicted_speedup(Geometry(4, 1, 1, 1), Geometry(2, 2, 1, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(
+      predicted_speedup(Geometry(4, 3, 2, 1), Geometry(3, 2, 2, 2)),
+      2048.0 / 1536.0);
+  EXPECT_DOUBLE_EQ(
+      predicted_speedup(Geometry(2, 2, 1, 1), Geometry(4, 1, 1, 1)), 0.5);
+}
+
+TEST(PolicyTest, PredictedSpeedupRequiresEqualSizes) {
+  EXPECT_THROW(predicted_speedup(Geometry(2, 1, 1, 1), Geometry(2, 2, 1, 1)),
+               std::invalid_argument);
+}
+
+// Property sweep: for every feasible JUQUEEN size, best >= worst, both fit
+// the machine, and both have the requested size.
+class JuqueenSizeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(JuqueenSizeSweep, BestAndWorstAreConsistent) {
+  const std::int64_t size = GetParam();
+  const Machine m = juqueen();
+  const auto best = best_geometry(m, size);
+  const auto worst = worst_geometry(m, size);
+  ASSERT_TRUE(best && worst);
+  EXPECT_EQ(best->midplanes(), size);
+  EXPECT_EQ(worst->midplanes(), size);
+  EXPECT_TRUE(best->fits_in(m.shape));
+  EXPECT_TRUE(worst->fits_in(m.shape));
+  EXPECT_GE(normalized_bisection(*best), normalized_bisection(*worst));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, JuqueenSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14,
+                                           16, 20, 24, 28, 32, 40, 48, 56));
+
+}  // namespace
+}  // namespace npac::bgq

@@ -1,0 +1,91 @@
+// PartitionAdvisor facade tests: policy modeling for Mira (fixed list) and
+// JUQUEEN/Sequoia (free cuboids), and the recommendation arithmetic.
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace npac::core {
+namespace {
+
+TEST(AdvisorTest, MiraUsesTheSchedulerList) {
+  const auto advisor = PartitionAdvisor::for_mira();
+  EXPECT_EQ(advisor.policy(), AllocationPolicy::kFixedList);
+  const auto rec = advisor.advise(4);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->assigned, bgq::Geometry(4, 1, 1, 1));
+  EXPECT_EQ(rec->best, bgq::Geometry(2, 2, 1, 1));
+  EXPECT_TRUE(rec->improvable);
+  EXPECT_DOUBLE_EQ(rec->predicted_speedup, 2.0);
+  EXPECT_EQ(rec->nodes, 2048);
+}
+
+TEST(AdvisorTest, MiraUnlistedSizeHasNoRecommendation) {
+  const auto advisor = PartitionAdvisor::for_mira();
+  // 12 midplanes is feasible geometrically but absent from the scheduler
+  // list (Table 6).
+  EXPECT_FALSE(advisor.advise(12).has_value());
+}
+
+TEST(AdvisorTest, JuqueenUsesWorstCaseAsAssigned) {
+  const auto advisor = PartitionAdvisor::for_juqueen();
+  EXPECT_EQ(advisor.policy(), AllocationPolicy::kFreeCuboid);
+  const auto rec = advisor.advise(16);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->assigned, bgq::Geometry(4, 2, 2, 1));
+  EXPECT_EQ(rec->best, bgq::Geometry(2, 2, 2, 2));
+  EXPECT_DOUBLE_EQ(rec->predicted_speedup, 2.0);
+}
+
+TEST(AdvisorTest, InfeasibleSizeYieldsNullopt) {
+  const auto advisor = PartitionAdvisor::for_juqueen();
+  EXPECT_FALSE(advisor.advise(9).has_value());
+  EXPECT_FALSE(advisor.advise(1000).has_value());
+}
+
+TEST(AdvisorTest, NonImprovableSizesReportOptimal) {
+  const auto advisor = PartitionAdvisor::for_juqueen();
+  const auto rec = advisor.advise(2);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->improvable);
+  EXPECT_DOUBLE_EQ(rec->predicted_speedup, 1.0);
+  EXPECT_EQ(rec->assigned, rec->best);
+}
+
+TEST(AdvisorTest, AdviseAllMiraCoversTheWholeList) {
+  const auto advisor = PartitionAdvisor::for_mira();
+  const auto all = advisor.advise_all();
+  EXPECT_EQ(all.size(), 10u);  // Table 6 has 10 sizes
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.midplanes < b.midplanes;
+                             }));
+}
+
+TEST(AdvisorTest, ImprovableSizesMatchTableOneAndTwo) {
+  // Mira (Table 1): 4, 8, 16, 24 midplanes.
+  const auto mira_sizes = PartitionAdvisor::for_mira().improvable_sizes();
+  EXPECT_EQ(mira_sizes, (std::vector<std::int64_t>{4, 8, 16, 24}));
+  // JUQUEEN (Table 2): 4, 6, 8, 12, 16, 24 midplanes.
+  const auto juqueen_sizes =
+      PartitionAdvisor::for_juqueen().improvable_sizes();
+  EXPECT_EQ(juqueen_sizes, (std::vector<std::int64_t>{4, 6, 8, 12, 16, 24}));
+}
+
+TEST(AdvisorTest, SequoiaHasImprovableSizes) {
+  // Section 5: "both optimal and sub-optimal permissible partitions may be
+  // defined for certain midplane counts" on Sequoia.
+  const auto advisor = PartitionAdvisor::for_sequoia();
+  EXPECT_FALSE(advisor.improvable_sizes().empty());
+}
+
+TEST(AdvisorTest, RecommendationToStringMentionsGeometries) {
+  const auto rec = *PartitionAdvisor::for_mira().advise(4);
+  const std::string text = rec.to_string();
+  EXPECT_NE(text.find("4 x 1 x 1 x 1"), std::string::npos);
+  EXPECT_NE(text.find("2 x 2 x 1 x 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace npac::core

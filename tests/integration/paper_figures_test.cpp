@@ -1,0 +1,109 @@
+// Integration: the simulator-backed experiments (Figures 3-6) reproduce
+// the paper's headline ratios. Volumes are scaled down where the fluid
+// model makes results volume-invariant, keeping the suite fast.
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace npac::core {
+namespace {
+
+simnet::PingPongConfig fast_pingpong() {
+  auto config = paper_pingpong_config();
+  config.bytes_per_round = 1.0e6;  // ratios are volume-invariant
+  return config;
+}
+
+TEST(PaperFiguresTest, Fig3MiraPairingSpeedups) {
+  // Paper Section 4.1: measured speedup at least 1.92 where the predicted
+  // factor is 2.00, and 1.44 (predicted 1.50) on 24 midplanes. Our fluid
+  // model reproduces the prediction exactly: x2 for 4/8/16 midplanes and
+  // x1.33 (the Table 1 bisection ratio 2048/1536) for 24.
+  const auto comparisons = fig3_mira_pairing(fast_pingpong());
+  ASSERT_EQ(comparisons.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(comparisons[i].speedup, 2.0, 1e-9)
+        << comparisons[i].midplanes;
+    EXPECT_GE(comparisons[i].speedup, 1.92);  // the paper's measured floor
+  }
+  EXPECT_NEAR(comparisons[3].speedup, 2048.0 / 1536.0, 1e-9);
+}
+
+TEST(PaperFiguresTest, Fig3BaselineTimesAreFlatAcrossScale) {
+  // Figure 3's current-partition times are nearly flat in midplane count:
+  // per-node bisection is constant (256 links per 2048 nodes at every
+  // size) for 4/8/16 midplanes.
+  const auto comparisons = fig3_mira_pairing(fast_pingpong());
+  const double t4 = comparisons[0].baseline_result.measured_seconds;
+  const double t8 = comparisons[1].baseline_result.measured_seconds;
+  const double t16 = comparisons[2].baseline_result.measured_seconds;
+  EXPECT_NEAR(t4, t8, t4 * 1e-9);
+  EXPECT_NEAR(t8, t16, t8 * 1e-9);
+}
+
+TEST(PaperFiguresTest, Fig4JuqueenPairingSpeedups) {
+  const auto comparisons = fig4_juqueen_pairing(fast_pingpong());
+  ASSERT_EQ(comparisons.size(), 5u);
+  // Worst vs best differ by exactly the predicted x2 at 4/6/8/12/16.
+  for (const auto& cmp : comparisons) {
+    EXPECT_NEAR(cmp.speedup, cmp.predicted_speedup, 1e-9) << cmp.midplanes;
+    EXPECT_NEAR(cmp.speedup, 2.0, 1e-9) << cmp.midplanes;
+  }
+}
+
+TEST(PaperFiguresTest, Fig4SixMidplaneCaseIsSlowerPerNode) {
+  // Figure 4's caption: per-node bisection of the 6-midplane best case is
+  // half that of the 4- and 8-midplane best cases, so its time is ~2x.
+  const auto comparisons = fig4_juqueen_pairing(fast_pingpong());
+  const double t4 = comparisons[0].proposed_result.measured_seconds;
+  const double t6 = comparisons[1].proposed_result.measured_seconds;
+  const double t8 = comparisons[2].proposed_result.measured_seconds;
+  EXPECT_NEAR(t6 / t4, 1.5, 1e-9);  // 3x2x1x1: longest node dim 12 vs 8
+  EXPECT_NEAR(t4, t8, t4 * 1e-9);
+}
+
+TEST(PaperFiguresTest, Fig5MatmulCommunicationImproves) {
+  // Paper Figure 5: communication costs improve by x1.37 to x1.52 with
+  // the proposed partitions. The fluid model lands in the same regime;
+  // assert the direction everywhere and the magnitude window loosely
+  // (our substrate is a simulator, not Mira).
+  const auto comparisons = fig5_matmul(/*include_24_midplanes=*/false,
+                                       /*bfs_steps=*/2);
+  ASSERT_EQ(comparisons.size(), 3u);
+  for (const auto& cmp : comparisons) {
+    EXPECT_GT(cmp.comm_speedup, 1.2) << cmp.midplanes;
+    EXPECT_LT(cmp.comm_speedup, 2.5) << cmp.midplanes;
+    EXPECT_GT(cmp.paper_computation_seconds, 0.0);
+  }
+}
+
+TEST(PaperFiguresTest, Fig6ProposedScalesLinearlyCurrentDoesNot) {
+  // Paper Experiment C: with proposed partitions the communication cost
+  // decreases ~linearly from 2 to 8 midplanes; with the current
+  // partitions the 2->4 step is flat (equal bisection), which is the
+  // "strong-scaling illusion".
+  const auto points = fig6_strong_scaling(/*bfs_steps=*/2);
+  ASSERT_EQ(points.size(), 3u);
+  const double proposed_ratio_2_to_8 = points[0].proposed_comm_seconds /
+                                       points[2].proposed_comm_seconds;
+  const double current_ratio_2_to_8 =
+      points[0].current_comm_seconds / points[2].current_comm_seconds;
+  EXPECT_GT(proposed_ratio_2_to_8, current_ratio_2_to_8);
+  // Current 2 -> 4 midplanes: bisection stays at 256, so the BFS-step-0
+  // contention cost cannot halve.
+  const double current_ratio_2_to_4 =
+      points[0].current_comm_seconds / points[1].current_comm_seconds;
+  EXPECT_LT(current_ratio_2_to_4, 1.5);
+}
+
+TEST(PaperFiguresTest, Fig6TableFourBisectionColumn) {
+  const auto points = fig6_strong_scaling(1);
+  EXPECT_EQ(bgq::normalized_bisection(points[0].current), 256);
+  EXPECT_EQ(bgq::normalized_bisection(points[1].current), 256);
+  EXPECT_EQ(bgq::normalized_bisection(points[1].proposed), 512);
+  EXPECT_EQ(bgq::normalized_bisection(points[2].current), 512);
+  EXPECT_EQ(bgq::normalized_bisection(points[2].proposed), 1024);
+}
+
+}  // namespace
+}  // namespace npac::core

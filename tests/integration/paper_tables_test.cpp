@@ -1,0 +1,144 @@
+// Integration: every analytical table of the paper (1, 2, 5, 6, 7),
+// regenerated end-to-end through the public API and compared cell-by-cell
+// against the published values.
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace npac::core {
+namespace {
+
+struct MiraExpectation {
+  std::int64_t midplanes;
+  bgq::Geometry current;
+  std::int64_t current_bw;
+  std::optional<bgq::Geometry> proposed;
+  std::int64_t proposed_bw;
+};
+
+TEST(PaperTablesTest, TableSixMiraFullList) {
+  const std::vector<MiraExpectation> expected = {
+      {1, {1, 1, 1, 1}, 256, std::nullopt, 256},
+      {2, {2, 1, 1, 1}, 256, std::nullopt, 256},
+      {4, {4, 1, 1, 1}, 256, bgq::Geometry(2, 2, 1, 1), 512},
+      {8, {4, 2, 1, 1}, 512, bgq::Geometry(2, 2, 2, 1), 1024},
+      {16, {4, 4, 1, 1}, 1024, bgq::Geometry(2, 2, 2, 2), 2048},
+      {24, {4, 3, 2, 1}, 1536, bgq::Geometry(3, 2, 2, 2), 2048},
+      {32, {4, 4, 2, 1}, 2048, std::nullopt, 2048},
+      {48, {4, 4, 3, 1}, 3072, std::nullopt, 3072},
+      {64, {4, 4, 2, 2}, 4096, std::nullopt, 4096},
+      {96, {4, 4, 3, 2}, 6144, std::nullopt, 6144},
+  };
+  const auto rows = mira_rows();
+  ASSERT_EQ(rows.size(), expected.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(rows[i].midplanes, expected[i].midplanes);
+    EXPECT_EQ(rows[i].nodes, expected[i].midplanes * 512);
+    EXPECT_EQ(rows[i].current, expected[i].current);
+    EXPECT_EQ(rows[i].current_bw, expected[i].current_bw);
+    EXPECT_EQ(rows[i].proposed.has_value(),
+              expected[i].proposed.has_value());
+    if (rows[i].proposed && expected[i].proposed) {
+      EXPECT_EQ(*rows[i].proposed, *expected[i].proposed);
+    }
+    EXPECT_EQ(rows[i].proposed_bw, expected[i].proposed_bw);
+  }
+}
+
+struct JuqueenExpectation {
+  std::int64_t midplanes;
+  bgq::Geometry worst;
+  std::int64_t worst_bw;
+  bgq::Geometry best;
+  std::int64_t best_bw;
+};
+
+TEST(PaperTablesTest, TableSevenJuqueenFullList) {
+  // Paper Table 7: worst-case and proposed geometries for every feasible
+  // size. Where the table shows no proposal, worst == best.
+  const std::vector<JuqueenExpectation> expected = {
+      {1, {1, 1, 1, 1}, 256, {1, 1, 1, 1}, 256},
+      {2, {2, 1, 1, 1}, 256, {2, 1, 1, 1}, 256},
+      {3, {3, 1, 1, 1}, 256, {3, 1, 1, 1}, 256},
+      {4, {4, 1, 1, 1}, 256, {2, 2, 1, 1}, 512},
+      {5, {5, 1, 1, 1}, 256, {5, 1, 1, 1}, 256},
+      {6, {6, 1, 1, 1}, 256, {3, 2, 1, 1}, 512},
+      {7, {7, 1, 1, 1}, 256, {7, 1, 1, 1}, 256},
+      {8, {4, 2, 1, 1}, 512, {2, 2, 2, 1}, 1024},
+      {10, {5, 2, 1, 1}, 512, {5, 2, 1, 1}, 512},
+      {12, {6, 2, 1, 1}, 512, {3, 2, 2, 1}, 1024},
+      {14, {7, 2, 1, 1}, 512, {7, 2, 1, 1}, 512},
+      {16, {4, 2, 2, 1}, 1024, {2, 2, 2, 2}, 2048},
+      {20, {5, 2, 2, 1}, 1024, {5, 2, 2, 1}, 1024},
+      {24, {6, 2, 2, 1}, 1024, {3, 2, 2, 2}, 2048},
+      {28, {7, 2, 2, 1}, 1024, {7, 2, 2, 1}, 1024},
+      {32, {4, 2, 2, 2}, 2048, {4, 2, 2, 2}, 2048},
+      {40, {5, 2, 2, 2}, 2048, {5, 2, 2, 2}, 2048},
+      {48, {6, 2, 2, 2}, 2048, {6, 2, 2, 2}, 2048},
+      {56, {7, 2, 2, 2}, 2048, {7, 2, 2, 2}, 2048},
+  };
+  const auto rows = juqueen_rows();
+  ASSERT_EQ(rows.size(), expected.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE("P = " + std::to_string(expected[i].midplanes * 512));
+    EXPECT_EQ(rows[i].midplanes, expected[i].midplanes);
+    EXPECT_EQ(rows[i].worst, expected[i].worst);
+    EXPECT_EQ(rows[i].worst_bw, expected[i].worst_bw);
+    EXPECT_EQ(rows[i].best, expected[i].best);
+    EXPECT_EQ(rows[i].best_bw, expected[i].best_bw);
+  }
+}
+
+TEST(PaperTablesTest, TableFiveMachineDesign) {
+  // Paper Table 5: best-case partitions of JUQUEEN, JUQUEEN-54, JUQUEEN-48.
+  struct Row {
+    std::int64_t midplanes;
+    std::int64_t juqueen_bw;  // 0 = not listed
+    std::int64_t j54_bw;
+    std::int64_t j48_bw;
+  };
+  const std::vector<Row> expected = {
+      {1, 256, 256, 256},     {2, 256, 256, 256},   {3, 256, 256, 256},
+      {4, 512, 512, 512},     {5, 256, 0, 0},       {6, 512, 512, 512},
+      {7, 256, 0, 0},         {8, 1024, 1024, 1024}, {9, 0, 768, 768},
+      {10, 512, 0, 0},        {12, 1024, 1024, 1024}, {14, 512, 0, 0},
+      {16, 2048, 2048, 2048}, {18, 0, 1536, 1536},  {20, 1024, 0, 0},
+      {24, 2048, 2048, 2048}, {27, 0, 2304, 0},     {28, 1024, 0, 0},
+      {32, 2048, 0, 2048},    {36, 0, 3072, 3072},  {40, 2048, 0, 0},
+      {48, 2048, 0, 3072},    {54, 0, 4608, 0},     {56, 2048, 0, 0},
+  };
+  const auto rows = table5_rows();
+  for (const Row& want : expected) {
+    SCOPED_TRACE("midplanes " + std::to_string(want.midplanes));
+    const auto it =
+        std::find_if(rows.begin(), rows.end(), [&](const auto& row) {
+          return row.midplanes == want.midplanes;
+        });
+    ASSERT_NE(it, rows.end());
+    EXPECT_EQ(it->juqueen.has_value(), want.juqueen_bw != 0);
+    EXPECT_EQ(it->j54.has_value(), want.j54_bw != 0);
+    EXPECT_EQ(it->j48.has_value(), want.j48_bw != 0);
+    if (want.juqueen_bw != 0) EXPECT_EQ(it->juqueen_bw, want.juqueen_bw);
+    if (want.j54_bw != 0) EXPECT_EQ(it->j54_bw, want.j54_bw);
+    if (want.j48_bw != 0) EXPECT_EQ(it->j48_bw, want.j48_bw);
+  }
+}
+
+TEST(PaperTablesTest, TableFiveSpecificGeometries) {
+  const auto rows = table5_rows();
+  const auto at = [&rows](std::int64_t size) {
+    return *std::find_if(rows.begin(), rows.end(), [&](const auto& row) {
+      return row.midplanes == size;
+    });
+  };
+  EXPECT_EQ(*at(9).j54, bgq::Geometry(3, 3, 1, 1));
+  EXPECT_EQ(*at(18).j48, bgq::Geometry(3, 3, 2, 1));
+  EXPECT_EQ(*at(36).j54, bgq::Geometry(3, 3, 2, 2));
+  EXPECT_EQ(*at(48).j48, bgq::Geometry(4, 3, 2, 2));
+  EXPECT_EQ(*at(54).j54, bgq::Geometry(3, 3, 3, 2));
+  EXPECT_EQ(*at(56).juqueen, bgq::Geometry(7, 2, 2, 2));
+}
+
+}  // namespace
+}  // namespace npac::core

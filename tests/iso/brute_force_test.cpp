@@ -1,0 +1,104 @@
+// Exhaustive isoperimetric oracle tests: the ground truth every closed form
+// in the library is cross-checked against.
+#include "iso/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "topo/hamming.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(BruteForceTest, ArcIsOptimalOnCycle) {
+  const topo::Graph cycle = topo::make_cycle(10);
+  for (std::int64_t t = 1; t <= 5; ++t) {
+    const auto result = brute_force_isoperimetric(cycle, t);
+    EXPECT_DOUBLE_EQ(result.min_cut, 2.0) << "t = " << t;
+  }
+}
+
+TEST(BruteForceTest, WitnessAchievesReportedCut) {
+  const topo::Torus torus({4, 3});
+  const topo::Graph g = torus.build_graph();
+  const auto result = brute_force_isoperimetric(g, 4);
+  std::vector<bool> in_set(static_cast<std::size_t>(g.num_vertices()), false);
+  int count = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (result.witness_mask & (std::uint64_t{1} << v)) {
+      in_set[static_cast<std::size_t>(v)] = true;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(g.cut_capacity(in_set), result.min_cut);
+}
+
+TEST(BruteForceTest, ExaminesBinomialManySubsets) {
+  const topo::Graph cycle = topo::make_cycle(8);
+  const auto result = brute_force_isoperimetric(cycle, 3);
+  EXPECT_EQ(result.subsets_examined, 56u);  // C(8,3)
+}
+
+TEST(BruteForceTest, FullAndSingletonSets) {
+  const topo::Graph cycle = topo::make_cycle(6);
+  EXPECT_DOUBLE_EQ(brute_force_isoperimetric(cycle, 6).min_cut, 0.0);
+  EXPECT_DOUBLE_EQ(brute_force_isoperimetric(cycle, 1).min_cut, 2.0);
+}
+
+TEST(BruteForceTest, WeightedGraph) {
+  // Path with a light middle edge: the optimal 2-subset cuts across it.
+  const topo::Graph g = topo::Graph::from_edges(
+      4, {{0, 1, 5.0}, {1, 2, 0.5}, {2, 3, 5.0}});
+  const auto result = brute_force_isoperimetric(g, 2);
+  EXPECT_DOUBLE_EQ(result.min_cut, 0.5);
+  EXPECT_TRUE(result.witness_mask == 0b0011 || result.witness_mask == 0b1100);
+}
+
+TEST(BruteForceTest, Validation) {
+  const topo::Graph cycle = topo::make_cycle(4);
+  EXPECT_THROW(brute_force_isoperimetric(cycle, 0), std::invalid_argument);
+  EXPECT_THROW(brute_force_isoperimetric(cycle, 5), std::invalid_argument);
+  EXPECT_THROW(brute_force_small_set_expansion(cycle, 0),
+               std::invalid_argument);
+}
+
+TEST(BruteForceSseTest, CycleExpansion) {
+  // h_t(C_n) = 2 / (2t) = 1/t, attained by the largest allowed arc.
+  const topo::Graph cycle = topo::make_cycle(12);
+  for (std::int64_t t = 1; t <= 6; ++t) {
+    EXPECT_DOUBLE_EQ(brute_force_small_set_expansion(cycle, t),
+                     1.0 / static_cast<double>(t))
+        << "t = " << t;
+  }
+}
+
+TEST(BruteForceSseTest, MonotoneInT) {
+  const topo::Graph g = topo::Torus({4, 3}).build_graph();
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::int64_t t = 1; t <= 6; ++t) {
+    const double h = brute_force_small_set_expansion(g, t);
+    EXPECT_LE(h, previous + 1e-12);
+    previous = h;
+  }
+}
+
+TEST(BruteForceSseTest, HypercubeBisectionExpansion) {
+  // h_{2^{n-1}}(Q_n) = 2^{n-1} / (n 2^{n-1}) = 1/n (subcube face).
+  const topo::Graph q3 = topo::make_hypercube(3);
+  EXPECT_DOUBLE_EQ(brute_force_small_set_expansion(q3, 4), 1.0 / 3.0);
+}
+
+TEST(BruteForceTest, MatchesKnownHammingCut) {
+  // K_4: any 2-subset cuts 4 edges.
+  const topo::Graph k4 = topo::make_clique(4);
+  EXPECT_DOUBLE_EQ(brute_force_isoperimetric(k4, 2).min_cut, 4.0);
+}
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,91 @@
+// Harper's theorem machinery for hypercubes (the Section 5 route for
+// hypercube-based systems like Pleiades): initial segments of the binary
+// order are isoperimetric in Q_n.
+#include "iso/harper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "iso/brute_force.hpp"
+#include "topo/hypercube.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(HarperTest, SetIsInitialSegment) {
+  const auto set = harper_set(4, 5);
+  ASSERT_EQ(set.size(), 5u);
+  for (std::int64_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(set[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(HarperTest, CutMatchesExplicitGraphCut) {
+  const int n = 4;
+  const topo::Graph cube = topo::make_hypercube(n);
+  for (std::int64_t t = 0; t <= 16; ++t) {
+    const auto set = harper_set(n, t);
+    const auto in_set = cube.indicator(set);
+    EXPECT_EQ(static_cast<std::size_t>(harper_cut(n, t)),
+              cube.cut_edges(in_set))
+        << "t = " << t;
+  }
+}
+
+TEST(HarperTest, SubcubeCutFormula) {
+  // A k-subcube has 2^k vertices each exposing n-k cut edges.
+  EXPECT_EQ(subcube_cut(4, 0), 4);
+  EXPECT_EQ(subcube_cut(4, 2), 8);
+  EXPECT_EQ(subcube_cut(4, 4), 0);
+  EXPECT_EQ(subcube_cut(10, 9), 512);
+}
+
+TEST(HarperTest, HarperCutAtPowersOfTwoEqualsSubcube) {
+  for (int n = 1; n <= 6; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(harper_cut(n, std::int64_t{1} << k), subcube_cut(n, k))
+          << "n = " << n << ", k = " << k;
+    }
+  }
+}
+
+TEST(HarperTest, BisectionOfQnIsHalfTheVertices) {
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(harper_cut(n, std::int64_t{1} << (n - 1)),
+              std::int64_t{1} << (n - 1));
+  }
+}
+
+TEST(HarperTest, EdgeCases) {
+  EXPECT_EQ(harper_cut(3, 0), 0);
+  EXPECT_EQ(harper_cut(3, 8), 0);  // full set
+  EXPECT_EQ(harper_cut(0, 1), 0);
+}
+
+TEST(HarperTest, Validation) {
+  EXPECT_THROW(harper_set(-1, 0), std::invalid_argument);
+  EXPECT_THROW(harper_set(3, 9), std::invalid_argument);
+  EXPECT_THROW(harper_cut(3, -1), std::invalid_argument);
+  EXPECT_THROW(subcube_cut(3, 4), std::invalid_argument);
+}
+
+// Harper's theorem itself, verified exhaustively on small cubes: the
+// initial segment minimizes the cut over all subsets of the same size.
+class HarperOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(HarperOptimality, InitialSegmentIsIsoperimetric) {
+  const int n = GetParam();
+  const topo::Graph cube = topo::make_hypercube(n);
+  for (std::int64_t t = 1; t <= cube.num_vertices() / 2; ++t) {
+    const auto brute = brute_force_isoperimetric(cube, t);
+    EXPECT_DOUBLE_EQ(static_cast<double>(harper_cut(n, t)), brute.min_cut)
+        << "n = " << n << ", t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, HarperOptimality,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace npac::iso

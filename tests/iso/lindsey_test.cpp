@@ -1,0 +1,109 @@
+// Lindsey's theorem machinery for Hamming graphs / HyperX (Section 5):
+// filling factors in descending-size order is isoperimetric, and the
+// network bisection is attained by halving the largest clique.
+#include "iso/lindsey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "iso/brute_force.hpp"
+#include "topo/hamming.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(LindseyTest, SetHasRequestedSize) {
+  const topo::Hamming h({4, 3});
+  EXPECT_EQ(lindsey_set(h, 0).size(), 0u);
+  EXPECT_EQ(lindsey_set(h, 7).size(), 7u);
+  EXPECT_EQ(lindsey_set(h, 12).size(), 12u);
+}
+
+TEST(LindseyTest, FillsLargestFactorFirst) {
+  // In K_4 x K_3 the first 4 vertices must be one full K_4 fiber.
+  const topo::Hamming h({4, 3});
+  const auto set = lindsey_set(h, 4);
+  for (const auto v : set) {
+    EXPECT_EQ(h.coord_of(v)[1], 0) << "vertex " << v;
+  }
+}
+
+TEST(LindseyTest, CutMatchesExplicitGraphCut) {
+  const topo::Hamming h({4, 3, 2});
+  const topo::Graph g = h.build_graph();
+  for (std::int64_t t = 0; t <= h.num_vertices(); ++t) {
+    const auto set = lindsey_set(h, t);
+    const auto in_set = g.indicator(set);
+    EXPECT_DOUBLE_EQ(lindsey_cut(h, t), g.cut_capacity(in_set)) << "t = " << t;
+  }
+}
+
+TEST(LindseyTest, WeightedCutUsesFactorCapacities) {
+  const topo::Hamming h({3, 2}, {1.0, 5.0});
+  const topo::Graph g = h.build_graph();
+  for (std::int64_t t = 1; t <= 3; ++t) {
+    const auto in_set = g.indicator(lindsey_set(h, t));
+    EXPECT_DOUBLE_EQ(lindsey_cut(h, t), g.cut_capacity(in_set)) << "t = " << t;
+  }
+}
+
+TEST(LindseyTest, Validation) {
+  const topo::Hamming h({3, 2});
+  EXPECT_THROW(lindsey_set(h, -1), std::invalid_argument);
+  EXPECT_THROW(lindsey_set(h, 7), std::invalid_argument);
+}
+
+TEST(HyperXBisectionTest, HalvesAnEvenFactor) {
+  // K_4 x K_3: only the even K_4 factor can be halved into two sets of
+  // N/2 = 6; that cuts 2*2 = 4 clique edges per fiber over 3 fibers = 12.
+  const topo::Hamming h({4, 3});
+  EXPECT_DOUBLE_EQ(hyperx_bisection(h), 12.0);
+}
+
+TEST(HyperXBisectionTest, MatchesBruteForceBisection) {
+  const topo::Hamming h({4, 3});
+  const topo::Graph g = h.build_graph();
+  const auto brute = brute_force_isoperimetric(g, h.num_vertices() / 2);
+  EXPECT_DOUBLE_EQ(hyperx_bisection(h), brute.min_cut);
+}
+
+TEST(HyperXBisectionTest, WeightedFactorsChangeTheChoice) {
+  // Uniform: halving K_4 costs 2*2*2 = 8, halving K_2 costs 1*1*4 = 4.
+  const topo::Hamming uniform({4, 2});
+  EXPECT_DOUBLE_EQ(hyperx_bisection(uniform), 4.0);
+  // Make the K_2 links 10x heavier: halving K_4 (2*2*2*1=8) now wins over
+  // halving K_2 (1*1*4*10=40).
+  const topo::Hamming weighted({4, 2}, {1.0, 10.0});
+  EXPECT_DOUBLE_EQ(hyperx_bisection(weighted), 8.0);
+}
+
+TEST(HyperXBisectionTest, RejectsUnsplittableGraph) {
+  EXPECT_THROW(hyperx_bisection(topo::Hamming({1, 1})), std::invalid_argument);
+  // All-odd factors admit no exact bisection along a single clique.
+  EXPECT_THROW(hyperx_bisection(topo::Hamming({3, 3})), std::invalid_argument);
+}
+
+// Lindsey's theorem verified exhaustively on small Hamming graphs.
+class LindseyOptimality
+    : public ::testing::TestWithParam<std::tuple<topo::Dims, std::int64_t>> {};
+
+TEST_P(LindseyOptimality, PrefixIsIsoperimetric) {
+  const auto& [dims, t] = GetParam();
+  const topo::Hamming h(dims);
+  const topo::Graph g = h.build_graph();
+  const auto brute = brute_force_isoperimetric(g, t);
+  EXPECT_DOUBLE_EQ(lindsey_cut(h, t), brute.min_cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallHammings, LindseyOptimality,
+    ::testing::Values(std::tuple{topo::Dims{4, 3}, 3},
+                      std::tuple{topo::Dims{4, 3}, 6},
+                      std::tuple{topo::Dims{3, 3}, 4},
+                      std::tuple{topo::Dims{5, 2}, 5},
+                      std::tuple{topo::Dims{2, 2, 2}, 4},
+                      std::tuple{topo::Dims{4, 2, 2}, 8}));
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,111 @@
+// Spectral (Fiedler) partitioning heuristic tests — the approximation
+// route Section 5 points to (Lee–Oveis Gharan–Trevisan) for topologies
+// where exact isoperimetry is unknown.
+#include "iso/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "iso/brute_force.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(FiedlerTest, VectorIsOrthogonalToConstants) {
+  const topo::Graph g = topo::make_cycle(12);
+  const auto fiedler = fiedler_vector(g);
+  ASSERT_EQ(fiedler.size(), 12u);
+  double sum = 0.0;
+  for (const double x : fiedler) sum += x;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(FiedlerTest, VectorIsNormalized) {
+  const topo::Graph g = topo::make_cycle(12);
+  const auto fiedler = fiedler_vector(g);
+  double norm = 0.0;
+  for (const double x : fiedler) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(FiedlerTest, SortsPathEndToEnd) {
+  // On a path graph the Fiedler vector is monotone along the path.
+  const topo::Graph g = topo::make_path(10);
+  const auto fiedler = fiedler_vector(g);
+  const bool increasing = fiedler.front() < fiedler.back();
+  for (std::size_t i = 1; i < fiedler.size(); ++i) {
+    if (increasing) {
+      EXPECT_GT(fiedler[i], fiedler[i - 1]) << "position " << i;
+    } else {
+      EXPECT_LT(fiedler[i], fiedler[i - 1]) << "position " << i;
+    }
+  }
+}
+
+TEST(SweepCutTest, ReturnsRequestedSize) {
+  const topo::Graph g = topo::make_cycle(10);
+  const auto cut = spectral_sweep_cut(g, 4);
+  EXPECT_EQ(cut.vertices.size(), 4u);
+}
+
+TEST(SweepCutTest, CutValueMatchesReportedVertices) {
+  const topo::Graph g = topo::Torus({4, 3}).build_graph();
+  const auto cut = spectral_sweep_cut(g, 6);
+  const auto in_set = g.indicator(cut.vertices);
+  EXPECT_DOUBLE_EQ(g.cut_capacity(in_set), cut.cut_capacity);
+}
+
+TEST(SweepCutTest, OptimalOnCycle) {
+  // The sweep cut of a cycle picks a contiguous arc: cut = 2 = optimum.
+  const topo::Graph g = topo::make_cycle(16);
+  const auto cut = spectral_sweep_cut(g, 8);
+  EXPECT_DOUBLE_EQ(cut.cut_capacity, 2.0);
+}
+
+TEST(SweepCutTest, WithinFactorOfBruteForceOnSmallTori) {
+  // Spectral sweep is a heuristic; on tiny tori it should land within 2x
+  // of the true optimum (it is exact on all of these in practice).
+  for (const topo::Dims& dims :
+       {topo::Dims{4, 3}, topo::Dims{6, 2}, topo::Dims{4, 4}}) {
+    const topo::Torus torus(dims);
+    const topo::Graph g = torus.build_graph();
+    const std::int64_t t = torus.num_vertices() / 2;
+    const auto sweep = spectral_sweep_cut(g, t);
+    const auto brute = brute_force_isoperimetric(g, t);
+    EXPECT_LE(sweep.cut_capacity, 2.0 * brute.min_cut + 1e-9)
+        << torus.to_string();
+    EXPECT_GE(sweep.cut_capacity, brute.min_cut - 1e-9) << torus.to_string();
+  }
+}
+
+TEST(BestConductanceTest, FindsBalancedCutOnDumbbell) {
+  // Two K_4 cliques joined by one edge: the best-conductance cut is one
+  // clique (cut capacity 1).
+  std::vector<topo::EdgeSpec> edges;
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  edges.push_back({3, 4});
+  const topo::Graph g = topo::Graph::from_edges(8, edges);
+  const auto cut = spectral_best_conductance_cut(g);
+  EXPECT_EQ(cut.vertices.size(), 4u);
+  EXPECT_DOUBLE_EQ(cut.cut_capacity, 1.0);
+}
+
+TEST(SpectralTest, DeterministicAcrossCalls) {
+  const topo::Graph g = topo::Torus({4, 4}).build_graph();
+  const auto a = spectral_sweep_cut(g, 8);
+  const auto b = spectral_sweep_cut(g, 8);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_DOUBLE_EQ(a.cut_capacity, b.cut_capacity);
+}
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,108 @@
+// Small-set expansion tests (Section 2's h_t(G)): the contention-bound
+// detection quantity of Ballard et al. [7] that the paper's bisection
+// analysis instantiates.
+#include "iso/sse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "iso/brute_force.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(SubsetExpansionTest, SingletonOnCycle) {
+  const topo::Graph g = topo::make_cycle(8);
+  const auto in_set = g.indicator({0});
+  // cut = 2, interior = 0 -> expansion = 2 / (0 + 2) = 1.
+  EXPECT_DOUBLE_EQ(subset_expansion(g, in_set), 1.0);
+}
+
+TEST(SubsetExpansionTest, ArcOnCycle) {
+  const topo::Graph g = topo::make_cycle(8);
+  const auto in_set = g.indicator({0, 1, 2, 3});
+  // cut = 2, interior = 3 -> 2 / (6 + 2) = 0.25.
+  EXPECT_DOUBLE_EQ(subset_expansion(g, in_set), 0.25);
+}
+
+TEST(SubsetExpansionTest, DenominatorIsVolume) {
+  // For a k-regular graph, 2|E(A,A)| + |E(A, A-bar)| = k |A| (Equation 1),
+  // so expansion = cut / (k |A|).
+  const topo::Torus torus({4, 4});
+  const topo::Graph g = torus.build_graph();
+  const auto in_set = torus.cuboid_indicator({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(subset_expansion(g, in_set), 8.0 / (4.0 * 4.0));
+}
+
+TEST(SubsetExpansionTest, RejectsEmptySet) {
+  const topo::Graph g = topo::make_cycle(4);
+  std::vector<bool> empty(4, false);
+  EXPECT_THROW(subset_expansion(g, empty), std::invalid_argument);
+}
+
+TEST(CuboidSseTest, CycleExpansionIsTwoOverVolume) {
+  // On C_n the minimal t-subset is an arc: cut 2, volume 2t.
+  const topo::Torus cycle({12});
+  for (std::int64_t t = 1; t <= 6; ++t) {
+    EXPECT_DOUBLE_EQ(cuboid_small_set_expansion(cycle, t),
+                     1.0 / static_cast<double>(t))
+        << "t = " << t;
+  }
+}
+
+TEST(CuboidSseTest, IsMonotoneNonIncreasingInT) {
+  const topo::Torus torus({6, 4, 2});
+  double previous = 1.0;
+  for (std::int64_t t = 1; t <= torus.num_vertices() / 2; ++t) {
+    const double h = cuboid_small_set_expansion(torus, t);
+    EXPECT_LE(h, previous + 1e-12) << "t = " << t;
+    previous = std::min(previous, h);
+  }
+}
+
+TEST(CuboidSseTest, MatchesBruteForceOnSmallTorus) {
+  // The paper notes the small-set expansion is attained by the bisection
+  // for the networks considered; on small tori the cuboid-restricted SSE
+  // equals the exhaustive one.
+  const topo::Torus torus({4, 4});
+  const topo::Graph g = torus.build_graph();
+  for (std::int64_t t : {4, 8}) {
+    EXPECT_DOUBLE_EQ(cuboid_small_set_expansion(torus, t),
+                     brute_force_small_set_expansion(g, t))
+        << "t = " << t;
+  }
+}
+
+TEST(CuboidSseTest, Validation) {
+  const topo::Torus torus({4, 4});
+  EXPECT_THROW(cuboid_small_set_expansion(torus, 0), std::invalid_argument);
+  EXPECT_THROW(cuboid_small_set_expansion(torus, 17), std::invalid_argument);
+  const topo::Torus edgeless({1, 1});
+  EXPECT_THROW(cuboid_small_set_expansion(edgeless, 1), std::invalid_argument);
+}
+
+TEST(BisectionExpansionTest, CycleValue) {
+  // C_n bisection: cut 2, volume 2 * (n/2) = n -> expansion 2/n.
+  EXPECT_DOUBLE_EQ(torus_bisection_expansion(topo::Torus({8})), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(torus_bisection_expansion(topo::Torus({12})), 2.0 / 12.0);
+}
+
+TEST(BisectionExpansionTest, BlueGeneFormulaAgreement) {
+  // For a Blue Gene/Q-shaped torus the bisection expansion equals
+  // (2N/L) / (degree * N/2) with N nodes and longest dimension L.
+  const topo::Torus torus({8, 4, 4, 4, 2});
+  const double n = static_cast<double>(torus.num_vertices());
+  const double expected =
+      (2.0 * n / 8.0) / (static_cast<double>(torus.degree()) * n / 2.0);
+  EXPECT_DOUBLE_EQ(torus_bisection_expansion(torus), expected);
+}
+
+TEST(BisectionExpansionTest, RejectsOddVertexCount) {
+  EXPECT_THROW(torus_bisection_expansion(topo::Torus({3, 3})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,266 @@
+// Tests for Theorem 3.1 (the paper's generalized edge-isoperimetric lower
+// bound), its cubic special case (Theorem 2.1), and the extremal cuboids of
+// Lemma 3.2.
+#include "iso/torus_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "iso/brute_force.hpp"
+#include "iso/cuboid_search.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(IntegerRootTest, PerfectPowers) {
+  EXPECT_EQ(integer_root(8, 3), 2);
+  EXPECT_EQ(integer_root(81, 4), 3);
+  EXPECT_EQ(integer_root(7, 1), 7);
+  EXPECT_EQ(integer_root(1, 5), 1);
+  EXPECT_EQ(integer_root(1024, 10), 2);
+}
+
+TEST(IntegerRootTest, NonPowersReturnNullopt) {
+  EXPECT_FALSE(integer_root(7, 2).has_value());
+  EXPECT_FALSE(integer_root(80, 4).has_value());
+  EXPECT_FALSE(integer_root(2, 3).has_value());
+}
+
+TEST(SortedDescTest, Sorts) {
+  EXPECT_EQ(sorted_desc({2, 5, 3}), (Dims{5, 3, 2}));
+  EXPECT_EQ(sorted_desc({1}), (Dims{1}));
+}
+
+TEST(TorusBoundTest, CubicCollapsesToGeneral) {
+  // Theorem 3.1 with equal dims must equal Theorem 2.1 for every t and r.
+  const int n = 4;
+  const int d = 3;
+  const Dims dims{4, 4, 4};
+  for (std::int64_t t = 1; t <= 32; ++t) {
+    const auto general = torus_isoperimetric_lower_bound(dims, t);
+    const auto cubic = cubic_isoperimetric_lower_bound(n, d, t);
+    EXPECT_NEAR(general.value, cubic.value, 1e-9) << "t = " << t;
+    EXPECT_EQ(general.arg_min_r, cubic.arg_min_r) << "t = " << t;
+  }
+}
+
+TEST(TorusBoundTest, TermFormulaAllProperCycles) {
+  // With every dimension >= 3 the weighted term is the paper's verbatim
+  // expression: r = 0 gives 2 D t^((D-1)/D).
+  const Dims dims{8, 4, 4};
+  const std::int64_t t = 8;
+  EXPECT_NEAR(torus_bound_term(dims, t, 0),
+              2.0 * 3.0 * std::pow(8.0, 2.0 / 3.0), 1e-9);
+  // r = 2: 2 * 1 * (4 * 4) * t^0 (covering the two smallest dims).
+  EXPECT_NEAR(torus_bound_term(dims, t, 2), 2.0 * 16.0, 1e-9);
+}
+
+TEST(TorusBoundTest, TermFormulaWeightsLengthTwoDims) {
+  // {8, 4, 2}: the degenerate C_2 dimension contributes weight 1 per
+  // fiber, not 2. r = 0: 3 * (2 * 2 * 1)^(1/3) * t^(2/3).
+  const Dims dims{8, 4, 2};
+  const std::int64_t t = 8;
+  EXPECT_NEAR(torus_bound_term(dims, t, 0),
+              3.0 * std::pow(4.0, 1.0 / 3.0) * std::pow(8.0, 2.0 / 3.0),
+              1e-9);
+  // r = 2: the cheapest covered pair is {4, 2} (product 8, leaving the
+  // 8-dim uncovered at weight 2): term = 1 * (8 * 2) * t^0 = 16.
+  EXPECT_NEAR(torus_bound_term(dims, t, 2), 16.0, 1e-9);
+  // r = 1: covering {2} leaves weights 2 * 2 (product 2 * 4 = 8); covering
+  // {4} leaves 2 * 1 (product 4 * 2 = 8): term = 2 * sqrt(8) * sqrt(t).
+  EXPECT_NEAR(torus_bound_term(dims, t, 1),
+              2.0 * std::sqrt(8.0) * std::sqrt(8.0), 1e-9);
+}
+
+TEST(TorusBoundTest, LengthOneDimsMustBeCovered) {
+  // {4, 1}: no cuboid leaves the length-1 dimension uncovered, so the
+  // r = 0 term (cover nothing) is vacuous (+inf) and r = 1 must cover it.
+  const Dims dims{4, 1};
+  EXPECT_TRUE(std::isinf(torus_bound_term(dims, 2, 0)));
+  // r = 1: cover {1}, leaving the 4-dim at weight 2: 1 * (1 * 2) * t^0.
+  EXPECT_NEAR(torus_bound_term(dims, 2, 1), 2.0, 1e-9);
+  EXPECT_NEAR(torus_isoperimetric_lower_bound(dims, 2).value, 2.0, 1e-9);
+}
+
+TEST(TorusBoundTest, BoundIsMinOverR) {
+  const Dims dims{8, 4, 2};
+  for (std::int64_t t = 1; t <= 32; ++t) {
+    const auto bound = torus_isoperimetric_lower_bound(dims, t);
+    double expected = torus_bound_term(dims, t, 0);
+    int expected_r = 0;
+    for (int r = 1; r < 3; ++r) {
+      const double term = torus_bound_term(dims, t, r);
+      if (term < expected) {
+        expected = term;
+        expected_r = r;
+      }
+    }
+    EXPECT_NEAR(bound.value, expected, 1e-9) << "t = " << t;
+    EXPECT_EQ(bound.arg_min_r, expected_r) << "t = " << t;
+  }
+}
+
+TEST(TorusBoundTest, RejectsInvalidArguments) {
+  EXPECT_THROW(torus_isoperimetric_lower_bound({}, 1), std::invalid_argument);
+  EXPECT_THROW(torus_isoperimetric_lower_bound({4, 4}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(torus_isoperimetric_lower_bound({4, 4}, 9),
+               std::invalid_argument);  // t > |V|/2
+  EXPECT_THROW(torus_bound_term({4, 4}, 2, 2), std::invalid_argument);
+  EXPECT_THROW(torus_bound_term({4, 4}, 2, -1), std::invalid_argument);
+}
+
+TEST(TorusBoundTest, TofuStyleSixDimensionalTorus) {
+  // Section 5 points at ToFu (K computer) as a direct application: a 6-D
+  // torus with mixed dimension lengths. The bound at the bisection equals
+  // the min-cut cuboid there, exactly as on Blue Gene/Q shapes.
+  const Dims dims{6, 4, 4, 2, 3, 2};
+  std::int64_t volume = 1;
+  for (const auto a : dims) volume *= a;
+  const auto bound = torus_isoperimetric_lower_bound(dims, volume / 2);
+  const auto bisection = min_cut_cuboid(sorted_desc(dims), volume / 2);
+  ASSERT_TRUE(bisection.has_value());
+  EXPECT_NEAR(bound.value, static_cast<double>(bisection->cut), 1e-9);
+  // 2 N / L with L = 6, all other dims wrapped.
+  EXPECT_NEAR(bound.value, 2.0 * static_cast<double>(volume) / 6.0, 1e-9);
+}
+
+TEST(TorusBoundTest, BisectionBoundOfBlueGeneFormula) {
+  // For t = |V|/2 on a torus with dominant first dimension the optimal
+  // r is D-1 and the bound is 2 * prod_{i>=2} a_i = 2 N / a_1 — the
+  // Chen et al. bisection formula the paper's Corollary 3.4 builds on.
+  const Dims dims{16, 4, 4, 4, 2};  // one Mira midplane row
+  std::int64_t volume = 1;
+  for (const auto a : dims) volume *= a;
+  const auto bound = torus_isoperimetric_lower_bound(dims, volume / 2);
+  EXPECT_NEAR(bound.value, 2.0 * volume / 16.0, 1e-6);
+}
+
+TEST(ExtremalCuboidTest, ExistsExactlyWhenRootIsIntegral) {
+  const Dims dims{8, 4, 2};
+  // r = 0, t = 8: s = 2 with D-r = 3 -> cuboid 2x2x2.
+  const auto cuboid = extremal_cuboid(dims, 8, 0);
+  ASSERT_TRUE(cuboid.has_value());
+  EXPECT_EQ(*cuboid, (Dims{2, 2, 2}));
+  // r = 0, t = 7: no integral cube root.
+  EXPECT_FALSE(extremal_cuboid(dims, 7, 0).has_value());
+}
+
+TEST(ExtremalCuboidTest, CoversSmallestDimsFirst) {
+  const Dims dims{8, 4, 2};
+  // r = 1: cover a_D = 2 fully; t = 32 -> s = sqrt(32/2) = 4.
+  const auto cuboid = extremal_cuboid(dims, 32, 1);
+  ASSERT_TRUE(cuboid.has_value());
+  EXPECT_EQ(*cuboid, (Dims{4, 4, 2}));
+}
+
+TEST(ExtremalCuboidTest, RejectsOversizedSides) {
+  // {8, 2, 1}: t = 8 with r = 0 needs side 2 in every dimension, but the
+  // length-1 dimension cannot hold it.
+  EXPECT_FALSE(extremal_cuboid({8, 2, 1}, 8, 0).has_value());
+}
+
+TEST(ExtremalCuboidTest, CutNeverUndercutsTheBound) {
+  // Every constructible S_r is a cuboid, so its cut respects the bound.
+  const Dims dims{8, 4, 2};
+  for (std::int64_t t = 1; t <= 32; ++t) {
+    const auto bound = torus_isoperimetric_lower_bound(dims, t);
+    for (int r = 0; r < 3; ++r) {
+      const auto cuboid = extremal_cuboid(dims, t, r);
+      if (!cuboid) continue;
+      EXPECT_GE(static_cast<double>(cuboid_cut(dims, *cuboid)),
+                bound.value - 1e-9)
+          << "t = " << t << ", r = " << r;
+    }
+  }
+}
+
+TEST(ExtremalCuboidTest, CutMatchesTermOnProperCycles) {
+  // Lemma 3.2: when every uncovered dimension is a proper cycle and the
+  // side is strictly interior, the closed-form cut of S_r equals the
+  // bound term for that r.
+  const Dims dims{9, 9, 3};
+  for (const auto& [t, r] : {std::pair{9, 0},   // wait: side 9^(1/3) no
+                             std::pair{27, 1},  // side sqrt(27/3) = 3
+                             std::pair{3, 2}}) {
+    const auto cuboid = extremal_cuboid(dims, t, r);
+    if (!cuboid) continue;
+    EXPECT_NEAR(static_cast<double>(cuboid_cut(dims, *cuboid)),
+                torus_bound_term(dims, t, r), 1e-9)
+        << "t = " << t << ", r = " << r;
+  }
+  // Explicit instance: S_1 in {8, 4, 2} at t = 8 covers the C_2 dimension
+  // and cuts 16 edges, exactly the r = 1 term.
+  const auto s1 = extremal_cuboid({8, 4, 2}, 8, 1);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(*s1, (Dims{2, 2, 2}));
+  EXPECT_NEAR(static_cast<double>(cuboid_cut({8, 4, 2}, *s1)),
+              torus_bound_term({8, 4, 2}, 8, 1), 1e-9);
+}
+
+TEST(ExtremalCuboidTest, BestExtremalCuboidAttainsTheBound) {
+  const Dims dims{4, 4, 2};
+  // Sizes whose S_r family realizes the bound exactly.
+  for (std::int64_t t : {8, 16}) {
+    const auto best = best_extremal_cuboid(dims, t);
+    ASSERT_TRUE(best.has_value()) << "t = " << t;
+    const auto bound = torus_isoperimetric_lower_bound(dims, t);
+    EXPECT_NEAR(static_cast<double>(cuboid_cut(dims, *best)), bound.value,
+                1e-9)
+        << "t = " << t;
+  }
+  // t = 4 has no Lemma 3.2 member; the bound stays below the best cuboid
+  // (2 x 2 x 1, cut 12) because the real-valued optimum is unattainable.
+  EXPECT_FALSE(best_extremal_cuboid(dims, 4).has_value());
+  EXPECT_LE(torus_isoperimetric_lower_bound(dims, 4).value,
+            static_cast<double>(cuboid_cut(dims, {2, 2, 1})) + 1e-9);
+}
+
+TEST(CuboidCutTest, ClosedForm) {
+  // 4x4 torus, 2x2 block: 2 dims cut, each contributing 2 edges per column
+  // of 2 vertices -> 2 * (2 + 2) = 8.
+  EXPECT_EQ(cuboid_cut({4, 4}, {2, 2}), 8);
+  // Full coverage in one dim removes its contribution.
+  EXPECT_EQ(cuboid_cut({4, 4}, {4, 2}), 8);
+  // Length-2 host dimension contributes 1 edge per column, not 2.
+  EXPECT_EQ(cuboid_cut({4, 2}, {4, 1}), 4);
+  // Full cuboid: no cut.
+  EXPECT_EQ(cuboid_cut({4, 4}, {4, 4}), 0);
+}
+
+TEST(CuboidCutTest, Validation) {
+  EXPECT_THROW(cuboid_cut({4, 4}, {2}), std::invalid_argument);
+  EXPECT_THROW(cuboid_cut({4, 4}, {5, 1}), std::invalid_argument);
+  EXPECT_THROW(cuboid_cut({4, 4}, {0, 1}), std::invalid_argument);
+}
+
+// The paper conjectures the bound holds for arbitrary subsets; on graphs
+// small enough for exhaustive search this must hold (and is a strong
+// regression check on both the bound and the brute-force oracle).
+class BoundVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<Dims, std::int64_t>> {};
+
+TEST_P(BoundVsBruteForce, LowerBoundsTheTrueMinimum) {
+  const auto& [dims, t] = GetParam();
+  const topo::Torus torus(dims);
+  const topo::Graph graph = torus.build_graph();
+  const auto brute = brute_force_isoperimetric(graph, t);
+  const auto bound = torus_isoperimetric_lower_bound(dims, t);
+  EXPECT_LE(bound.value, brute.min_cut + 1e-9)
+      << torus.to_string() << ", t = " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallTori, BoundVsBruteForce,
+    ::testing::Values(std::tuple{Dims{4, 4}, 2}, std::tuple{Dims{4, 4}, 4},
+                      std::tuple{Dims{4, 4}, 7}, std::tuple{Dims{4, 4}, 8},
+                      std::tuple{Dims{6, 3}, 5}, std::tuple{Dims{6, 3}, 9},
+                      std::tuple{Dims{4, 2, 2}, 4},
+                      std::tuple{Dims{4, 2, 2}, 8},
+                      std::tuple{Dims{3, 3, 2}, 6},
+                      std::tuple{Dims{2, 2, 2, 2}, 8}));
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,126 @@
+// Weighted edge-isoperimetry tests: closed forms vs explicit weighted
+// graph cuts, and the capacity-driven shape changes Section 5 predicts for
+// Titan-style tori.
+#include "iso/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "iso/brute_force.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+namespace {
+
+TEST(WeightedCutTest, ReducesToUnweightedWithUnitCapacities) {
+  const Dims dims{6, 4, 2};
+  const std::vector<double> unit(3, 1.0);
+  const topo::Torus torus(dims);
+  for (const Dims& len : {Dims{2, 2, 1}, Dims{3, 4, 2}, Dims{6, 2, 1}}) {
+    EXPECT_DOUBLE_EQ(weighted_cuboid_cut(dims, unit, len),
+                     static_cast<double>(torus.cuboid_cut_edges(len)))
+        << len[0] << "x" << len[1] << "x" << len[2];
+  }
+}
+
+TEST(WeightedCutTest, MatchesExplicitWeightedGraphCut) {
+  const Dims dims{4, 3, 2};
+  const std::vector<double> caps{1.0, 2.5, 4.0};
+  const topo::Graph g = topo::make_weighted_torus(dims, caps);
+  const topo::Torus shape(dims);
+  for (std::int64_t a = 1; a <= 4; ++a) {
+    for (std::int64_t b = 1; b <= 3; ++b) {
+      for (std::int64_t c = 1; c <= 2; ++c) {
+        const Dims len{a, b, c};
+        const auto in_set = shape.cuboid_indicator({0, 0, 0}, len);
+        EXPECT_DOUBLE_EQ(weighted_cuboid_cut(dims, caps, len),
+                         g.cut_capacity(in_set))
+            << a << "x" << b << "x" << c;
+      }
+    }
+  }
+}
+
+TEST(WeightedCutTest, Validation) {
+  EXPECT_THROW(weighted_cuboid_cut({4, 4}, {1.0}, {2, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_cuboid_cut({4, 4}, {1.0, -1.0}, {2, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_cuboid_cut({4, 4}, {1.0, 1.0}, {5, 1}),
+               std::invalid_argument);
+}
+
+TEST(WeightedMinCutTest, CapacityFlipsTheOptimalShape) {
+  // Unweighted 8x8 at t = 16: a 2x8 slab cutting either dimension costs
+  // the same. Make dimension-0 links 10x more expensive and the optimum
+  // must cut only dimension 1 (i.e. cover dimension 0: shape 8x2).
+  const Dims dims{8, 8};
+  const auto expensive_dim0 =
+      weighted_min_cut_cuboid(dims, {10.0, 1.0}, 16);
+  ASSERT_TRUE(expensive_dim0.has_value());
+  EXPECT_EQ(expensive_dim0->lengths, (Dims{8, 2}));
+  EXPECT_DOUBLE_EQ(expensive_dim0->cut, 2.0 * 8.0 * 1.0);
+  const auto expensive_dim1 =
+      weighted_min_cut_cuboid(dims, {1.0, 10.0}, 16);
+  ASSERT_TRUE(expensive_dim1.has_value());
+  EXPECT_EQ(expensive_dim1->lengths, (Dims{2, 8}));
+}
+
+TEST(WeightedMinCutTest, UpperBoundsBruteForceOnWeightedTorus) {
+  // With strongly unequal capacities the optimal subset can be a
+  // non-cuboid (e.g. an expensive-ring column plus a cheap stub), so the
+  // cuboid optimum is only an upper bound on the weighted isoperimetric
+  // minimum — unlike the unweighted case.
+  const Dims dims{4, 3, 2};
+  const std::vector<double> caps{1.0, 3.0, 0.5};
+  const topo::Graph g = topo::make_weighted_torus(dims, caps);
+  for (const std::int64_t t : {4, 6, 12}) {
+    const auto cuboid = weighted_min_cut_cuboid(dims, caps, t);
+    ASSERT_TRUE(cuboid.has_value());
+    const auto brute = brute_force_isoperimetric(g, t);
+    EXPECT_GE(cuboid->cut, brute.min_cut - 1e-9) << "t = " << t;
+  }
+  // With mildly unequal capacities the cuboid optimum is exact.
+  const std::vector<double> mild{1.0, 1.5, 1.0};
+  const topo::Graph mild_graph = topo::make_weighted_torus(dims, mild);
+  const auto cuboid = weighted_min_cut_cuboid(dims, mild, 12);
+  ASSERT_TRUE(cuboid.has_value());
+  EXPECT_DOUBLE_EQ(cuboid->cut,
+                   brute_force_isoperimetric(mild_graph, 12).min_cut);
+}
+
+TEST(WeightedMinCutTest, InfeasibleVolume) {
+  EXPECT_FALSE(weighted_min_cut_cuboid({4, 4}, {1.0, 1.0}, 5).has_value());
+  EXPECT_THROW(weighted_min_cut_cuboid({4, 4}, {1.0, 1.0}, 0),
+               std::invalid_argument);
+}
+
+TEST(WeightedBisectionTest, TitanStyleTorus) {
+  // A Titan-like 3-D torus with a fat dimension: cutting the cheap
+  // dimensions wins.
+  const Dims dims{8, 4, 4};
+  const std::vector<double> caps{1.0, 1.0, 4.0};
+  // Candidates: cut dim0 (4x4x4 half): 2 * 16 * 1 = 32; cut dim1
+  // (8x2x4): 2 * 32 * 1 = 64; cut dim2 (8x4x2): 2 * 32 * 4 = 256.
+  EXPECT_DOUBLE_EQ(weighted_torus_bisection(dims, caps), 32.0);
+}
+
+TEST(WeightedBisectionTest, DragonflyLocalDimensionWeights) {
+  // Dragonfly groups weight the K_6 (green) links 3x the K_16 (black)
+  // ones; a torus caricature of that ratio shows the bisection moves to
+  // the black dimension even though it is longer.
+  const Dims dims{16, 6};
+  EXPECT_DOUBLE_EQ(weighted_torus_bisection(dims, {1.0, 1.0}), 12.0);
+  EXPECT_DOUBLE_EQ(weighted_torus_bisection(dims, {1.0, 3.0}), 12.0);
+  // Make the long dimension expensive instead: cutting the short one wins.
+  EXPECT_DOUBLE_EQ(weighted_torus_bisection(dims, {10.0, 1.0}), 32.0);
+}
+
+TEST(WeightedBisectionTest, Validation) {
+  EXPECT_THROW(weighted_torus_bisection({3, 3}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,112 @@
+// Property sweeps over the Blue Gene/Q geometry layer: Corollary 3.4 as a
+// universal law over enumerated geometries, policy invariants across all
+// machines, and the 2N/L closed form against Theorem 3.1.
+#include <gtest/gtest.h>
+
+#include "bgq/policy.hpp"
+#include "iso/torus_bound.hpp"
+
+namespace npac::bgq {
+namespace {
+
+class MachineSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Machine machine_ = all_machines().at(static_cast<std::size_t>(GetParam()));
+};
+
+// Corollary 3.4: among equal-sized geometries, strictly smaller longest
+// dimension implies strictly greater bisection — for every size on every
+// machine.
+TEST_P(MachineSweep, CorollaryThreeFourHoldsEverywhere) {
+  for (const std::int64_t size : feasible_sizes(machine_)) {
+    const auto geometries = enumerate_geometries(machine_, size);
+    for (std::size_t i = 0; i < geometries.size(); ++i) {
+      for (std::size_t j = 0; j < geometries.size(); ++j) {
+        if (geometries[i][0] < geometries[j][0]) {
+          EXPECT_GT(normalized_bisection(geometries[i]),
+                    normalized_bisection(geometries[j]))
+              << geometries[i].to_string() << " vs "
+              << geometries[j].to_string();
+        }
+      }
+    }
+  }
+}
+
+// The best geometry is exactly the one minimizing the longest dimension.
+TEST_P(MachineSweep, BestGeometryMinimizesLongestDimension) {
+  for (const std::int64_t size : feasible_sizes(machine_)) {
+    const auto geometries = enumerate_geometries(machine_, size);
+    ASSERT_FALSE(geometries.empty());
+    const auto best = *best_geometry(machine_, size);
+    for (const auto& g : geometries) {
+      EXPECT_LE(best[0], g[0]) << "size " << size;
+    }
+  }
+}
+
+// Every enumerated geometry fits, has the right size, and its bisection
+// matches the Theorem 3.1 bound at the node-torus bisection.
+TEST_P(MachineSweep, ClosedFormMatchesTheoremBound) {
+  for (const std::int64_t size : feasible_sizes(machine_)) {
+    for (const auto& g : enumerate_geometries(machine_, size)) {
+      EXPECT_EQ(g.midplanes(), size);
+      EXPECT_TRUE(g.fits_in(machine_.shape));
+      const topo::Dims dims = g.node_dims();
+      const auto bound =
+          iso::torus_isoperimetric_lower_bound(dims, g.nodes() / 2);
+      EXPECT_NEAR(bound.value, static_cast<double>(normalized_bisection(g)),
+                  1e-6)
+          << g.to_string();
+    }
+  }
+}
+
+// propose_improvement is idempotent: improving an already-best geometry
+// returns nothing, and a proposed geometry is never improvable again.
+TEST_P(MachineSweep, ProposalsAreIdempotent) {
+  for (const std::int64_t size : feasible_sizes(machine_)) {
+    const auto best = *best_geometry(machine_, size);
+    EXPECT_FALSE(propose_improvement(machine_, best).has_value())
+        << best.to_string();
+    const auto worst = *worst_geometry(machine_, size);
+    if (const auto proposed = propose_improvement(machine_, worst)) {
+      EXPECT_FALSE(propose_improvement(machine_, *proposed).has_value());
+      EXPECT_GT(predicted_speedup(worst, *proposed), 1.0);
+    }
+  }
+}
+
+// Speedups come in the quantized ratios the torus structure allows; they
+// never exceed the paper's x2 for these machines.
+TEST_P(MachineSweep, SpeedupsAreBoundedByTwo) {
+  for (const std::int64_t size : feasible_sizes(machine_)) {
+    const auto worst = *worst_geometry(machine_, size);
+    const auto best = *best_geometry(machine_, size);
+    const double speedup = predicted_speedup(worst, best);
+    EXPECT_GE(speedup, 1.0);
+    EXPECT_LE(speedup, 2.0 + 1e-12) << "size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweep,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// Bisection is monotone under geometry growth: doubling any dimension of
+// a geometry never decreases the bisection.
+TEST(GeometryGrowthTest, BisectionMonotoneUnderDimensionDoubling) {
+  for (const Geometry& g :
+       {Geometry(1, 1, 1, 1), Geometry(2, 1, 1, 1), Geometry(2, 2, 1, 1),
+        Geometry(3, 2, 2, 1), Geometry(4, 2, 2, 2)}) {
+    for (std::size_t dim = 0; dim < 4; ++dim) {
+      auto dims = g.dims();
+      dims[dim] *= 2;
+      const Geometry grown(dims);
+      EXPECT_GE(normalized_bisection(grown), normalized_bisection(g))
+          << g.to_string() << " -> " << grown.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace npac::bgq

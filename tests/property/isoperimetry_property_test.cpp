@@ -1,0 +1,137 @@
+// Property sweeps over the isoperimetric machinery: Equation (1), lower
+// bounds vs exhaustive optima, tightness at extremal cuboids, and
+// monotonicity/symmetry structure — each checked across parameterized
+// families of graphs and subset sizes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "iso/brute_force.hpp"
+#include "iso/cuboid_search.hpp"
+#include "iso/torus_bound.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::iso {
+namespace {
+
+using topo::Dims;
+
+class TorusFamily : public ::testing::TestWithParam<Dims> {
+ protected:
+  topo::Torus torus_{GetParam()};
+  topo::Graph graph_ = torus_.build_graph();
+};
+
+// Equation (1): k|A| = 2|E(A,A)| + |E(A, A-bar)| for every subset of a
+// k-regular graph. Random subsets exercise it beyond cuboids.
+TEST_P(TorusFamily, EquationOneOnRandomSubsets) {
+  std::mt19937_64 rng(99);
+  const auto n = graph_.num_vertices();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> in_set(static_cast<std::size_t>(n), false);
+    std::int64_t size = 0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (rng() % 2 == 0) {
+        in_set[static_cast<std::size_t>(v)] = true;
+        ++size;
+      }
+    }
+    const auto lhs = torus_.degree() * static_cast<std::size_t>(size);
+    const auto rhs =
+        2 * graph_.interior_edges(in_set) + graph_.cut_edges(in_set);
+    EXPECT_EQ(lhs, rhs) << "trial " << trial;
+  }
+}
+
+// Theorem 3.1 (weighted form) lower-bounds every cuboid's cut, and is
+// tight at the bisection.
+TEST_P(TorusFamily, BoundHoldsForEveryCuboidAndIsTightAtBisection) {
+  const Dims dims = GetParam();
+  const std::int64_t half = torus_.num_vertices() / 2;
+  for (std::int64_t t = 1; t <= half; ++t) {
+    const auto bound = torus_isoperimetric_lower_bound(dims, t);
+    for (const auto& cuboid : enumerate_cuboids(dims, t)) {
+      EXPECT_GE(static_cast<double>(cuboid.cut), bound.value - 1e-9)
+          << "t = " << t;
+    }
+  }
+  const auto bisection = min_cut_cuboid(dims, half);
+  ASSERT_TRUE(bisection.has_value());
+  EXPECT_NEAR(static_cast<double>(bisection->cut),
+              torus_isoperimetric_lower_bound(dims, half).value, 1e-9);
+}
+
+// Perimeter symmetry: cut(S) == cut(complement of S) for cuboids.
+TEST_P(TorusFamily, CuboidCutsEqualComplementCuts) {
+  const Dims dims = GetParam();
+  const std::int64_t n = torus_.num_vertices();
+  for (std::int64_t t = 1; t < n; ++t) {
+    const auto cuboids = enumerate_cuboids(dims, t);
+    if (cuboids.empty()) continue;
+    const auto in_set = torus_.cuboid_indicator(topo::Coord(dims.size(), 0),
+                                                cuboids.front().lengths);
+    auto complement = in_set;
+    complement.flip();
+    EXPECT_EQ(graph_.cut_edges(in_set), graph_.cut_edges(complement))
+        << "t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TorusFamily,
+                         ::testing::Values(Dims{6}, Dims{4, 4}, Dims{6, 3},
+                                           Dims{4, 2, 2}, Dims{3, 3, 2},
+                                           Dims{2, 2, 2, 2}));
+
+// Brute-force cross-check: for graphs small enough to enumerate, the best
+// cuboid is globally optimal whenever a cuboid of size t exists (the
+// verified instance of the paper's conjecture).
+class ConjectureSweep : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(ConjectureSweep, ExtremalCuboidsAreGloballyOptimal) {
+  // Restricted to sizes admitting a Lemma 3.2 cuboid: for intermediate
+  // sizes the true optimum can be a non-cuboid (e.g. a ring plus a stub in
+  // the 6 x 3 torus at t = 5), which is exactly why the paper states its
+  // optimality conjecture for the extremal family.
+  const Dims dims = GetParam();
+  const topo::Torus torus(dims);
+  const topo::Graph graph = torus.build_graph();
+  for (std::int64_t t = 1; t <= torus.num_vertices() / 2; ++t) {
+    if (!best_extremal_cuboid(dims, t)) continue;
+    const auto cuboid = min_cut_cuboid(dims, t);
+    ASSERT_TRUE(cuboid.has_value());
+    const auto brute = brute_force_isoperimetric(graph, t);
+    EXPECT_DOUBLE_EQ(static_cast<double>(cuboid->cut), brute.min_cut)
+        << torus.to_string() << ", t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallShapes, ConjectureSweep,
+                         ::testing::Values(Dims{8}, Dims{4, 4}, Dims{6, 3},
+                                           Dims{4, 2, 2}, Dims{2, 2, 2, 2}));
+
+// Monotonicity of the bound in the subset size over the growth regime
+// (r = 0 dominates): larger subsets cannot have smaller boundary early on.
+TEST(BoundShapeTest, GrowsBeforeTheBisection) {
+  const Dims dims{8, 8};
+  double previous = 0.0;
+  for (std::int64_t t = 1; t <= 8; ++t) {
+    const double bound = torus_isoperimetric_lower_bound(dims, t).value;
+    EXPECT_GE(bound, previous - 1e-9) << "t = " << t;
+    previous = bound;
+  }
+}
+
+// The arg-min r is non-decreasing in t: as subsets grow they wrap more
+// dimensions.
+TEST(BoundShapeTest, ArgMinRIsMonotoneInT) {
+  const Dims dims{8, 4, 2};
+  int previous_r = 0;
+  for (std::int64_t t = 1; t <= 32; ++t) {
+    const auto bound = torus_isoperimetric_lower_bound(dims, t);
+    EXPECT_GE(bound.arg_min_r, previous_r) << "t = " << t;
+    previous_r = bound.arg_min_r;
+  }
+}
+
+}  // namespace
+}  // namespace npac::iso

@@ -1,0 +1,160 @@
+// Collective-schedule tests: phase counts, volume conservation, coverage,
+// and the equivalence between the pairwise all-to-all phases and the
+// aggregated grouped all-to-all.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "simmpi/communicator.hpp"
+
+namespace npac::simmpi {
+namespace {
+
+simnet::TorusNetwork unit_network(topo::Dims dims) {
+  simnet::NetworkOptions options;
+  options.link_bytes_per_second = 1.0;
+  return simnet::TorusNetwork(topo::Torus(std::move(dims)), options);
+}
+
+double total_bytes(const std::vector<std::vector<simnet::Flow>>& phases) {
+  double total = 0.0;
+  for (const auto& phase : phases) {
+    for (const auto& flow : phase) total += flow.bytes;
+  }
+  return total;
+}
+
+TEST(ScatterTest, PhaseCountIsCeilLogP) {
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  EXPECT_EQ(comm.scatter_phases(1.0).size(), 3u);
+  const auto net6 = unit_network({6});
+  const Communicator comm6(&net6, RankMap(6, 6));
+  EXPECT_EQ(comm6.scatter_phases(1.0).size(), 3u);  // ceil(log2 6)
+}
+
+TEST(ScatterTest, VolumeIsSumOfSubtreeForwards) {
+  // p = 8, chunk c: level strides 4, 2, 1 move 4c, 2*2c, 4*1c = 12c
+  // inter-node bytes when every rank owns a node.
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  EXPECT_DOUBLE_EQ(total_bytes(comm.scatter_phases(1.0)), 12.0);
+}
+
+TEST(ScatterTest, EveryRankIsReached) {
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  std::set<topo::VertexId> reached{0};
+  for (const auto& phase : comm.scatter_phases(1.0)) {
+    for (const auto& flow : phase) {
+      EXPECT_TRUE(reached.contains(flow.src)) << "sender " << flow.src;
+      reached.insert(flow.dst);
+    }
+  }
+  EXPECT_EQ(reached.size(), 8u);
+}
+
+TEST(ScatterTest, NonPowerOfTwoSubtreesAreTruncated) {
+  // p = 6: stride 4 forwards only ranks {4, 5} (subtree size 2, not 4).
+  const auto net = unit_network({6});
+  const Communicator comm(&net, RankMap(6, 6));
+  const auto phases = comm.scatter_phases(1.0);
+  ASSERT_FALSE(phases.empty());
+  ASSERT_EQ(phases[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(phases[0][0].bytes, 2.0);
+}
+
+TEST(GatherTest, MirrorsScatter) {
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  const auto scatter = comm.scatter_phases(2.0);
+  const auto gather = comm.gather_phases(2.0);
+  ASSERT_EQ(scatter.size(), gather.size());
+  EXPECT_DOUBLE_EQ(total_bytes(scatter), total_bytes(gather));
+  // The last gather phase is the first scatter phase reversed.
+  ASSERT_EQ(gather.back().size(), scatter.front().size());
+  EXPECT_EQ(gather.back()[0].src, scatter.front()[0].dst);
+  EXPECT_EQ(gather.back()[0].dst, scatter.front()[0].src);
+}
+
+TEST(ReduceScatterTest, HalvingSchedule) {
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  const auto phases = comm.reduce_scatter_phases(8.0);
+  ASSERT_EQ(phases.size(), 3u);
+  // Phase payloads: 4, 2, 1 per rank; 8 ranks each phase.
+  EXPECT_DOUBLE_EQ(phases[0][0].bytes, 4.0);
+  EXPECT_DOUBLE_EQ(total_bytes(phases), 8.0 * (4.0 + 2.0 + 1.0));
+}
+
+TEST(ReduceScatterTest, RequiresPowerOfTwo) {
+  const auto net = unit_network({6});
+  const Communicator comm(&net, RankMap(6, 6));
+  EXPECT_THROW(comm.reduce_scatter_phases(1.0), std::invalid_argument);
+}
+
+TEST(PairwiseAllToAllTest, PhaseCountAndVolume) {
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  const auto phases = comm.pairwise_alltoall_phases(3.0);
+  EXPECT_EQ(phases.size(), 7u);
+  EXPECT_DOUBLE_EQ(total_bytes(phases), 8.0 * 7.0 * 3.0);
+}
+
+TEST(PairwiseAllToAllTest, EachPhaseIsAPermutation) {
+  const auto net = unit_network({8});
+  const Communicator comm(&net, RankMap(8, 8));
+  for (const auto& phase : comm.pairwise_alltoall_phases(1.0)) {
+    std::set<topo::VertexId> sources;
+    std::set<topo::VertexId> destinations;
+    for (const auto& flow : phase) {
+      sources.insert(flow.src);
+      destinations.insert(flow.dst);
+    }
+    EXPECT_EQ(sources.size(), phase.size());
+    EXPECT_EQ(destinations.size(), phase.size());
+  }
+}
+
+TEST(PairwiseAllToAllTest, MatchesGroupedAllToAllVolume) {
+  // Summed over phases, the pairwise schedule moves the same inter-node
+  // bytes as the aggregated grouped all-to-all.
+  const auto net = unit_network({4, 2});
+  const Communicator comm(&net, RankMap(8, 8));
+  const double per_peer = 2.0;
+  const auto phases = comm.pairwise_alltoall_phases(per_peer);
+  const auto grouped = comm.alltoall_in_groups(8, per_peer * 7.0);
+  double grouped_total = 0.0;
+  for (const auto& flow : grouped) grouped_total += flow.bytes;
+  EXPECT_NEAR(total_bytes(phases), grouped_total, 1e-9);
+}
+
+TEST(CollectiveContentionTest, ReduceScatterBeatsNaiveGatherBroadcast) {
+  // On a ring, recursive halving moves asymptotically less data than
+  // gather + scatter of the full buffer; the simulated times agree.
+  const auto net = unit_network({16});
+  const Communicator comm(&net, RankMap(16, 16));
+  Timeline halving_timeline;
+  double halving = 0.0;
+  int index = 0;
+  for (const auto& phase : comm.reduce_scatter_phases(16.0)) {
+    halving += comm.run_phase("rs" + std::to_string(index++), phase,
+                              halving_timeline);
+  }
+  Timeline naive_timeline;
+  double naive = 0.0;
+  index = 0;
+  for (const auto& phase : comm.gather_phases(16.0)) {
+    naive += comm.run_phase("g" + std::to_string(index++), phase,
+                            naive_timeline);
+  }
+  for (const auto& phase : comm.scatter_phases(16.0)) {
+    naive += comm.run_phase("s" + std::to_string(index++), phase,
+                            naive_timeline);
+  }
+  EXPECT_LT(halving, naive);
+}
+
+}  // namespace
+}  // namespace npac::simmpi

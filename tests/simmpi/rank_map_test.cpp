@@ -1,0 +1,75 @@
+// Rank-placement tests: blocked ABCDE-order assignment with the uneven
+// tail the paper's Table 3 runs require (e.g. 31213 ranks on 2048 nodes).
+#include "simmpi/rank_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace npac::simmpi {
+namespace {
+
+TEST(RankMapTest, EvenDivision) {
+  const RankMap map(8, 4);
+  EXPECT_EQ(map.max_ranks_per_node(), 2);
+  EXPECT_DOUBLE_EQ(map.avg_ranks_per_node(), 2.0);
+  for (std::int64_t rank = 0; rank < 8; ++rank) {
+    EXPECT_EQ(map.node_of(rank), rank / 2);
+  }
+  for (std::int64_t node = 0; node < 4; ++node) {
+    EXPECT_EQ(map.ranks_on(node), 2);
+    EXPECT_EQ(map.first_rank_on(node), node * 2);
+  }
+}
+
+TEST(RankMapTest, UnevenDivisionFrontLoadsExtras) {
+  const RankMap map(7, 3);  // 3, 2, 2
+  EXPECT_EQ(map.ranks_on(0), 3);
+  EXPECT_EQ(map.ranks_on(1), 2);
+  EXPECT_EQ(map.ranks_on(2), 2);
+  EXPECT_EQ(map.first_rank_on(0), 0);
+  EXPECT_EQ(map.first_rank_on(1), 3);
+  EXPECT_EQ(map.first_rank_on(2), 5);
+  EXPECT_EQ(map.max_ranks_per_node(), 3);
+}
+
+TEST(RankMapTest, NodeOfIsConsistentWithFirstRankOn) {
+  // The paper's 4-midplane matmul run: Table 3 quotes max 16 active cores
+  // and 15.24 average cores per processor.
+  const RankMap map(31213, 2048);
+  EXPECT_EQ(map.max_ranks_per_node(), 16);
+  EXPECT_NEAR(map.avg_ranks_per_node(), 15.24, 0.01);
+}
+
+TEST(RankMapTest, FewerRanksThanNodes) {
+  const RankMap map(3, 8);
+  EXPECT_EQ(map.ranks_on(0), 1);
+  EXPECT_EQ(map.ranks_on(2), 1);
+  EXPECT_EQ(map.ranks_on(3), 0);
+  EXPECT_EQ(map.max_ranks_per_node(), 1);
+}
+
+TEST(RankMapTest, RoundTripRankToNode) {
+  const RankMap map(117649, 12288);  // 24-midplane run: 7^6 ranks
+  EXPECT_EQ(map.max_ranks_per_node(), 10);
+  for (const std::int64_t rank : {0L, 1000L, 58824L, 117648L}) {
+    const auto node = map.node_of(rank);
+    EXPECT_GE(rank, map.first_rank_on(node));
+    EXPECT_LT(rank, map.first_rank_on(node) + map.ranks_on(node));
+  }
+}
+
+TEST(RankMapTest, Validation) {
+  EXPECT_THROW(RankMap(0, 4), std::invalid_argument);
+  EXPECT_THROW(RankMap(4, 0), std::invalid_argument);
+}
+
+TEST(RankMapTest, TotalRanksAcrossNodes) {
+  const RankMap map(100, 7);
+  std::int64_t total = 0;
+  for (std::int64_t node = 0; node < 7; ++node) total += map.ranks_on(node);
+  EXPECT_EQ(total, 100);
+}
+
+}  // namespace
+}  // namespace npac::simmpi

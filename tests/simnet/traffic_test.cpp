@@ -1,0 +1,131 @@
+// Traffic-pattern generator tests: furthest-node pairing (Experiment A's
+// driver), permutations, all-to-all, and halo exchange.
+#include "simnet/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace npac::simnet {
+namespace {
+
+TEST(FurthestNodePairingTest, EveryNodeSendsToItsAntipode) {
+  const topo::Torus torus({4, 4, 2});
+  const auto flows = furthest_node_pairing(torus, 7.0);
+  ASSERT_EQ(flows.size(), static_cast<std::size_t>(torus.num_vertices()));
+  for (const Flow& flow : flows) {
+    EXPECT_EQ(flow.dst,
+              torus.index_of(torus.antipode(torus.coord_of(flow.src))));
+    EXPECT_DOUBLE_EQ(flow.bytes, 7.0);
+  }
+}
+
+TEST(FurthestNodePairingTest, PairingIsSymmetric) {
+  // On even dimensions the antipode map is an involution, so the flow set
+  // contains both directions of every unordered pair.
+  const topo::Torus torus({8, 4});
+  const auto flows = furthest_node_pairing(torus, 1.0);
+  std::set<std::pair<topo::VertexId, topo::VertexId>> seen;
+  for (const Flow& flow : flows) seen.insert({flow.src, flow.dst});
+  for (const Flow& flow : flows) {
+    EXPECT_TRUE(seen.contains({flow.dst, flow.src}))
+        << flow.src << " -> " << flow.dst;
+  }
+}
+
+TEST(FurthestNodePairingTest, SingletonTorusHasNoFlows) {
+  EXPECT_TRUE(furthest_node_pairing(topo::Torus({1, 1}), 1.0).empty());
+}
+
+TEST(FurthestNodePairingTest, DistanceIsMaximal) {
+  const topo::Torus torus({6, 4, 2});
+  const std::int64_t diameter = 3 + 2 + 1;
+  for (const Flow& flow : furthest_node_pairing(torus, 1.0)) {
+    EXPECT_EQ(torus.distance(torus.coord_of(flow.src),
+                             torus.coord_of(flow.dst)),
+              diameter);
+  }
+}
+
+TEST(RandomPermutationTest, IsAPermutation) {
+  const topo::Torus torus({4, 4});
+  const auto flows = random_permutation(torus, 1.0, 42);
+  std::set<topo::VertexId> destinations;
+  for (const Flow& flow : flows) {
+    EXPECT_NE(flow.src, flow.dst);
+    destinations.insert(flow.dst);
+  }
+  // All destinations distinct.
+  EXPECT_EQ(destinations.size(), flows.size());
+}
+
+TEST(RandomPermutationTest, DeterministicInSeed) {
+  const topo::Torus torus({4, 4});
+  const auto a = random_permutation(torus, 1.0, 7);
+  const auto b = random_permutation(torus, 1.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+  const auto c = random_permutation(torus, 1.0, 8);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].dst != c[i].dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UniformAllToAllTest, VolumeAndFanout) {
+  const topo::Torus torus({4, 2});
+  const auto flows = uniform_all_to_all(torus, 14.0);
+  EXPECT_EQ(flows.size(), 8u * 7u);
+  for (const Flow& flow : flows) {
+    EXPECT_DOUBLE_EQ(flow.bytes, 2.0);  // 14 / 7 peers
+  }
+}
+
+TEST(UniformAllToAllTest, TrivialTorus) {
+  EXPECT_TRUE(uniform_all_to_all(topo::Torus({1}), 1.0).empty());
+}
+
+TEST(HaloTest, NeighborCountMatchesDegree) {
+  const topo::Torus torus({4, 3, 2});
+  const auto flows = nearest_neighbor_halo(torus, 1.0);
+  EXPECT_EQ(flows.size(), static_cast<std::size_t>(torus.num_vertices()) *
+                              torus.degree());
+  for (const Flow& flow : flows) {
+    EXPECT_EQ(torus.distance(torus.coord_of(flow.src),
+                             torus.coord_of(flow.dst)),
+              1);
+  }
+}
+
+TEST(HaloTest, LengthTwoDimSendsOnce) {
+  // In a length-2 dimension forward and backward name the same neighbor;
+  // the halo sends only one flow to it.
+  const topo::Torus torus({2});
+  const auto flows = nearest_neighbor_halo(torus, 1.0);
+  EXPECT_EQ(flows.size(), 2u);  // one per node
+}
+
+TEST(BlockAllToAllTest, RestrictedToBlock) {
+  const auto flows = block_all_to_all(4, 3, 6.0);
+  EXPECT_EQ(flows.size(), 3u * 2u);
+  for (const Flow& flow : flows) {
+    EXPECT_GE(flow.src, 4);
+    EXPECT_LT(flow.src, 7);
+    EXPECT_GE(flow.dst, 4);
+    EXPECT_LT(flow.dst, 7);
+    EXPECT_DOUBLE_EQ(flow.bytes, 3.0);
+  }
+}
+
+TEST(BlockAllToAllTest, DegenerateBlocks) {
+  EXPECT_TRUE(block_all_to_all(0, 1, 5.0).empty());
+  EXPECT_TRUE(block_all_to_all(0, 0, 5.0).empty());
+  EXPECT_THROW(block_all_to_all(0, -1, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npac::simnet

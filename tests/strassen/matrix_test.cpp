@@ -1,0 +1,100 @@
+// Dense-matrix substrate tests: arithmetic, classical multiply, and the
+// deterministic random generator used by correctness checks.
+#include "strassen/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npac::strassen {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  const Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), 1.5);
+    }
+  }
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye.at(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, AdditionAndSubtraction) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  b.at(0, 0) = 3.0;
+  b.at(0, 1) = 4.0;
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sum.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(sum.at(1, 1), 2.0);
+  const Matrix diff = sum - b;
+  EXPECT_TRUE(diff == a);
+}
+
+TEST(MatrixTest, RandomIsDeterministicInSeed) {
+  const Matrix a = Matrix::random(4, 4, 123);
+  const Matrix b = Matrix::random(4, 4, 123);
+  const Matrix c = Matrix::random(4, 4, 124);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b.at(1, 0) = 3.5;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, a), 0.0);
+}
+
+TEST(ClassicalMultiplyTest, IdentityIsNeutral) {
+  const Matrix a = Matrix::random(5, 5, 7);
+  const Matrix product = classical_multiply(a, Matrix::identity(5));
+  EXPECT_LT(Matrix::max_abs_diff(product, a), 1e-12);
+}
+
+TEST(ClassicalMultiplyTest, KnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5.0;
+  b.at(0, 1) = 6.0;
+  b.at(1, 0) = 7.0;
+  b.at(1, 1) = 8.0;
+  const Matrix c = classical_multiply(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(ClassicalMultiplyTest, RectangularShapes) {
+  const Matrix a = Matrix::random(3, 5, 1);
+  const Matrix b = Matrix::random(5, 2, 2);
+  const Matrix c = classical_multiply(a, b);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+}
+
+TEST(ClassicalFlopsTest, TwoNCubedMinusNSquared) {
+  // n*m*k multiply-adds = 2nmk flops.
+  EXPECT_DOUBLE_EQ(classical_flops(4, 4, 4), 2.0 * 64.0);
+  EXPECT_DOUBLE_EQ(classical_flops(2, 3, 4), 2.0 * 24.0);
+}
+
+}  // namespace
+}  // namespace npac::strassen

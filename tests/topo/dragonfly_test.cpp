@@ -1,0 +1,125 @@
+// Dragonfly generator tests: group structure (K_a x K_h with weighted
+// links), the three global-link arrangements of Hastings et al. discussed
+// in Section 5, and connectivity.
+#include "topo/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace npac::topo {
+namespace {
+
+DragonflyConfig tiny_config(GlobalArrangement arrangement) {
+  DragonflyConfig cfg;
+  cfg.a = 4;
+  cfg.h = 2;
+  cfg.groups = 5;
+  cfg.global_ports = 1;
+  cfg.arrangement = arrangement;
+  return cfg;
+}
+
+TEST(DragonflyTest, GroupSize) {
+  DragonflyConfig cfg;
+  cfg.a = 16;
+  cfg.h = 6;
+  EXPECT_EQ(dragonfly_group_size(cfg), 96);  // Cray XC: 96 Aries per group
+}
+
+TEST(DragonflyTest, VertexCount) {
+  const auto cfg = tiny_config(GlobalArrangement::kAbsolute);
+  const Graph g = make_dragonfly(cfg);
+  EXPECT_EQ(g.num_vertices(), cfg.groups * cfg.a * cfg.h);
+}
+
+TEST(DragonflyTest, IntraGroupEdgeCount) {
+  // Per group: h cliques K_a plus a cliques K_h.
+  auto cfg = tiny_config(GlobalArrangement::kAbsolute);
+  cfg.groups = 2;
+  cfg.global_ports = 1;
+  const Graph g = make_dragonfly(cfg);
+  const std::size_t intra_per_group =
+      static_cast<std::size_t>(cfg.h * cfg.a * (cfg.a - 1) / 2 +
+                               cfg.a * cfg.h * (cfg.h - 1) / 2);
+  // Total = intra + globals; globals >= 1 connects the 2 groups.
+  EXPECT_GT(g.num_edges(), 2 * intra_per_group);
+}
+
+TEST(DragonflyTest, WeightedLinkCapacities) {
+  const auto cfg = tiny_config(GlobalArrangement::kAbsolute);
+  const Graph g = make_dragonfly(cfg);
+  // Router 0 and 1 share a K_a (black, capacity 1) link.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  // Router 0 and a (first router of second chassis column) share a K_h
+  // (green, capacity 3) link.
+  EXPECT_TRUE(g.has_edge(0, cfg.a));
+  double cap_0_1 = 0.0;
+  double cap_0_a = 0.0;
+  for (const Arc& arc : g.neighbors(0)) {
+    if (arc.to == 1) cap_0_1 = arc.capacity;
+    if (arc.to == cfg.a) cap_0_a = arc.capacity;
+  }
+  EXPECT_DOUBLE_EQ(cap_0_1, cfg.cap_a);
+  EXPECT_DOUBLE_EQ(cap_0_a, cfg.cap_h);
+}
+
+class DragonflyArrangementSweep
+    : public ::testing::TestWithParam<GlobalArrangement> {};
+
+TEST_P(DragonflyArrangementSweep, GraphIsConnected) {
+  const Graph g = make_dragonfly(tiny_config(GetParam()));
+  EXPECT_EQ(g.connected_components(), 1u);
+}
+
+TEST_P(DragonflyArrangementSweep, EveryGroupPairIsLinked) {
+  const auto cfg = tiny_config(GetParam());
+  const Graph g = make_dragonfly(cfg);
+  const std::int64_t gs = dragonfly_group_size(cfg);
+  // Count global edges between each pair of groups.
+  for (std::int64_t g1 = 0; g1 < cfg.groups; ++g1) {
+    for (std::int64_t g2 = g1 + 1; g2 < cfg.groups; ++g2) {
+      int links = 0;
+      for (std::int64_t r = 0; r < gs; ++r) {
+        const VertexId u = g1 * gs + r;
+        for (const Arc& arc : g.neighbors(u)) {
+          if (arc.to / gs == g2) ++links;
+        }
+      }
+      EXPECT_GE(links, 1) << "groups " << g1 << " and " << g2;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arrangements, DragonflyArrangementSweep,
+                         ::testing::Values(GlobalArrangement::kAbsolute,
+                                           GlobalArrangement::kRelative,
+                                           GlobalArrangement::kCirculant));
+
+TEST(DragonflyTest, RejectsInvalidConfig) {
+  DragonflyConfig cfg;
+  cfg.groups = 1;
+  EXPECT_THROW(make_dragonfly(cfg), std::invalid_argument);
+  cfg = DragonflyConfig{};
+  cfg.a = 0;
+  EXPECT_THROW(make_dragonfly(cfg), std::invalid_argument);
+}
+
+TEST(DragonflyTest, RejectsTooFewGlobalPorts) {
+  DragonflyConfig cfg;
+  cfg.a = 1;
+  cfg.h = 1;
+  cfg.groups = 10;  // 1 port slot can't reach 9 peer groups
+  cfg.global_ports = 1;
+  EXPECT_THROW(make_dragonfly(cfg), std::invalid_argument);
+}
+
+TEST(DragonflyTest, CrayXcScaleConfigBuilds) {
+  DragonflyConfig cfg;  // defaults: a=16, h=6, 9 groups
+  const Graph g = make_dragonfly(cfg);
+  EXPECT_EQ(g.num_vertices(), 9 * 96);
+  EXPECT_EQ(g.connected_components(), 1u);
+}
+
+}  // namespace
+}  // namespace npac::topo

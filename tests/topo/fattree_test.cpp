@@ -1,0 +1,108 @@
+// Fat-tree generator tests: Clos structure counts, connectivity, and the
+// property Section 5 leans on — host-set cuts don't depend on which hosts
+// you pick, so partition geometry has nothing to optimize.
+#include "topo/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace npac::topo {
+namespace {
+
+TEST(FatTreeTest, CountsForK4) {
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  EXPECT_EQ(fat_tree_hosts(cfg), 16);
+  EXPECT_EQ(fat_tree_switches(cfg), 16 + 4);  // 8 edge + 8 agg + 4 core
+  const Graph g = make_fat_tree(cfg);
+  EXPECT_EQ(g.num_vertices(), 36);
+  // Links: 16 host + 4 pods * 4 (edge-agg) + 4 pods * 4 (agg-core).
+  EXPECT_EQ(g.num_edges(), 16u + 16u + 16u);
+}
+
+TEST(FatTreeTest, CountsScaleAsKCubed) {
+  for (const std::int64_t k : {2, 4, 6, 8}) {
+    FatTreeConfig cfg;
+    cfg.k = k;
+    EXPECT_EQ(fat_tree_hosts(cfg), k * k * k / 4);
+    const Graph g = make_fat_tree(cfg);
+    EXPECT_EQ(g.num_vertices(), fat_tree_hosts(cfg) + fat_tree_switches(cfg));
+    EXPECT_EQ(g.connected_components(), 1u);
+  }
+}
+
+TEST(FatTreeTest, HostsHaveDegreeOne) {
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const Graph g = make_fat_tree(cfg);
+  for (std::int64_t h = 0; h < fat_tree_hosts(cfg); ++h) {
+    EXPECT_EQ(g.degree(fat_tree_host(cfg, h)), 1u);
+  }
+}
+
+TEST(FatTreeTest, SwitchesHaveRadixK) {
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const Graph g = make_fat_tree(cfg);
+  // Edge and aggregation switches use all k ports; core switches use k
+  // (one per pod).
+  for (VertexId v = fat_tree_hosts(cfg); v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), static_cast<std::size_t>(cfg.k)) << "switch " << v;
+  }
+}
+
+TEST(FatTreeTest, HostDiameterIsSix) {
+  // host - edge - agg - core - agg - edge - host.
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const Graph g = make_fat_tree(cfg);
+  const auto dist = g.bfs_distances(fat_tree_host(cfg, 0));
+  std::int64_t max_host_distance = 0;
+  for (std::int64_t h = 0; h < fat_tree_hosts(cfg); ++h) {
+    max_host_distance = std::max(max_host_distance,
+                                 dist[static_cast<std::size_t>(h)]);
+  }
+  EXPECT_EQ(max_host_distance, 6);
+}
+
+TEST(FatTreeTest, HostCutsAreShapeIndependent) {
+  // Any set of hosts cuts exactly |S| host links (hosts are leaves), so —
+  // unlike a torus — *which* hosts a job gets cannot change its boundary.
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const Graph g = make_fat_tree(cfg);
+  const std::vector<std::vector<VertexId>> host_sets = {
+      {0, 1, 2, 3},      // one edge switch's hosts
+      {0, 4, 8, 12},     // spread across pods
+      {0, 5, 10, 15},    // diagonal
+  };
+  for (const auto& hosts : host_sets) {
+    EXPECT_DOUBLE_EQ(g.cut_capacity(g.indicator(hosts)), 4.0);
+  }
+}
+
+TEST(FatTreeTest, Validation) {
+  FatTreeConfig cfg;
+  cfg.k = 3;
+  EXPECT_THROW(make_fat_tree(cfg), std::invalid_argument);
+  cfg.k = 0;
+  EXPECT_THROW(make_fat_tree(cfg), std::invalid_argument);
+  cfg.k = 4;
+  cfg.link_capacity = 0.0;
+  EXPECT_THROW(make_fat_tree(cfg), std::invalid_argument);
+  cfg.link_capacity = 1.0;
+  EXPECT_THROW(fat_tree_host(cfg, 16), std::out_of_range);
+}
+
+TEST(FatTreeTest, LinkCapacityApplies) {
+  FatTreeConfig cfg;
+  cfg.k = 2;
+  cfg.link_capacity = 2.5;
+  const Graph g = make_fat_tree(cfg);
+  EXPECT_DOUBLE_EQ(g.degree_capacity(0), 2.5);  // host uplink
+}
+
+}  // namespace
+}  // namespace npac::topo

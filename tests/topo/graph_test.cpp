@@ -1,0 +1,164 @@
+// Unit tests for the CSR graph substrate: construction, adjacency, cut and
+// interior queries, Equation (1) of the paper, and traversal helpers.
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topo/torus.hpp"
+
+namespace npac::topo {
+namespace {
+
+Graph triangle() {
+  return Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(GraphTest, EmptyGraphHasNoEdges) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.total_capacity(), 0.0);
+}
+
+TEST(GraphTest, TriangleBasicQueries) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_capacity(), 3.0);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+    EXPECT_DOUBLE_EQ(g.degree_capacity(v), 2.0);
+  }
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_capacity_regular());
+}
+
+TEST(GraphTest, NeighborsListEachEdgeOncePerEndpoint) {
+  const Graph g = triangle();
+  const auto adjacency = g.neighbors(0);
+  ASSERT_EQ(adjacency.size(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsNegativeCapacity) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1, -1.0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, ParallelEdgesAreCountedSeparately) {
+  const Graph g = Graph::from_edges(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.total_capacity(), 2.0);
+}
+
+TEST(GraphTest, CutOfSingletonEqualsDegreeCapacity) {
+  const Graph g = triangle();
+  const auto in_set = g.indicator({0});
+  EXPECT_DOUBLE_EQ(g.cut_capacity(in_set), 2.0);
+  EXPECT_EQ(g.cut_edges(in_set), 2u);
+  EXPECT_DOUBLE_EQ(g.interior_capacity(in_set), 0.0);
+}
+
+TEST(GraphTest, CutOfFullSetIsZero) {
+  const Graph g = triangle();
+  const auto in_set = g.indicator({0, 1, 2});
+  EXPECT_DOUBLE_EQ(g.cut_capacity(in_set), 0.0);
+  EXPECT_DOUBLE_EQ(g.interior_capacity(in_set), 3.0);
+}
+
+TEST(GraphTest, CutIsSymmetricUnderComplement) {
+  const Graph g = make_cycle(8);
+  auto in_set = g.indicator({0, 1, 2});
+  auto complement = in_set;
+  complement.flip();
+  EXPECT_DOUBLE_EQ(g.cut_capacity(in_set), g.cut_capacity(complement));
+  EXPECT_EQ(g.cut_edges(in_set), g.cut_edges(complement));
+}
+
+TEST(GraphTest, WeightedCutUsesCapacities) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 2.5}, {1, 2, 4.0}, {2, 0, 1.0}});
+  const auto in_set = g.indicator({1});
+  EXPECT_DOUBLE_EQ(g.cut_capacity(in_set), 6.5);
+  EXPECT_EQ(g.cut_edges(in_set), 2u);
+}
+
+// Equation (1) of the paper: k|A| = 2|E(A,A)| + |E(A, A-bar)| for k-regular
+// graphs.
+TEST(GraphTest, EquationOneHoldsOnCycle) {
+  const Graph g = make_cycle(10);  // 2-regular
+  for (int size = 1; size <= 5; ++size) {
+    std::vector<VertexId> vertices;
+    for (VertexId v = 0; v < size; ++v) vertices.push_back(v);
+    const auto in_set = g.indicator(vertices);
+    EXPECT_EQ(2 * static_cast<std::size_t>(size),
+              2 * g.interior_edges(in_set) + g.cut_edges(in_set))
+        << "size " << size;
+  }
+}
+
+TEST(GraphTest, IndicatorRejectsDuplicates) {
+  const Graph g = triangle();
+  EXPECT_THROW(g.indicator({0, 0}), std::invalid_argument);
+  EXPECT_THROW(g.indicator({5}), std::out_of_range);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  EXPECT_EQ(triangle().connected_components(), 1u);
+  const Graph two = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(two.connected_components(), 2u);
+  const Graph isolated = Graph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(isolated.connected_components(), 2u);
+}
+
+TEST(GraphTest, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = g.bfs_distances(0);
+  ASSERT_EQ(dist.size(), 5u);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(GraphTest, BfsDistanceUnreachableIsMinusOne) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(GraphTest, DiameterOfCycle) {
+  EXPECT_EQ(make_cycle(8).diameter(), 4);
+  EXPECT_EQ(make_cycle(9).diameter(), 4);
+  EXPECT_EQ(make_path(6).diameter(), 5);
+}
+
+TEST(GraphTest, DiameterOfDisconnectedGraphIsMinusOne) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(g.diameter(), -1);
+}
+
+TEST(GraphTest, IsRegularDetectsIrregularity) {
+  const Graph g = make_path(4);  // endpoints have degree 1
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(GraphTest, CapacityRegularityDependsOnWeights) {
+  // 4-cycle with one heavy edge: degree-regular but not capacity-regular.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 2.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_FALSE(g.is_capacity_regular());
+}
+
+}  // namespace
+}  // namespace npac::topo

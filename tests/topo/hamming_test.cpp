@@ -1,0 +1,99 @@
+// Hamming graph (Cartesian product of cliques) tests — the HyperX network
+// model of Section 5, including per-factor link capacities.
+#include "topo/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topo/hypercube.hpp"
+
+namespace npac::topo {
+namespace {
+
+TEST(HammingTest, CliqueIsOneFactorHamming) {
+  const Graph direct = make_clique(5);
+  const Graph product = Hamming({5}).build_graph();
+  EXPECT_EQ(direct.num_vertices(), 5);
+  EXPECT_EQ(direct.num_edges(), 10u);
+  EXPECT_EQ(product.num_edges(), 10u);
+}
+
+TEST(HammingTest, VertexAndEdgeCounts) {
+  // H(a, b): a*b vertices; each vertex has degree (a-1) + (b-1).
+  const Hamming h({4, 3});
+  EXPECT_EQ(h.num_vertices(), 12);
+  EXPECT_EQ(h.degree(), 5u);
+  const Graph g = h.build_graph();
+  EXPECT_EQ(g.num_edges(), 12u * 5u / 2u);
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(HammingTest, AdjacentIffDifferInExactlyOneCoordinate) {
+  const Hamming h({3, 4});
+  const Graph g = h.build_graph();
+  for (VertexId u = 0; u < h.num_vertices(); ++u) {
+    for (VertexId v = 0; v < h.num_vertices(); ++v) {
+      if (u == v) continue;
+      const Coord cu = h.coord_of(u);
+      const Coord cv = h.coord_of(v);
+      int differing = 0;
+      for (std::size_t i = 0; i < cu.size(); ++i) {
+        if (cu[i] != cv[i]) ++differing;
+      }
+      EXPECT_EQ(g.has_edge(u, v), differing == 1) << u << " vs " << v;
+    }
+  }
+}
+
+TEST(HammingTest, IndexCoordRoundTrip) {
+  const Hamming h({4, 3, 2});
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_EQ(h.index_of(h.coord_of(v)), v);
+  }
+}
+
+TEST(HammingTest, HammingOfTwosIsHypercube) {
+  const Graph cube = make_hypercube(4);
+  const Graph hamming = Hamming({2, 2, 2, 2}).build_graph();
+  EXPECT_EQ(hamming.num_vertices(), cube.num_vertices());
+  EXPECT_EQ(hamming.num_edges(), cube.num_edges());
+}
+
+TEST(HammingTest, PerFactorCapacities) {
+  // Dragonfly-style group: K_16 x K_6 with capacities 1 and 3.
+  const Hamming h({16, 6}, {1.0, 3.0});
+  const Graph g = h.build_graph();
+  // Each vertex: 15 edges of cap 1 and 5 edges of cap 3.
+  EXPECT_DOUBLE_EQ(g.degree_capacity(0), 15.0 + 15.0);
+  EXPECT_TRUE(g.is_capacity_regular());
+}
+
+TEST(HammingTest, CapacityCountMustMatchFactors) {
+  EXPECT_THROW(Hamming({3, 3}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Hamming({3}, {-1.0}), std::invalid_argument);
+}
+
+TEST(HammingTest, RejectsInvalidFactors) {
+  EXPECT_THROW(Hamming({}), std::invalid_argument);
+  EXPECT_THROW(Hamming({0}), std::invalid_argument);
+}
+
+TEST(HammingTest, SizeOneFactorsAddNothing) {
+  const Graph a = Hamming({4, 1}).build_graph();
+  const Graph b = make_clique(4);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(HammingTest, DiameterIsNumberOfNontrivialFactors) {
+  EXPECT_EQ(Hamming({4, 3}).build_graph().diameter(), 2);
+  EXPECT_EQ(Hamming({5, 4, 3}).build_graph().diameter(), 3);
+  EXPECT_EQ(Hamming({5, 1}).build_graph().diameter(), 1);
+}
+
+TEST(HammingTest, CliqueRejectsInvalidSize) {
+  EXPECT_THROW(make_clique(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npac::topo

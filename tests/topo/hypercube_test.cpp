@@ -1,0 +1,85 @@
+// Hypercube generator tests: Q_n structure and its equivalence to the
+// [2]^n torus (the degenerate length-2 dimension convention makes these the
+// same graph, which is what lets Lemma 3.2 fall back to Harper's theorem).
+#include "topo/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topo/torus.hpp"
+
+namespace npac::topo {
+namespace {
+
+TEST(HypercubeTest, SmallCubes) {
+  EXPECT_EQ(make_hypercube(0).num_vertices(), 1);
+  EXPECT_EQ(make_hypercube(0).num_edges(), 0u);
+  EXPECT_EQ(make_hypercube(1).num_edges(), 1u);  // K_2
+  EXPECT_EQ(make_hypercube(2).num_edges(), 4u);  // C_4
+  EXPECT_EQ(make_hypercube(3).num_edges(), 12u);
+}
+
+TEST(HypercubeTest, QnHasNTimesTwoToNMinusOneEdges) {
+  for (int n = 1; n <= 10; ++n) {
+    const Graph g = make_hypercube(n);
+    EXPECT_EQ(g.num_vertices(), std::int64_t{1} << n);
+    EXPECT_EQ(g.num_edges(),
+              static_cast<std::size_t>(n) * (std::size_t{1} << (n - 1)));
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.degree(0), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(HypercubeTest, NeighborsDifferInOneBit) {
+  const Graph g = make_hypercube(4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& arc : g.neighbors(v)) {
+      EXPECT_EQ(popcount64(static_cast<std::uint64_t>(v ^ arc.to)), 1);
+    }
+  }
+}
+
+TEST(HypercubeTest, DiameterIsN) {
+  for (int n = 1; n <= 6; ++n) {
+    EXPECT_EQ(make_hypercube(n).diameter(), n);
+  }
+}
+
+TEST(HypercubeTest, MatchesTwoPowerTorus) {
+  // Q_n == the torus [2]^n under the single-edge C_2 convention.
+  for (int n = 1; n <= 5; ++n) {
+    const Graph cube = make_hypercube(n);
+    const Graph torus = Torus(Dims(static_cast<std::size_t>(n), 2)).build_graph();
+    ASSERT_EQ(cube.num_vertices(), torus.num_vertices());
+    EXPECT_EQ(cube.num_edges(), torus.num_edges());
+    for (VertexId v = 0; v < cube.num_vertices(); ++v) {
+      for (const Arc& arc : cube.neighbors(v)) {
+        EXPECT_TRUE(torus.has_edge(v, arc.to));
+      }
+    }
+  }
+}
+
+TEST(HypercubeTest, RejectsOutOfRangeDimension) {
+  EXPECT_THROW(make_hypercube(-1), std::invalid_argument);
+  EXPECT_THROW(make_hypercube(31), std::invalid_argument);
+}
+
+TEST(HypercubeTest, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(0xFF), 8);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+}
+
+TEST(HypercubeTest, BisectionIsHalfTheVertices) {
+  // The minimal bisection of Q_n is 2^(n-1) (Harper): a subcube face.
+  const Graph g = make_hypercube(5);
+  std::vector<VertexId> half;
+  for (VertexId v = 0; v < 16; ++v) half.push_back(v);  // fixed top bit
+  EXPECT_EQ(g.cut_edges(g.indicator(half)), 16u);
+}
+
+}  // namespace
+}  // namespace npac::topo

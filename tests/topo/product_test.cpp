@@ -1,0 +1,77 @@
+// Cartesian product combinator tests: the algebra behind tori (products of
+// cycles), Hamming graphs (products of cliques) and hypercubes (products of
+// K_2) all has to agree with the direct generators.
+#include "topo/product.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/hamming.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::topo {
+namespace {
+
+TEST(ProductTest, VertexAndEdgeCounts) {
+  const Graph g = cartesian_product(make_cycle(4), make_cycle(3));
+  EXPECT_EQ(g.num_vertices(), 12);
+  // |E(GxH)| = |V(G)||E(H)| + |V(H)||E(G)| = 4*3 + 3*4 = 24.
+  EXPECT_EQ(g.num_edges(), 24u);
+}
+
+TEST(ProductTest, ProductOfCyclesIsTorus) {
+  const Graph product = cartesian_product(make_cycle(4), make_cycle(3));
+  const Graph torus = Torus({4, 3}).build_graph();
+  ASSERT_EQ(product.num_vertices(), torus.num_vertices());
+  EXPECT_EQ(product.num_edges(), torus.num_edges());
+  // Same adjacency under the shared mixed-radix vertex numbering (first
+  // factor varies fastest in both).
+  for (VertexId v = 0; v < product.num_vertices(); ++v) {
+    for (const Arc& arc : product.neighbors(v)) {
+      EXPECT_TRUE(torus.has_edge(v, arc.to)) << v << " -> " << arc.to;
+    }
+  }
+}
+
+TEST(ProductTest, ProductOfK2sIsHypercube) {
+  Graph g = make_clique(2);
+  for (int i = 1; i < 4; ++i) g = cartesian_product(g, make_clique(2));
+  const Graph cube = make_hypercube(4);
+  EXPECT_EQ(g.num_vertices(), cube.num_vertices());
+  EXPECT_EQ(g.num_edges(), cube.num_edges());
+}
+
+TEST(ProductTest, ProductOfCliquesIsHamming) {
+  const Graph product = cartesian_product(make_clique(4), make_clique(3));
+  const Graph hamming = Hamming({4, 3}).build_graph();
+  EXPECT_EQ(product.num_vertices(), hamming.num_vertices());
+  EXPECT_EQ(product.num_edges(), hamming.num_edges());
+}
+
+TEST(ProductTest, PreservesRegularity) {
+  const Graph g = cartesian_product(make_cycle(5), make_clique(4));
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), 2u + 3u);
+}
+
+TEST(ProductTest, ProductWithSingletonIsIsomorphicCopy) {
+  const Graph single = Graph::from_edges(1, {});
+  const Graph g = cartesian_product(make_cycle(5), single);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 5u);
+}
+
+TEST(ProductTest, CapacitiesCarryOver) {
+  const Graph heavy = make_clique(3, 2.5);
+  const Graph g = cartesian_product(heavy, make_clique(2, 1.0));
+  // Vertex degree capacity: two K_3 edges at 2.5 plus one K_2 edge at 1.0.
+  EXPECT_DOUBLE_EQ(g.degree_capacity(0), 2 * 2.5 + 1.0);
+}
+
+TEST(ProductTest, DiameterAdds) {
+  const Graph g = cartesian_product(make_cycle(6), make_cycle(4));
+  EXPECT_EQ(g.diameter(), 3 + 2);
+}
+
+}  // namespace
+}  // namespace npac::topo

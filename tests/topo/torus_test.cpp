@@ -1,0 +1,213 @@
+// Unit + property tests for the torus generator: coordinate arithmetic,
+// edge counts, the length-2 dimension convention, cuboid cut closed forms
+// vs explicit graph cuts, and the antipode map used by Experiment A.
+#include "topo/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace npac::topo {
+namespace {
+
+TEST(TorusTest, VertexCountIsProductOfDims) {
+  EXPECT_EQ(Torus({4, 3, 2}).num_vertices(), 24);
+  EXPECT_EQ(Torus({5}).num_vertices(), 5);
+  EXPECT_EQ(Torus({1, 1, 1}).num_vertices(), 1);
+}
+
+TEST(TorusTest, RejectsInvalidDims) {
+  EXPECT_THROW(Torus({0}), std::invalid_argument);
+  EXPECT_THROW(Torus({4, -1}), std::invalid_argument);
+  EXPECT_THROW(Torus({}), std::invalid_argument);
+}
+
+TEST(TorusTest, IndexCoordRoundTrip) {
+  const Torus t({4, 3, 2});
+  for (VertexId v = 0; v < t.num_vertices(); ++v) {
+    EXPECT_EQ(t.index_of(t.coord_of(v)), v);
+  }
+}
+
+TEST(TorusTest, IndexOfRejectsOutOfRange) {
+  const Torus t({4, 3});
+  EXPECT_THROW(t.index_of({4, 0}), std::out_of_range);
+  EXPECT_THROW(t.index_of({0, -1}), std::out_of_range);
+  EXPECT_THROW(t.index_of({0}), std::invalid_argument);
+}
+
+TEST(TorusTest, DegreeConvention) {
+  // Length >= 3 contributes 2, length 2 contributes 1, length 1 nothing.
+  EXPECT_EQ(Torus({5, 4, 3}).degree(), 6u);
+  EXPECT_EQ(Torus({4, 2}).degree(), 3u);
+  EXPECT_EQ(Torus({2, 2, 2}).degree(), 3u);
+  EXPECT_EQ(Torus({7, 1, 1}).degree(), 2u);
+}
+
+TEST(TorusTest, ExpectedEdgesMatchesBuiltGraph) {
+  for (const Dims& dims :
+       {Dims{4}, Dims{2}, Dims{3, 2}, Dims{4, 4, 2}, Dims{5, 3, 1}, Dims{2, 2}}) {
+    const Torus t(dims);
+    const Graph g = t.build_graph();
+    EXPECT_EQ(g.num_edges(), t.expected_num_edges()) << t.to_string();
+    EXPECT_EQ(g.num_vertices(), t.num_vertices());
+    EXPECT_TRUE(g.is_regular()) << t.to_string();
+    EXPECT_EQ(g.degree(0), t.degree()) << t.to_string();
+  }
+}
+
+TEST(TorusTest, LengthTwoDimensionIsSingleEdge) {
+  // C_2 degenerates to one edge: the 1-D torus of length 2 is K_2.
+  const Graph g = Torus({2}).build_graph();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(TorusTest, BlueGeneMidplaneGraphShape) {
+  // A midplane is a 4x4x4x4x2 torus of 512 nodes with degree 9 (paper
+  // Section 2: 4 proper cycles + the internal E dimension).
+  const Torus midplane({4, 4, 4, 4, 2});
+  EXPECT_EQ(midplane.num_vertices(), 512);
+  EXPECT_EQ(midplane.degree(), 9u);
+  const Graph g = midplane.build_graph();
+  EXPECT_EQ(g.num_edges(), 512u * 9u / 2u);
+}
+
+TEST(TorusTest, DistanceIsSumOfRingDistances) {
+  const Torus t({6, 4});
+  EXPECT_EQ(t.distance({0, 0}, {3, 2}), 5);
+  EXPECT_EQ(t.distance({0, 0}, {5, 0}), 1);  // wraparound
+  EXPECT_EQ(t.distance({1, 1}, {1, 1}), 0);
+  EXPECT_EQ(t.distance({0, 3}, {0, 0}), 1);  // wraparound in dim 1
+}
+
+TEST(TorusTest, DistanceMatchesBfsOnSmallTorus) {
+  const Torus t({4, 3, 2});
+  const Graph g = t.build_graph();
+  const auto dist = g.bfs_distances(0);
+  for (VertexId v = 0; v < t.num_vertices(); ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)],
+              t.distance(t.coord_of(0), t.coord_of(v)))
+        << "vertex " << v;
+  }
+}
+
+TEST(TorusTest, AntipodeIsAtMaximalDistance) {
+  const Torus t({6, 4, 2});
+  const Coord origin{0, 0, 0};
+  const Coord far = t.antipode(origin);
+  const std::int64_t far_distance = t.distance(origin, far);
+  for (VertexId v = 0; v < t.num_vertices(); ++v) {
+    EXPECT_LE(t.distance(origin, t.coord_of(v)), far_distance);
+  }
+  EXPECT_EQ(far_distance, 3 + 2 + 1);
+}
+
+TEST(TorusTest, AntipodeIsInvolutionOnEvenDims) {
+  const Torus t({8, 4, 2});
+  for (VertexId v = 0; v < t.num_vertices(); ++v) {
+    const Coord c = t.coord_of(v);
+    EXPECT_EQ(t.antipode(t.antipode(c)), c);
+  }
+}
+
+TEST(TorusTest, CanonicalDimsAreSortedDescending) {
+  EXPECT_EQ(Torus({2, 5, 3}).canonical_dims(), (Dims{5, 3, 2}));
+  EXPECT_EQ(Torus({1, 1, 4}).canonical_dims(), (Dims{4, 1, 1}));
+}
+
+TEST(TorusTest, ToStringFormat) {
+  EXPECT_EQ(Torus({4, 3, 2}).to_string(), "4 x 3 x 2");
+}
+
+TEST(TorusTest, CuboidIndicatorCountsVertices) {
+  const Torus t({4, 4});
+  const auto in_set = t.cuboid_indicator({0, 0}, {2, 3});
+  std::int64_t count = 0;
+  for (const bool b : in_set) count += b ? 1 : 0;
+  EXPECT_EQ(count, 6);
+}
+
+TEST(TorusTest, CuboidIndicatorWrapsAround) {
+  const Torus t({4});
+  const auto in_set = t.cuboid_indicator({3}, {2});  // {3, 0}
+  EXPECT_TRUE(in_set[3]);
+  EXPECT_TRUE(in_set[0]);
+  EXPECT_FALSE(in_set[1]);
+  EXPECT_FALSE(in_set[2]);
+}
+
+TEST(TorusTest, CuboidCutClosedFormMatchesGraphCut) {
+  const Torus t({5, 4, 2});
+  const Graph g = t.build_graph();
+  for (std::int64_t a = 1; a <= 5; ++a) {
+    for (std::int64_t b = 1; b <= 4; ++b) {
+      for (std::int64_t c = 1; c <= 2; ++c) {
+        const Dims len{a, b, c};
+        const auto in_set = t.cuboid_indicator({0, 0, 0}, len);
+        EXPECT_EQ(t.cuboid_cut_edges(len),
+                  static_cast<std::int64_t>(g.cut_edges(in_set)))
+            << a << "x" << b << "x" << c;
+      }
+    }
+  }
+}
+
+TEST(TorusTest, CuboidCutIsPositionIndependent) {
+  const Torus t({5, 4});
+  const Graph g = t.build_graph();
+  const Dims len{3, 2};
+  const std::size_t reference =
+      g.cut_edges(t.cuboid_indicator({0, 0}, len));
+  for (std::int64_t x = 0; x < 5; ++x) {
+    for (std::int64_t y = 0; y < 4; ++y) {
+      EXPECT_EQ(g.cut_edges(t.cuboid_indicator({x, y}, len)), reference)
+          << "offset " << x << "," << y;
+    }
+  }
+}
+
+TEST(TorusTest, MeshHasNoWraparound) {
+  const Graph mesh = make_mesh({3, 3});
+  EXPECT_EQ(mesh.num_edges(), 12u);  // 2 * 3 * 2
+  EXPECT_FALSE(mesh.has_edge(0, 2));
+  const Graph torus = Torus({3, 3}).build_graph();
+  EXPECT_EQ(torus.num_edges(), 18u);
+  EXPECT_TRUE(torus.has_edge(0, 2));
+}
+
+TEST(TorusTest, CycleAndPathHelpers) {
+  EXPECT_EQ(make_cycle(6).num_edges(), 6u);
+  EXPECT_EQ(make_path(6).num_edges(), 5u);
+  EXPECT_EQ(make_cycle(2).num_edges(), 1u);
+}
+
+// Parameterized sweep: build_graph is consistent with expected_num_edges and
+// regularity across a family of shapes, including degenerate dimensions.
+class TorusShapeSweep : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(TorusShapeSweep, GraphInvariants) {
+  const Torus t(GetParam());
+  const Graph g = t.build_graph();
+  ASSERT_EQ(g.num_vertices(), t.num_vertices());
+  EXPECT_EQ(g.num_edges(), t.expected_num_edges());
+  EXPECT_TRUE(g.is_regular());
+  if (t.num_vertices() > 1) {
+    EXPECT_EQ(g.connected_components(), 1u);
+  }
+  // Handshake: sum of degrees == 2 |E|.
+  std::size_t degree_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TorusShapeSweep,
+    ::testing::Values(Dims{1}, Dims{2}, Dims{3}, Dims{8}, Dims{2, 2},
+                      Dims{3, 2}, Dims{4, 4}, Dims{1, 5}, Dims{2, 2, 2},
+                      Dims{4, 3, 2}, Dims{5, 1, 3}, Dims{4, 4, 4, 4, 2},
+                      Dims{6, 2, 2, 2, 1}));
+
+}  // namespace
+}  // namespace npac::topo
