@@ -1,41 +1,49 @@
 // Ablation: balanced (split) vs static single-direction routing of
-// antipodal traffic — DESIGN.md decision #1.
+// antipodal traffic — DESIGN.md decision #1, run as a routing sweep on the
+// src/sweep engine.
 //
 // The paper's Section 4.1 remark about the Mira 24-midplane partition
 // ("some of the network links of the size 3 dimension ... are only
 // utilized in one direction") is this effect: when traffic cannot use both
 // ring directions evenly, the effective bisection halves. The ablation
-// quantifies that across geometries.
+// quantifies that across a geometry x tie-break grid; routings are pulled
+// through the sweep's memo cache, so re-running an overlapping grid is
+// free.
 #include <cstdio>
+#include <cstdlib>
 
-#include "bgq/policy.hpp"
 #include "core/report.hpp"
-#include "simnet/pingpong.hpp"
+#include "sweep/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npac;
   std::puts("Ablation — tie-break routing policy (bisection pairing, one "
             "2 GiB round)");
+
+  sweep::RoutingSweepGrid grid;
+  grid.geometries = {bgq::Geometry(2, 1, 1, 1), bgq::Geometry(4, 1, 1, 1),
+                     bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 3, 2, 1),
+                     bgq::Geometry(3, 2, 2, 2)};
+  grid.tie_breaks = {simnet::TieBreak::kSplit, simnet::TieBreak::kPositive};
+  grid.config.total_rounds = 1;
+  grid.config.warmup_rounds = 0;
+  grid.config.bytes_per_round = 2147483648.0;
+
+  sweep::SweepOptions options;
+  options.threads = argc > 1 ? std::atoi(argv[1]) : 0;  // 0 = hardware
+
+  sweep::SweepContext context;
+  const auto rows = sweep::run_routing_sweep(grid, options, context);
+
+  // Rows are geometry-major with the tie-breaks adjacent, in grid order.
   core::TextTable table({"Geometry", "Split time (s)", "Single-dir time (s)",
                          "Penalty"});
-  simnet::PingPongConfig config;
-  config.total_rounds = 1;
-  config.warmup_rounds = 0;
-  config.bytes_per_round = 2147483648.0;
-
-  for (const bgq::Geometry& g :
-       {bgq::Geometry(2, 1, 1, 1), bgq::Geometry(4, 1, 1, 1),
-        bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 3, 2, 1),
-        bgq::Geometry(3, 2, 2, 2)}) {
-    simnet::NetworkOptions split;
-    split.tie_break = simnet::TieBreak::kSplit;
-    simnet::NetworkOptions single;
-    single.tie_break = simnet::TieBreak::kPositive;
-    const double split_s =
-        simnet::run_pingpong(g, config, split).measured_seconds;
-    const double single_s =
-        simnet::run_pingpong(g, config, single).measured_seconds;
-    table.add_row({g.to_string(), core::format_double(split_s, 2),
+  const std::size_t stride = grid.tie_breaks.size();
+  for (std::size_t i = 0; i + stride <= rows.size(); i += stride) {
+    const double split_s = rows[i].result.measured_seconds;
+    const double single_s = rows[i + 1].result.measured_seconds;
+    table.add_row({rows[i].geometry.to_string(),
+                   core::format_double(split_s, 2),
                    core::format_double(single_s, 2),
                    "x" + core::format_double(single_s / split_s, 2)});
   }

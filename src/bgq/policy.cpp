@@ -84,11 +84,17 @@ std::vector<PolicyEntry> mira_scheduler_partitions() {
 
 std::optional<Geometry> propose_improvement(const Machine& machine,
                                             const Geometry& current) {
+  return propose_improvement_given_best(
+      machine, current, best_geometry(machine, current.midplanes()));
+}
+
+std::optional<Geometry> propose_improvement_given_best(
+    const Machine& machine, const Geometry& current,
+    const std::optional<Geometry>& best) {
   if (!current.fits_in(machine.shape)) {
     throw std::invalid_argument(
         "propose_improvement: geometry does not fit the machine");
   }
-  const auto best = best_geometry(machine, current.midplanes());
   if (!best) return std::nullopt;
   if (normalized_bisection(*best) > normalized_bisection(current)) {
     return best;
@@ -101,8 +107,17 @@ double predicted_speedup(const Geometry& current, const Geometry& proposed) {
     throw std::invalid_argument(
         "predicted_speedup: geometries must have equal size");
   }
-  return static_cast<double>(normalized_bisection(proposed)) /
-         static_cast<double>(normalized_bisection(current));
+  const std::int64_t current_bw = normalized_bisection(current);
+  const std::int64_t proposed_bw = normalized_bisection(proposed);
+  // Degenerate geometries (single-midplane partitions under a model where a
+  // length-1 dimension carries no links) can report a zero bisection; the
+  // ratio is meaningless there, so refuse instead of dividing by zero.
+  if (current_bw == 0) {
+    if (proposed_bw == 0) return 1.0;
+    throw std::invalid_argument(
+        "predicted_speedup: current geometry has zero bisection");
+  }
+  return static_cast<double>(proposed_bw) / static_cast<double>(current_bw);
 }
 
 }  // namespace npac::bgq

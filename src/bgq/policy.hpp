@@ -50,6 +50,13 @@ std::vector<PolicyEntry> mira_scheduler_partitions();
 std::optional<Geometry> propose_improvement(const Machine& machine,
                                             const Geometry& current);
 
+/// The improvement rule of propose_improvement with the best-geometry
+/// search factored out, so callers with a memoized search (src/sweep)
+/// share the exact fits-check and strictness semantics.
+std::optional<Geometry> propose_improvement_given_best(
+    const Machine& machine, const Geometry& current,
+    const std::optional<Geometry>& best);
+
 /// Predicted contention-bound speedup from switching geometries: the ratio
 /// of normalized bisections (>= 1 when `proposed` is no worse).
 double predicted_speedup(const Geometry& current, const Geometry& proposed);

@@ -67,7 +67,12 @@ std::optional<Recommendation> PartitionAdvisor::advise(
   rec.assigned_bisection = bgq::normalized_bisection(*assigned);
   rec.best = *best;
   rec.best_bisection = bgq::normalized_bisection(*best);
-  rec.predicted_speedup = bgq::predicted_speedup(*assigned, *best);
+  // Degenerate assigned geometries (zero bisection) make the ratio
+  // undefined; report the neutral 1.0 rather than divide by zero — the
+  // improvable flag below still tells the caller the truth.
+  rec.predicted_speedup =
+      rec.assigned_bisection > 0 ? bgq::predicted_speedup(*assigned, *best)
+                                 : 1.0;
   rec.improvable = rec.best_bisection > rec.assigned_bisection;
   return rec;
 }

@@ -46,19 +46,25 @@ PairingComparison run_pairing(std::int64_t midplanes,
 
 }  // namespace
 
+MiraRow make_mira_row(const bgq::PolicyEntry& entry,
+                      std::optional<bgq::Geometry> proposed) {
+  MiraRow row;
+  row.midplanes = entry.midplanes;
+  row.nodes = entry.geometry.nodes();
+  row.current = entry.geometry;
+  row.current_bw = bgq::normalized_bisection(entry.geometry);
+  row.proposed = std::move(proposed);
+  row.proposed_bw =
+      row.proposed ? bgq::normalized_bisection(*row.proposed) : row.current_bw;
+  return row;
+}
+
 std::vector<MiraRow> mira_rows() {
   const bgq::Machine machine = bgq::mira();
   std::vector<MiraRow> rows;
   for (const bgq::PolicyEntry& entry : bgq::mira_scheduler_partitions()) {
-    MiraRow row;
-    row.midplanes = entry.midplanes;
-    row.nodes = entry.geometry.nodes();
-    row.current = entry.geometry;
-    row.current_bw = bgq::normalized_bisection(entry.geometry);
-    row.proposed = bgq::propose_improvement(machine, entry.geometry);
-    row.proposed_bw =
-        row.proposed ? bgq::normalized_bisection(*row.proposed) : row.current_bw;
-    rows.push_back(row);
+    rows.push_back(make_mira_row(
+        entry, bgq::propose_improvement(machine, entry.geometry)));
   }
   return rows;
 }

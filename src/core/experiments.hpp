@@ -35,6 +35,12 @@ struct MiraRow {
 /// Table 6 (all scheduler sizes) / Figure 1 (same data as a series).
 std::vector<MiraRow> mira_rows();
 
+/// One Table 6 row from a scheduler entry and the (possibly memoized)
+/// propose_improvement result for it — shared with the sweep engine so the
+/// "proposed_bw == current_bw when !proposed" convention lives in one place.
+MiraRow make_mira_row(const bgq::PolicyEntry& entry,
+                      std::optional<bgq::Geometry> proposed);
+
 /// Table 1: the subset of mira_rows() where the bisection improves.
 std::vector<MiraRow> table1_rows();
 

@@ -141,6 +141,23 @@ std::string to_string(SchedulerPolicy policy) {
   return "?";
 }
 
+namespace {
+
+/// Contention-bound slowdown best_bw / assigned_bw. A partition with no
+/// internal bisection cannot carry contention-bound traffic at any finite
+/// rate; only accept it when the best same-size geometry is equally
+/// degenerate (then the ratio is defined as 1).
+double bisection_slowdown(std::int64_t best_bw, std::int64_t assigned_bw) {
+  if (assigned_bw == 0) {
+    if (best_bw == 0) return 1.0;
+    throw std::invalid_argument(
+        "bisection slowdown: assigned geometry has zero bisection");
+  }
+  return static_cast<double>(best_bw) / static_cast<double>(assigned_bw);
+}
+
+}  // namespace
+
 double contention_runtime_seconds(const bgq::Machine& machine,
                                   const bgq::Geometry& assigned,
                                   double base_seconds) {
@@ -149,8 +166,13 @@ double contention_runtime_seconds(const bgq::Machine& machine,
     throw std::invalid_argument(
         "contention_runtime_seconds: size not allocatable on this machine");
   }
-  return base_seconds * static_cast<double>(bgq::normalized_bisection(*best)) /
-         static_cast<double>(bgq::normalized_bisection(assigned));
+  return base_seconds * bisection_slowdown(bgq::normalized_bisection(*best),
+                                           bgq::normalized_bisection(assigned));
+}
+
+std::vector<bgq::Geometry> GeometryOracle::geometries(
+    const bgq::Machine& machine, std::int64_t midplanes) const {
+  return bgq::enumerate_geometries(machine, midplanes);
 }
 
 namespace {
@@ -160,12 +182,11 @@ struct RunningJob {
   double finish_seconds = 0.0;
 };
 
-/// Picks the placement `policy` prefers for `job`, or nullopt to wait.
-std::optional<Placement> choose_placement(const MidplaneGrid& grid,
-                                          SchedulerPolicy policy,
-                                          const Job& job) {
-  const auto geometries =
-      bgq::enumerate_geometries(grid.machine(), job.midplanes);
+/// Picks the placement `policy` prefers for `job` among the precomputed
+/// candidate `geometries` (best bisection first), or nullopt to wait.
+std::optional<Placement> choose_placement(
+    const MidplaneGrid& grid, SchedulerPolicy policy, const Job& job,
+    const std::vector<bgq::Geometry>& geometries) {
   if (geometries.empty()) {
     throw std::invalid_argument("simulate_schedule: infeasible job size " +
                                 std::to_string(job.midplanes));
@@ -209,6 +230,12 @@ std::optional<Placement> choose_placement(const MidplaneGrid& grid,
 ScheduleResult simulate_schedule(const bgq::Machine& machine,
                                  SchedulerPolicy policy,
                                  std::vector<Job> jobs) {
+  return simulate_schedule(machine, policy, std::move(jobs), GeometryOracle{});
+}
+
+ScheduleResult simulate_schedule(const bgq::Machine& machine,
+                                 SchedulerPolicy policy, std::vector<Job> jobs,
+                                 const GeometryOracle& oracle) {
   for (std::size_t i = 1; i < jobs.size(); ++i) {
     if (jobs[i].arrival_seconds < jobs[i - 1].arrival_seconds) {
       throw std::invalid_argument(
@@ -256,17 +283,21 @@ ScheduleResult simulate_schedule(const bgq::Machine& machine,
     bool placed_any = false;
     while (!queue.empty()) {
       const Job job = queue.front();
-      const auto placement = choose_placement(grid, policy, job);
+      const auto geometries = oracle.geometries(machine, job.midplanes);
+      const auto placement = choose_placement(grid, policy, job, geometries);
       if (!placement) break;
       grid.occupy(*placement, job.id);
       ScheduledJob record;
       record.job = job;
       record.placement = *placement;
       record.start_seconds = now;
+      // geometries is sorted best bisection first, so front() is the best
+      // same-size geometry contention_runtime_seconds would search for.
       record.slowdown =
           job.contention_bound
-              ? contention_runtime_seconds(machine, placement->geometry(),
-                                           1.0)
+              ? bisection_slowdown(
+                    bgq::normalized_bisection(geometries.front()),
+                    bgq::normalized_bisection(placement->geometry()))
               : 1.0;
       record.finish_seconds = now + job.base_seconds * record.slowdown;
       running.push_back({job.id, record.finish_seconds});

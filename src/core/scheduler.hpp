@@ -115,11 +115,32 @@ struct ScheduleResult {
   double mean_wait_seconds = 0.0;   ///< queue wait over all jobs
 };
 
+/// Source of candidate geometries for a job size. The default
+/// implementation calls bgq::enumerate_geometries on every query; callers
+/// running many simulations (e.g. the src/sweep engine) supply a memoized
+/// override so the exhaustive cuboid enumeration is paid once per
+/// (machine, size) instead of once per placement decision.
+class GeometryOracle {
+ public:
+  virtual ~GeometryOracle() = default;
+
+  /// Distinct geometries of exactly `midplanes` midplanes fitting
+  /// `machine`, sorted best bisection first — the contract of
+  /// bgq::enumerate_geometries, which the base class delegates to.
+  virtual std::vector<bgq::Geometry> geometries(const bgq::Machine& machine,
+                                                std::int64_t midplanes) const;
+};
+
 /// Event-driven FCFS simulation of `jobs` on `machine` under `policy`.
 /// Jobs must have non-decreasing arrival times and feasible sizes.
 ScheduleResult simulate_schedule(const bgq::Machine& machine,
                                  SchedulerPolicy policy,
                                  std::vector<Job> jobs);
+
+/// Same simulation with geometry lookups routed through `oracle`.
+ScheduleResult simulate_schedule(const bgq::Machine& machine,
+                                 SchedulerPolicy policy, std::vector<Job> jobs,
+                                 const GeometryOracle& oracle);
 
 /// Runtime of a contention-bound job on `assigned` relative to the best
 /// same-size geometry: base * best_bw / assigned_bw.

@@ -1,0 +1,65 @@
+#include "sweep/cache.hpp"
+
+#include "bgq/policy.hpp"
+
+namespace npac::sweep {
+
+iso::BoundResult SweepContext::torus_bound(const topo::Dims& dims,
+                                           std::int64_t t) {
+  return bounds_.get_or_compute(std::make_pair(iso::sorted_desc(dims), t),
+                                [&] {
+                                  return iso::torus_isoperimetric_lower_bound(
+                                      dims, t);
+                                });
+}
+
+std::vector<bgq::Geometry> SweepContext::enumerate_geometries(
+    const bgq::Machine& machine, std::int64_t midplanes) {
+  return geometries_.get_or_compute(
+      std::make_pair(machine.shape, midplanes),
+      [&] { return bgq::enumerate_geometries(machine, midplanes); });
+}
+
+std::optional<bgq::Geometry> SweepContext::best_geometry(
+    const bgq::Machine& machine, std::int64_t midplanes) {
+  const auto all = enumerate_geometries(machine, midplanes);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::optional<bgq::Geometry> SweepContext::worst_geometry(
+    const bgq::Machine& machine, std::int64_t midplanes) {
+  const auto all = enumerate_geometries(machine, midplanes);
+  if (all.empty()) return std::nullopt;
+  return all.back();
+}
+
+std::optional<bgq::Geometry> SweepContext::propose_improvement(
+    const bgq::Machine& machine, const bgq::Geometry& current) {
+  return bgq::propose_improvement_given_best(
+      machine, current, best_geometry(machine, current.midplanes()));
+}
+
+simnet::PingPongResult SweepContext::pingpong(
+    const bgq::Geometry& geometry, const simnet::PingPongConfig& config,
+    const simnet::NetworkOptions& options) {
+  RoutingKey key;
+  key.geometry = geometry.dims();
+  key.total_rounds = config.total_rounds;
+  key.warmup_rounds = config.warmup_rounds;
+  key.bytes_per_round = config.bytes_per_round;
+  key.chunks_per_round = config.chunks_per_round;
+  key.link_bytes_per_second = options.link_bytes_per_second;
+  key.tie_break = static_cast<int>(options.tie_break);
+  key.injection_bytes_per_second = options.injection_bytes_per_second;
+  return routing_.get_or_compute(
+      key, [&] { return simnet::run_pingpong(geometry, config, options); });
+}
+
+void SweepContext::clear() {
+  bounds_.clear();
+  geometries_.clear();
+  routing_.clear();
+}
+
+}  // namespace npac::sweep

@@ -1,0 +1,153 @@
+// Thread-safe memoization for the quantities sweeps recompute.
+//
+// A parameter sweep revisits the same geometries over and over: every
+// scheduler replication re-enumerates the candidate cuboids of every job
+// size, every routing point re-routes flows on geometries other points
+// already routed, and every bound table re-evaluates Theorem 3.1 on the
+// same (dims, t) pairs. Each of those is deterministic in its key, so a
+// keyed cache turns a sweep's cost from grid-size x cost into
+// distinct-keys x cost.
+//
+// Locking: lookups hold a mutex; cache misses compute *outside* the lock,
+// so concurrent misses on the same key may duplicate work but never
+// serialize the pool. Values are pure functions of their keys, so the
+// duplicate result is identical and the first insert wins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "iso/torus_bound.hpp"
+#include "simnet/pingpong.hpp"
+
+namespace npac::sweep {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+};
+
+/// Generic keyed memo table. Key must be strict-weak-orderable.
+template <typename Key, typename Value>
+class MemoCache {
+ public:
+  template <typename Fn>
+  Value get_or_compute(const Key& key, Fn&& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    Value value = compute();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return map_.emplace(key, std::move(value)).first->second;
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_};
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Key, Value> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Cache key for one ping-pong routing configuration. Default <=> over the
+/// scalar fields; doubles never hold NaN here.
+struct RoutingKey {
+  std::array<std::int64_t, 4> geometry{1, 1, 1, 1};
+  int total_rounds = 0;
+  int warmup_rounds = 0;
+  double bytes_per_round = 0.0;
+  int chunks_per_round = 0;
+  double link_bytes_per_second = 0.0;
+  int tie_break = 0;
+  double injection_bytes_per_second = 0.0;
+
+  auto operator<=>(const RoutingKey&) const = default;
+};
+
+/// Shared memo layer handed to every task of a sweep. All methods are
+/// thread-safe and return exactly what the uncached npac call would.
+class SweepContext {
+ public:
+  /// Theorem 3.1 lower bound (iso::torus_isoperimetric_lower_bound).
+  iso::BoundResult torus_bound(const topo::Dims& dims, std::int64_t t);
+
+  /// bgq::enumerate_geometries — the cuboid bisection search, keyed by the
+  /// machine's shape (name-independent) and the job size.
+  std::vector<bgq::Geometry> enumerate_geometries(const bgq::Machine& machine,
+                                                  std::int64_t midplanes);
+
+  /// Best/worst entries of the cached enumeration.
+  std::optional<bgq::Geometry> best_geometry(const bgq::Machine& machine,
+                                             std::int64_t midplanes);
+  std::optional<bgq::Geometry> worst_geometry(const bgq::Machine& machine,
+                                              std::int64_t midplanes);
+
+  /// bgq::propose_improvement via the cached enumeration.
+  std::optional<bgq::Geometry> propose_improvement(const bgq::Machine& machine,
+                                                   const bgq::Geometry& current);
+
+  /// simnet::run_pingpong on a partition geometry.
+  simnet::PingPongResult pingpong(const bgq::Geometry& geometry,
+                                  const simnet::PingPongConfig& config,
+                                  const simnet::NetworkOptions& options);
+
+  CacheStats bound_stats() const { return bounds_.stats(); }
+  CacheStats geometry_stats() const { return geometries_.stats(); }
+  CacheStats routing_stats() const { return routing_.stats(); }
+
+  void clear();
+
+ private:
+  MemoCache<std::pair<topo::Dims, std::int64_t>, iso::BoundResult> bounds_;
+  MemoCache<std::pair<bgq::Geometry, std::int64_t>, std::vector<bgq::Geometry>>
+      geometries_;
+  MemoCache<RoutingKey, simnet::PingPongResult> routing_;
+};
+
+/// core::GeometryOracle adapter: routes the scheduler simulation's geometry
+/// queries through a SweepContext, so a sweep's many simulate_schedule
+/// calls share one enumeration per (machine, size).
+class CachedGeometryOracle final : public core::GeometryOracle {
+ public:
+  explicit CachedGeometryOracle(SweepContext* context) : context_(context) {}
+
+  std::vector<bgq::Geometry> geometries(const bgq::Machine& machine,
+                                        std::int64_t midplanes) const override {
+    return context_->enumerate_geometries(machine, midplanes);
+  }
+
+ private:
+  SweepContext* context_;
+};
+
+}  // namespace npac::sweep

@@ -1,0 +1,105 @@
+#include "sweep/pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace npac::sweep {
+
+std::uint64_t task_seed(std::uint64_t base_seed, std::int64_t task_index) {
+  // SplitMix64: advance a golden-ratio-stride counter stream to the task's
+  // position, then finalize. Full 64-bit avalanche, so adjacent task
+  // indices (and adjacent base seeds) yield uncorrelated streams.
+  std::uint64_t z =
+      base_seed +
+      0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(task_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int resolved_thread_count(int threads) {
+  int count = threads;
+  if (count < 1) count = static_cast<int>(std::thread::hardware_concurrency());
+  if (count < 1) count = 1;
+  return count;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = resolved_thread_count(threads);
+  workers_.reserve(static_cast<std::size_t>(count - 1));
+  // The calling thread is worker #0; spawn the rest.
+  for (int i = 1; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::work_through_run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (fn_ != nullptr && next_task_ < num_tasks_) {
+    const std::int64_t index = next_task_++;
+    ++in_flight_;
+    const auto* fn = fn_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    if (error && !first_error_) first_error_ = error;
+  }
+  if (next_task_ >= num_tasks_ && in_flight_ == 0) run_done_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return stopping_ || (fn_ != nullptr && next_task_ < num_tasks_);
+    });
+    if (stopping_) return;
+    lock.unlock();
+    work_through_run();
+    lock.lock();
+  }
+}
+
+void ThreadPool::run_indexed(std::int64_t num_tasks,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fn_ != nullptr) {
+      throw std::logic_error(
+          "ThreadPool::run_indexed: pool is already mid-run (not reentrant)");
+    }
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+  }
+  work_ready_.notify_all();
+  work_through_run();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  run_done_.wait(lock,
+                 [&] { return next_task_ >= num_tasks_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  std::exception_ptr error = std::exchange(first_error_, nullptr);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace npac::sweep

@@ -1,0 +1,82 @@
+// Fixed-size thread-pool executor for experiment sweeps.
+//
+// Design goals (cf. the job-system exemplar in SNIPPETS.md, stripped to
+// what sweeps need):
+//  * a fixed worker count chosen up front — sweeps are throughput jobs, not
+//    latency jobs, so there is no work stealing and no dynamic spawning;
+//  * index-addressed tasks: a run executes fn(0..n-1) exactly once each,
+//    claimed from a shared atomic cursor, and results are written to
+//    index-addressed slots, so the output is independent of which worker
+//    runs which task;
+//  * deterministic randomness: every task derives its RNG seed from
+//    (base_seed, task_index) alone via task_seed(), never from thread ids
+//    or scheduling order, so a sweep with threads=N is bit-identical to
+//    threads=1.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace npac::sweep {
+
+/// Statistically independent, reproducible seed for one task of a run.
+/// SplitMix64 finalizer over (base_seed, task_index) — the recommended
+/// seeding scheme for parallel streams (Steele et al., OOPSLA '14).
+std::uint64_t task_seed(std::uint64_t base_seed, std::int64_t task_index);
+
+/// The worker count a ThreadPool(threads) will actually use: values < 1
+/// select std::thread::hardware_concurrency(), floored at 1.
+int resolved_thread_count(int threads);
+
+class ThreadPool {
+ public:
+  /// threads < 1 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, num_tasks) and blocks until all
+  /// complete. The calling thread participates, so a pool constructed with
+  /// threads=1 runs everything inline. If any task throws, the first
+  /// exception is rethrown here after the run drains; remaining tasks still
+  /// execute (they may not depend on each other by contract).
+  void run_indexed(std::int64_t num_tasks,
+                   const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work_through_run();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable run_done_;
+  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  std::int64_t num_tasks_ = 0;
+  std::int64_t next_task_ = 0;  // claim cursor
+  std::int64_t in_flight_ = 0;  // claimed but unfinished tasks
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Order-preserving parallel map: out[i] = fn(i). The result layout depends
+/// only on n and fn, never on the pool size.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::int64_t n, Fn&& fn) {
+  std::vector<T> out(static_cast<std::size_t>(n));
+  pool.run_indexed(n, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace npac::sweep

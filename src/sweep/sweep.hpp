@@ -1,0 +1,118 @@
+// Parameter-sweep driver: grids fanned onto the thread pool.
+//
+// A sweep is a cartesian grid of experiment parameters; every grid point is
+// an independent task, so the driver fans points onto sweep::ThreadPool and
+// collects rows in grid order. Three invariants make sweeps trustworthy:
+//  * determinism — every task's randomness comes from
+//    task_seed(base_seed, point_index), so results are byte-identical for
+//    any thread count (the acceptance test of this subsystem);
+//  * comparability — scheduler sweeps give every policy the *same* traces
+//    (the trace seed depends on the mix and replication, not the policy),
+//    so policy columns are paired samples, not independent draws;
+//  * shared memoization — tasks pull Theorem 3.1 bounds, cuboid
+//    enumerations, and routing results through one SweepContext, so a
+//    quantity repeated across grid points is computed once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/scheduler.hpp"
+#include "simnet/pingpong.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/pool.hpp"
+#include "sweep/trace.hpp"
+
+namespace npac::sweep {
+
+struct SweepOptions {
+  /// Worker count; < 1 selects std::thread::hardware_concurrency().
+  int threads = 1;
+  /// Root of every task seed in the sweep.
+  std::uint64_t base_seed = 42;
+};
+
+// --------------------------------------------------------------------------
+// Scheduler sweep: policy x contention mix x Monte Carlo replication.
+// --------------------------------------------------------------------------
+
+struct SchedulerSweepGrid {
+  bgq::Machine machine = bgq::mira();
+  std::vector<core::SchedulerPolicy> policies;
+  std::vector<double> contention_fractions;
+  /// Trace template; contention_fraction is overridden by the grid axis.
+  TraceConfig trace;
+  /// Independent traces per (policy, fraction) point.
+  int replications = 1;
+};
+
+struct SchedulerSweepRow {
+  core::SchedulerPolicy policy = core::SchedulerPolicy::kFirstFit;
+  double contention_fraction = 0.0;
+  int replication = 0;
+  std::uint64_t trace_seed = 0;
+  double makespan_seconds = 0.0;
+  double mean_slowdown = 1.0;
+  double mean_wait_seconds = 0.0;
+};
+
+/// Rows in grid order: policies (outer) x fractions x replications (inner).
+std::vector<SchedulerSweepRow> run_scheduler_sweep(
+    const SchedulerSweepGrid& grid, const SweepOptions& options,
+    SweepContext& context);
+
+/// One row per replication (full resolution).
+core::TextTable scheduler_sweep_table(
+    const std::vector<SchedulerSweepRow>& rows);
+
+/// Replication means, one row per (policy, fraction) in first-seen order.
+core::TextTable scheduler_sweep_summary(
+    const std::vector<SchedulerSweepRow>& rows);
+
+/// Round-trip-exact CSV — the canonical artifact for determinism checks.
+std::string scheduler_sweep_csv(const std::vector<SchedulerSweepRow>& rows);
+
+// --------------------------------------------------------------------------
+// Routing sweep: geometry x tie-break ping-pong, with the Theorem 3.1
+// isoperimetric bound of each node torus alongside the measurement.
+// --------------------------------------------------------------------------
+
+struct RoutingSweepGrid {
+  std::vector<bgq::Geometry> geometries;
+  std::vector<simnet::TieBreak> tie_breaks;
+  simnet::PingPongConfig config;
+  /// tie_break is overridden by the grid axis.
+  simnet::NetworkOptions network;
+};
+
+struct RoutingSweepRow {
+  bgq::Geometry geometry{1, 1, 1, 1};
+  simnet::TieBreak tie_break = simnet::TieBreak::kSplit;
+  simnet::PingPongResult result;
+  /// Theorem 3.1 lower bound on the node-torus cut at t = nodes / 2.
+  double iso_bound_cut = 0.0;
+};
+
+/// Rows in grid order: geometries (outer) x tie_breaks (inner).
+std::vector<RoutingSweepRow> run_routing_sweep(const RoutingSweepGrid& grid,
+                                               const SweepOptions& options,
+                                               SweepContext& context);
+
+core::TextTable routing_sweep_table(const std::vector<RoutingSweepRow>& rows);
+std::string routing_sweep_csv(const std::vector<RoutingSweepRow>& rows);
+
+// --------------------------------------------------------------------------
+// Bisection sweep: the Figure 1 / Table 6 analysis with the per-size cuboid
+// searches fanned onto the pool. Equals core::mira_rows() element-wise.
+// --------------------------------------------------------------------------
+
+std::vector<core::MiraRow> mira_bisection_sweep(const SweepOptions& options,
+                                                SweepContext& context);
+
+/// Display name for a tie-break policy ("split" / "positive").
+std::string tie_break_name(simnet::TieBreak tie_break);
+
+}  // namespace npac::sweep

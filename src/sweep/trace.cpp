@@ -1,0 +1,190 @@
+#include "sweep/trace.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "bgq/policy.hpp"
+
+namespace npac::sweep {
+
+std::uint64_t next_u64(std::uint64_t& state) {
+  // xorshift64* (Vigna). State 0 is a fixed point of xorshift, so remap it.
+  if (state == 0) state = 0x9e3779b97f4a7c15ULL;
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545f4914f6cdd1dULL;
+}
+
+double next_unit(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::int64_t> default_trace_sizes(const bgq::Machine& machine) {
+  std::vector<std::int64_t> sizes;
+  for (const bgq::PolicyEntry& entry : bgq::mira_scheduler_partitions()) {
+    if (bgq::best_geometry(machine, entry.midplanes)) {
+      sizes.push_back(entry.midplanes);
+    }
+  }
+  return sizes;
+}
+
+std::vector<core::Job> generate_trace(const bgq::Machine& machine,
+                                      const TraceConfig& config,
+                                      std::uint64_t seed) {
+  if (config.num_jobs < 0) {
+    throw std::invalid_argument("generate_trace: num_jobs must be >= 0");
+  }
+  if (config.contention_fraction < 0.0 || config.contention_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_trace: contention_fraction must be in [0, 1]");
+  }
+  if (config.mean_interarrival_seconds < 0.0) {
+    throw std::invalid_argument(
+        "generate_trace: mean_interarrival_seconds must be >= 0");
+  }
+  if (config.min_base_seconds <= 0.0 ||
+      config.max_base_seconds < config.min_base_seconds) {
+    throw std::invalid_argument(
+        "generate_trace: need 0 < min_base_seconds <= max_base_seconds");
+  }
+  std::vector<std::int64_t> sizes;
+  if (config.sizes.empty()) {
+    sizes = default_trace_sizes(machine);  // already feasibility-filtered
+  } else {
+    sizes = config.sizes;
+    for (const std::int64_t size : sizes) {
+      if (!bgq::best_geometry(machine, size)) {
+        throw std::invalid_argument("generate_trace: size " +
+                                    std::to_string(size) +
+                                    " is not allocatable on " + machine.name);
+      }
+    }
+  }
+  if (sizes.empty()) {
+    throw std::invalid_argument("generate_trace: no allocatable job sizes");
+  }
+
+  std::uint64_t state = seed;
+  std::vector<core::Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+  double arrival = 0.0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    // Draw order is part of the format: size, base, contention, gap.
+    core::Job job;
+    job.id = i;
+    job.midplanes = sizes[static_cast<std::size_t>(
+        next_u64(state) % static_cast<std::uint64_t>(sizes.size()))];
+    job.base_seconds =
+        config.min_base_seconds +
+        next_unit(state) * (config.max_base_seconds - config.min_base_seconds);
+    job.contention_bound = next_unit(state) < config.contention_fraction;
+    arrival += -config.mean_interarrival_seconds *
+               std::log(1.0 - next_unit(state));
+    job.arrival_seconds = arrival;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+namespace {
+
+constexpr const char* kTraceHeader =
+    "id,midplanes,base_seconds,contention_bound,arrival_seconds";
+
+}  // namespace
+
+std::string format_exact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string format_trace(const std::vector<core::Job>& jobs) {
+  std::ostringstream out;
+  out << kTraceHeader << "\n";
+  for (const core::Job& job : jobs) {
+    out << job.id << "," << job.midplanes << ","
+        << format_exact(job.base_seconds) << ","
+        << (job.contention_bound ? 1 : 0) << ","
+        << format_exact(job.arrival_seconds) << "\n";
+  }
+  return out.str();
+}
+
+std::vector<core::Job> parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kTraceHeader) {
+    throw std::invalid_argument("parse_trace: missing trace header");
+  }
+  std::vector<core::Job> jobs;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::array<std::string, 5> fields;
+    std::size_t field = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (field >= fields.size()) {
+          throw std::invalid_argument("parse_trace: too many fields on line " +
+                                      std::to_string(line_number));
+        }
+        fields[field++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (field != fields.size()) {
+      throw std::invalid_argument("parse_trace: expected 5 fields on line " +
+                                  std::to_string(line_number));
+    }
+    // stoll/stod stop at the first invalid character; require each field
+    // to be consumed in full so trailing garbage is rejected, not ignored.
+    const auto malformed = [&]() -> std::invalid_argument {
+      return std::invalid_argument("parse_trace: malformed number on line " +
+                                   std::to_string(line_number));
+    };
+    const auto parse_int = [&](const std::string& field) -> std::int64_t {
+      try {
+        std::size_t pos = 0;
+        const std::int64_t value = std::stoll(field, &pos);
+        if (pos == field.size()) return value;
+      } catch (const std::exception&) {
+      }
+      throw malformed();
+    };
+    const auto parse_double = [&](const std::string& field) -> double {
+      try {
+        std::size_t pos = 0;
+        const double value = std::stod(field, &pos);
+        if (pos == field.size()) return value;
+      } catch (const std::exception&) {
+      }
+      throw malformed();
+    };
+    core::Job job;
+    job.id = parse_int(fields[0]);
+    job.midplanes = parse_int(fields[1]);
+    job.base_seconds = parse_double(fields[2]);
+    job.contention_bound = parse_int(fields[3]) != 0;
+    job.arrival_seconds = parse_double(fields[4]);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+core::ScheduleResult replay_trace(const bgq::Machine& machine,
+                                  core::SchedulerPolicy policy,
+                                  const std::vector<core::Job>& jobs,
+                                  const core::GeometryOracle& oracle) {
+  return core::simulate_schedule(machine, policy, jobs, oracle);
+}
+
+}  // namespace npac::sweep

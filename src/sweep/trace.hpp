@@ -1,0 +1,79 @@
+// Synthetic workload traces for scheduler Monte Carlo studies.
+//
+// The paper's Future Work (Section 5) asks how much a scheduler gains from
+// knowing which jobs are contention-bound. Answering that statistically
+// needs many job streams with controlled mixes; this module generates them
+// reproducibly — sizes drawn from the machine's allocatable sizes (Mira's
+// scheduler list by default), a configurable contention-bound fraction,
+// exponential-ish arrival bursts — and serializes them so a trace can be
+// archived and replayed exactly.
+//
+// Determinism contract: generate_trace is a pure function of
+// (machine, config, seed). It uses its own inline distributions instead of
+// <random>'s (whose outputs are implementation-defined), so traces are
+// reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgq/machine.hpp"
+#include "core/scheduler.hpp"
+
+namespace npac::sweep {
+
+struct TraceConfig {
+  int num_jobs = 48;
+  /// Probability that a job is contention-bound (network-bound).
+  double contention_fraction = 2.0 / 3.0;
+  /// Mean of the exponential interarrival gap between jobs.
+  double mean_interarrival_seconds = 2.0;
+  /// Base runtimes are uniform in [min, max] (on a best-bisection box).
+  double min_base_seconds = 20.0;
+  double max_base_seconds = 40.0;
+  /// Job sizes are drawn uniformly from this list; empty selects the
+  /// machine-feasible subset of Mira's scheduler sizes (paper Table 6).
+  std::vector<std::int64_t> sizes;
+};
+
+/// The sizes Mira's scheduler list offers that fit `machine` — the default
+/// size pool for traces.
+std::vector<std::int64_t> default_trace_sizes(const bgq::Machine& machine);
+
+/// Deterministic synthetic job stream: ids 0..num_jobs-1, non-decreasing
+/// arrivals, ready for core::simulate_schedule.
+std::vector<core::Job> generate_trace(const bgq::Machine& machine,
+                                      const TraceConfig& config,
+                                      std::uint64_t seed);
+
+/// Round-trip-exact decimal rendering ("%.17g") — the double format of
+/// every sweep CSV artifact, so byte-identity checks compare like with
+/// like.
+std::string format_exact(double value);
+
+/// CSV serialization (header + one row per job). Doubles are rendered
+/// round-trip exactly.
+std::string format_trace(const std::vector<core::Job>& jobs);
+
+/// Inverse of format_trace. Throws std::invalid_argument on malformed
+/// input.
+std::vector<core::Job> parse_trace(const std::string& text);
+
+/// Replays a trace through the scheduler simulation — convenience wrapper
+/// so trace producers and consumers agree on the entry point.
+core::ScheduleResult replay_trace(const bgq::Machine& machine,
+                                  core::SchedulerPolicy policy,
+                                  const std::vector<core::Job>& jobs,
+                                  const core::GeometryOracle& oracle);
+
+// --- deterministic inline RNG helpers (exposed for tests) ----------------
+
+/// xorshift-multiply step; mutates and returns the state. Never yields 0
+/// streaks; full period 2^64 - 1 on nonzero states (state 0 is remapped).
+std::uint64_t next_u64(std::uint64_t& state);
+
+/// Uniform double in [0, 1) with 53 random bits.
+double next_unit(std::uint64_t& state);
+
+}  // namespace npac::sweep

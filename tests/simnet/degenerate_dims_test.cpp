@@ -1,0 +1,110 @@
+// Channel accounting on degenerate torus dimensions, as documented in
+// src/simnet/network.hpp: a length-1 dimension has no channels to load,
+// and a length-2 dimension collapses both signs onto the single physical
+// link (charged on the sender's + channel).
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "simnet/traffic.hpp"
+
+namespace npac::simnet {
+namespace {
+
+NetworkOptions unit_bandwidth() {
+  NetworkOptions options;
+  options.link_bytes_per_second = 1.0;  // seconds == bytes
+  return options;
+}
+
+TEST(DegenerateDimsTest, ChannelIndicesStayDisjointWithDegenerateDims) {
+  // LinkLoads allocates (+,-) slots for every dimension, including
+  // degenerate ones; indices must not collide even though routing never
+  // touches the degenerate slots.
+  LinkLoads loads(6, 3);  // e.g. torus {1, 2, 3}
+  std::set<std::size_t> seen;
+  for (topo::VertexId node = 0; node < 6; ++node) {
+    for (std::size_t dim = 0; dim < 3; ++dim) {
+      for (int direction = 0; direction < 2; ++direction) {
+        EXPECT_TRUE(seen.insert(loads.channel_index(node, dim, direction))
+                        .second)
+            << "node " << node << " dim " << dim << " dir " << direction;
+      }
+    }
+  }
+}
+
+TEST(DegenerateDimsTest, Length1DimensionCarriesNoLoad) {
+  // {1, 4}: dimension 0 is a single point — all traffic moves in dim 1.
+  const TorusNetwork network(topo::Torus({1, 4}), unit_bandwidth());
+  const auto flows = furthest_node_pairing(network.torus(), 8.0);
+  const LinkLoads loads = network.route_all(flows);
+  for (topo::VertexId node = 0; node < 4; ++node) {
+    EXPECT_DOUBLE_EQ(loads.at(node, 0, 0), 0.0) << "node " << node;
+    EXPECT_DOUBLE_EQ(loads.at(node, 0, 1), 0.0) << "node " << node;
+  }
+  EXPECT_DOUBLE_EQ(loads.max_load_in_dim(0), 0.0);
+  EXPECT_GT(loads.max_load_in_dim(1), 0.0);
+
+  // The length-1 dimension is inert: the ring {4} behaves identically.
+  const TorusNetwork ring(topo::Torus({4}), unit_bandwidth());
+  const auto ring_flows = furthest_node_pairing(ring.torus(), 8.0);
+  EXPECT_DOUBLE_EQ(network.completion_seconds(flows),
+                   ring.completion_seconds(ring_flows));
+}
+
+TEST(DegenerateDimsTest, Length2ChargesTheSendersPositiveChannel) {
+  // {2}: one physical link between nodes 0 and 1. Each sender charges its
+  // own + channel; the - channels never carry load.
+  const TorusNetwork network(topo::Torus({2}), unit_bandwidth());
+  LinkLoads forward(2, 1);
+  network.route_flow({0, 1, 5.0}, forward);
+  EXPECT_DOUBLE_EQ(forward.at(0, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(forward.at(0, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(forward.at(1, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(forward.at(1, 0, 1), 0.0);
+
+  LinkLoads backward(2, 1);
+  network.route_flow({1, 0, 5.0}, backward);
+  EXPECT_DOUBLE_EQ(backward.at(1, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(backward.at(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(backward.at(0, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(backward.at(1, 0, 1), 0.0);
+}
+
+TEST(DegenerateDimsTest, Length2DoesNotSplitAntipodalTraffic) {
+  // In a length >= 3 ring, antipodal traffic under kSplit halves across the
+  // two directions. Length 2 must NOT split — both signs are one link.
+  const TorusNetwork network(topo::Torus({2}), unit_bandwidth());
+  const std::vector<Flow> flows = {{0, 1, 4.0}, {1, 0, 4.0}};
+  // Full 4.0 on each sender's + channel, no quarter-loads anywhere.
+  const LinkLoads loads = network.route_all(flows);
+  EXPECT_DOUBLE_EQ(loads.at(0, 0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(loads.at(1, 0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(loads.total_load(), 8.0);
+  EXPECT_DOUBLE_EQ(network.completion_seconds(flows), 4.0);
+}
+
+TEST(DegenerateDimsTest, MixedDegenerateTorusConservesBytes) {
+  // {1, 2, 3}: the E-dimension-style mix. Total byte-hops must equal the
+  // sum over flows of bytes * minimal hop distance.
+  const TorusNetwork network(topo::Torus({1, 2, 3}), unit_bandwidth());
+  const auto flows = furthest_node_pairing(network.torus(), 3.0);
+  double expected_byte_hops = 0.0;
+  for (const Flow& flow : flows) {
+    expected_byte_hops +=
+        3.0 * static_cast<double>(network.path_hops(flow));
+  }
+  const LinkLoads loads = network.route_all(flows);
+  EXPECT_DOUBLE_EQ(loads.total_load(), expected_byte_hops);
+  for (topo::VertexId node = 0; node < 6; ++node) {
+    EXPECT_DOUBLE_EQ(loads.at(node, 0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(loads.at(node, 0, 1), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace npac::simnet

@@ -1,0 +1,145 @@
+// Memo-layer tests: cached values equal their uncached counterparts, hits
+// and misses are counted, and concurrent access is safe.
+#include "sweep/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bgq/bisection.hpp"
+#include "bgq/machine.hpp"
+#include "bgq/policy.hpp"
+#include "sweep/pool.hpp"
+
+namespace npac::sweep {
+namespace {
+
+TEST(MemoCacheTest, CountsHitsAndMisses) {
+  MemoCache<int, int> cache;
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 10; }), 10);
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 99; }), 10);  // cached value
+  EXPECT_EQ(cache.get_or_compute(2, [] { return 20; }), 20);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.lookups(), 3u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(SweepContextTest, BoundMatchesDirectComputation) {
+  SweepContext context;
+  const topo::Dims dims = {8, 4, 4};
+  for (const std::int64_t t : {1, 8, 16, 32, 64}) {
+    const auto cached = context.torus_bound(dims, t);
+    const auto direct = iso::torus_isoperimetric_lower_bound(dims, t);
+    EXPECT_DOUBLE_EQ(cached.value, direct.value) << "t=" << t;
+    EXPECT_EQ(cached.arg_min_r, direct.arg_min_r) << "t=" << t;
+  }
+}
+
+TEST(SweepContextTest, BoundKeyIsCanonicalized) {
+  SweepContext context;
+  context.torus_bound({4, 8, 4}, 16);
+  EXPECT_EQ(context.bound_stats().misses, 1u);
+  // A permutation of the same dims is the same torus — must hit.
+  context.torus_bound({8, 4, 4}, 16);
+  EXPECT_EQ(context.bound_stats().hits, 1u);
+  EXPECT_EQ(context.bound_stats().misses, 1u);
+}
+
+TEST(SweepContextTest, EnumerationMatchesDirectAndCaches) {
+  SweepContext context;
+  const bgq::Machine machine = bgq::mira();
+  for (const std::int64_t size : {4, 8, 16, 24}) {
+    EXPECT_EQ(context.enumerate_geometries(machine, size),
+              bgq::enumerate_geometries(machine, size))
+        << "size " << size;
+  }
+  EXPECT_EQ(context.geometry_stats().misses, 4u);
+  context.enumerate_geometries(machine, 4);
+  EXPECT_EQ(context.geometry_stats().hits, 1u);
+}
+
+TEST(SweepContextTest, BestWorstMatchDirect) {
+  SweepContext context;
+  const bgq::Machine machine = bgq::juqueen();
+  for (const std::int64_t size : bgq::feasible_sizes(machine)) {
+    EXPECT_EQ(context.best_geometry(machine, size),
+              bgq::best_geometry(machine, size));
+    EXPECT_EQ(context.worst_geometry(machine, size),
+              bgq::worst_geometry(machine, size));
+  }
+  // Infeasible size: empty everywhere.
+  EXPECT_FALSE(context.best_geometry(machine, 9).has_value());
+  EXPECT_FALSE(bgq::best_geometry(machine, 9).has_value());
+}
+
+TEST(SweepContextTest, ProposeImprovementMatchesDirect) {
+  SweepContext context;
+  const bgq::Machine machine = bgq::mira();
+  for (const bgq::PolicyEntry& entry : bgq::mira_scheduler_partitions()) {
+    EXPECT_EQ(context.propose_improvement(machine, entry.geometry),
+              bgq::propose_improvement(machine, entry.geometry))
+        << entry.geometry.to_string();
+  }
+  EXPECT_THROW(context.propose_improvement(bgq::juqueen(),
+                                           bgq::Geometry(4, 4, 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(SweepContextTest, PingpongMatchesDirectPerTieBreak) {
+  SweepContext context;
+  simnet::PingPongConfig config;
+  config.total_rounds = 2;
+  config.warmup_rounds = 1;
+  const bgq::Geometry geometry(2, 1, 1, 1);
+  for (const simnet::TieBreak tie :
+       {simnet::TieBreak::kSplit, simnet::TieBreak::kPositive}) {
+    simnet::NetworkOptions options;
+    options.tie_break = tie;
+    const auto cached = context.pingpong(geometry, config, options);
+    const auto direct = simnet::run_pingpong(geometry, config, options);
+    EXPECT_DOUBLE_EQ(cached.measured_seconds, direct.measured_seconds);
+    EXPECT_DOUBLE_EQ(cached.total_seconds, direct.total_seconds);
+  }
+  // The two tie-breaks are distinct keys, so two misses — and a repeat hits.
+  EXPECT_EQ(context.routing_stats().misses, 2u);
+  simnet::NetworkOptions options;
+  options.tie_break = simnet::TieBreak::kSplit;
+  context.pingpong(geometry, config, options);
+  EXPECT_EQ(context.routing_stats().hits, 1u);
+}
+
+TEST(CachedGeometryOracleTest, MatchesDefaultOracle) {
+  SweepContext context;
+  const CachedGeometryOracle cached(&context);
+  const core::GeometryOracle plain;
+  const bgq::Machine machine = bgq::mira();
+  for (const std::int64_t size : {1, 2, 4, 8, 16}) {
+    EXPECT_EQ(cached.geometries(machine, size),
+              plain.geometries(machine, size));
+  }
+  EXPECT_GT(context.geometry_stats().lookups(), 0u);
+}
+
+TEST(SweepContextTest, ConcurrentLookupsAgree) {
+  SweepContext context;
+  const bgq::Machine machine = bgq::mira();
+  ThreadPool pool(4);
+  const auto results = parallel_map<std::vector<bgq::Geometry>>(
+      pool, 64,
+      [&](std::int64_t) { return context.enumerate_geometries(machine, 8); });
+  const auto expected = bgq::enumerate_geometries(machine, 8);
+  for (const auto& result : results) EXPECT_EQ(result, expected);
+  // All 64 lookups share one key; duplicated misses are allowed (computed
+  // outside the lock) but the table holds exactly one entry.
+  const CacheStats stats = context.geometry_stats();
+  EXPECT_EQ(stats.lookups(), 64u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+}  // namespace
+}  // namespace npac::sweep

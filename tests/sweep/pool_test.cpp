@@ -1,0 +1,102 @@
+// Thread-pool tests: index coverage, order preservation, deterministic
+// seeding, exception propagation, and pool reuse.
+#include "sweep/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace npac::sweep {
+namespace {
+
+TEST(TaskSeedTest, DeterministicAndDistinct) {
+  EXPECT_EQ(task_seed(42, 0), task_seed(42, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    seeds.insert(task_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across task indices
+  EXPECT_NE(task_seed(42, 0), task_seed(43, 0));  // base seed matters
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(4);
+  pool.run_indexed(4, [&](std::int64_t i) {
+    ran[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+  });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, AutoThreadCountIsPositive) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kTasks = 500;
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.run_indexed(kTasks, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(2);
+  pool.run_indexed(2, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  EXPECT_EQ(counts[0].load(), 1);
+  EXPECT_EQ(counts[1].load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.run_indexed(0, [](std::int64_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map<std::int64_t>(pool, 100, [](std::int64_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_indexed(10,
+                       [](std::int64_t i) {
+                         if (i == 3) throw std::runtime_error("task 3 failed");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after a failed run.
+  std::atomic<int> ran{0};
+  pool.run_indexed(5, [&](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
+  ThreadPool pool(3);
+  for (int run = 0; run < 20; ++run) {
+    std::atomic<int> ran{0};
+    pool.run_indexed(run, [&](std::int64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), run);
+  }
+}
+
+}  // namespace
+}  // namespace npac::sweep

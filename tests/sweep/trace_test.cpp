@@ -1,0 +1,154 @@
+// Workload-trace tests: deterministic generation, configurable mixes,
+// exact serialization round trips, and replay through the scheduler.
+#include "sweep/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bgq/machine.hpp"
+#include "sweep/cache.hpp"
+
+namespace npac::sweep {
+namespace {
+
+bool jobs_equal(const std::vector<core::Job>& a,
+                const std::vector<core::Job>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].midplanes != b[i].midplanes ||
+        a[i].base_seconds != b[i].base_seconds ||
+        a[i].contention_bound != b[i].contention_bound ||
+        a[i].arrival_seconds != b[i].arrival_seconds) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(RngTest, UnitValuesAreInRange) {
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = next_unit(state);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ZeroStateIsRemapped) {
+  std::uint64_t state = 0;
+  EXPECT_NE(next_u64(state), 0u);
+  EXPECT_NE(state, 0u);
+}
+
+TEST(TraceTest, SameSeedSameTrace) {
+  const TraceConfig config;
+  const auto a = generate_trace(bgq::mira(), config, 42);
+  const auto b = generate_trace(bgq::mira(), config, 42);
+  EXPECT_TRUE(jobs_equal(a, b));
+}
+
+TEST(TraceTest, DifferentSeedsDiffer) {
+  const TraceConfig config;
+  const auto a = generate_trace(bgq::mira(), config, 42);
+  const auto b = generate_trace(bgq::mira(), config, 43);
+  EXPECT_FALSE(jobs_equal(a, b));
+}
+
+TEST(TraceTest, ArrivalsAreNonDecreasingAndSizesAllocatable) {
+  const auto sizes = default_trace_sizes(bgq::mira());
+  const auto jobs = generate_trace(bgq::mira(), TraceConfig{}, 7);
+  ASSERT_EQ(jobs.size(), 48u);
+  double last_arrival = 0.0;
+  for (const core::Job& job : jobs) {
+    EXPECT_GE(job.arrival_seconds, last_arrival);
+    last_arrival = job.arrival_seconds;
+    EXPECT_NE(std::find(sizes.begin(), sizes.end(), job.midplanes),
+              sizes.end())
+        << "size " << job.midplanes;
+    EXPECT_GE(job.base_seconds, 20.0);
+    EXPECT_LE(job.base_seconds, 40.0);
+  }
+}
+
+TEST(TraceTest, ContentionFractionExtremes) {
+  TraceConfig config;
+  config.contention_fraction = 0.0;
+  for (const core::Job& job : generate_trace(bgq::mira(), config, 1)) {
+    EXPECT_FALSE(job.contention_bound);
+  }
+  config.contention_fraction = 1.0;
+  for (const core::Job& job : generate_trace(bgq::mira(), config, 1)) {
+    EXPECT_TRUE(job.contention_bound);
+  }
+}
+
+TEST(TraceTest, DefaultSizesRespectTheMachine) {
+  const auto mira_sizes = default_trace_sizes(bgq::mira());
+  EXPECT_EQ(mira_sizes.size(), 10u);  // the full scheduler list
+  const auto juqueen_sizes = default_trace_sizes(bgq::juqueen());
+  // 64 and 96 midplanes do not fit 7 x 2 x 2 x 2.
+  EXPECT_EQ(std::count(juqueen_sizes.begin(), juqueen_sizes.end(), 64), 0);
+  EXPECT_EQ(std::count(juqueen_sizes.begin(), juqueen_sizes.end(), 96), 0);
+  EXPECT_EQ(std::count(juqueen_sizes.begin(), juqueen_sizes.end(), 48), 1);
+}
+
+TEST(TraceTest, RejectsBadConfigs) {
+  TraceConfig config;
+  config.contention_fraction = 1.5;
+  EXPECT_THROW(generate_trace(bgq::mira(), config, 1), std::invalid_argument);
+  config = TraceConfig{};
+  config.min_base_seconds = 10.0;
+  config.max_base_seconds = 5.0;
+  EXPECT_THROW(generate_trace(bgq::mira(), config, 1), std::invalid_argument);
+  config = TraceConfig{};
+  config.sizes = {9};  // not allocatable on JUQUEEN
+  EXPECT_THROW(generate_trace(bgq::juqueen(), config, 1),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, SerializationRoundTripsExactly) {
+  const auto jobs = generate_trace(bgq::mira(), TraceConfig{}, 99);
+  const auto parsed = parse_trace(format_trace(jobs));
+  EXPECT_TRUE(jobs_equal(jobs, parsed));
+}
+
+TEST(TraceTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_trace(""), std::invalid_argument);
+  EXPECT_THROW(parse_trace("wrong,header\n"), std::invalid_argument);
+  const std::string header =
+      "id,midplanes,base_seconds,contention_bound,arrival_seconds\n";
+  EXPECT_THROW(parse_trace(header + "1,2,3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace(header + "1,2,3,4,5,6\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace(header + "x,2,3.0,1,5.0\n"), std::invalid_argument);
+  // Trailing garbage after a valid prefix must be rejected, not truncated.
+  EXPECT_THROW(parse_trace(header + "1,2,3.0abc,1,5.0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_trace(header + "1,2z,3.0,1,5.0\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, ReplayMatchesDirectSimulation) {
+  TraceConfig config;
+  config.num_jobs = 16;
+  const auto jobs = generate_trace(bgq::mira(), config, 5);
+  SweepContext context;
+  const CachedGeometryOracle oracle(&context);
+  const auto replayed = replay_trace(
+      bgq::mira(), core::SchedulerPolicy::kBestBisection, jobs, oracle);
+  const auto direct = core::simulate_schedule(
+      bgq::mira(), core::SchedulerPolicy::kBestBisection, jobs);
+  EXPECT_DOUBLE_EQ(replayed.makespan_seconds, direct.makespan_seconds);
+  EXPECT_DOUBLE_EQ(replayed.mean_slowdown, direct.mean_slowdown);
+  EXPECT_DOUBLE_EQ(replayed.mean_wait_seconds, direct.mean_wait_seconds);
+  ASSERT_EQ(replayed.jobs.size(), direct.jobs.size());
+  for (std::size_t i = 0; i < replayed.jobs.size(); ++i) {
+    EXPECT_EQ(replayed.jobs[i].placement.geometry(),
+              direct.jobs[i].placement.geometry());
+    EXPECT_DOUBLE_EQ(replayed.jobs[i].slowdown, direct.jobs[i].slowdown);
+  }
+}
+
+}  // namespace
+}  // namespace npac::sweep
