@@ -1,56 +1,59 @@
 // Ablation: balanced (split) vs static single-direction routing of
-// antipodal traffic — DESIGN.md decision #1, run as a routing sweep on the
-// src/sweep engine.
+// antipodal traffic — DESIGN.md decision #1, run on the src/sweep bench
+// runner.
 //
 // The paper's Section 4.1 remark about the Mira 24-midplane partition
 // ("some of the network links of the size 3 dimension ... are only
 // utilized in one direction") is this effect: when traffic cannot use both
 // ring directions evenly, the effective bisection halves. The ablation
-// quantifies that across a geometry x tie-break grid; routings are pulled
-// through the sweep's memo cache, so re-running an overlapping grid is
-// free.
-#include <cstdio>
-#include <cstdlib>
-
-#include "core/report.hpp"
-#include "sweep/sweep.hpp"
+// quantifies that across a geometry grid; both routings of each geometry
+// are pulled through the sweep's memo cache, so re-running an overlapping
+// grid is free (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Ablation — tie-break routing policy (bisection pairing, one "
-            "2 GiB round)");
+  return sweep::Runner::main(
+      "Ablation — tie-break routing policy (bisection pairing, one 2 GiB "
+      "round)",
+      argc, argv, [](sweep::Runner& runner) {
+        const std::vector<bgq::Geometry> geometries = {
+            bgq::Geometry(2, 1, 1, 1), bgq::Geometry(4, 1, 1, 1),
+            bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 3, 2, 1),
+            bgq::Geometry(3, 2, 2, 2)};
+        simnet::PingPongConfig config;
+        config.total_rounds = 1;
+        config.warmup_rounds = 0;
+        config.bytes_per_round = 2147483648.0;
 
-  sweep::RoutingSweepGrid grid;
-  grid.geometries = {bgq::Geometry(2, 1, 1, 1), bgq::Geometry(4, 1, 1, 1),
-                     bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 3, 2, 1),
-                     bgq::Geometry(3, 2, 2, 2)};
-  grid.tie_breaks = {simnet::TieBreak::kSplit, simnet::TieBreak::kPositive};
-  grid.config.total_rounds = 1;
-  grid.config.warmup_rounds = 0;
-  grid.config.bytes_per_round = 2147483648.0;
+        sweep::BenchGrid grid;
+        grid.columns = {"Geometry", "Split time (s)", "Single-dir time (s)",
+                        "Penalty"};
+        grid.rows = static_cast<std::int64_t>(geometries.size());
+        grid.cells = [&](std::int64_t i, std::uint64_t) {
+          const bgq::Geometry& geometry =
+              geometries[static_cast<std::size_t>(i)];
+          simnet::NetworkOptions split;
+          split.tie_break = simnet::TieBreak::kSplit;
+          simnet::NetworkOptions positive;
+          positive.tie_break = simnet::TieBreak::kPositive;
+          const double split_s =
+              runner.context().pingpong(geometry, config, split)
+                  .measured_seconds;
+          const double single_s =
+              runner.context().pingpong(geometry, config, positive)
+                  .measured_seconds;
+          return std::vector<std::string>{
+              geometry.to_string(), core::format_double(split_s, 2),
+              core::format_double(single_s, 2),
+              "x" + core::format_double(single_s / split_s, 2)};
+        };
+        runner.run(grid);
 
-  sweep::SweepOptions options;
-  options.threads = argc > 1 ? std::atoi(argv[1]) : 0;  // 0 = hardware
-
-  sweep::SweepContext context;
-  const auto rows = sweep::run_routing_sweep(grid, options, context);
-
-  // Rows are geometry-major with the tie-breaks adjacent, in grid order.
-  core::TextTable table({"Geometry", "Split time (s)", "Single-dir time (s)",
-                         "Penalty"});
-  const std::size_t stride = grid.tie_breaks.size();
-  for (std::size_t i = 0; i + stride <= rows.size(); i += stride) {
-    const double split_s = rows[i].result.measured_seconds;
-    const double single_s = rows[i + 1].result.measured_seconds;
-    table.add_row({rows[i].geometry.to_string(),
-                   core::format_double(split_s, 2),
-                   core::format_double(single_s, 2),
-                   "x" + core::format_double(single_s / split_s, 2)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nReading: antipodal pairing loses x2 when it cannot split "
+        runner.note(
+            "Reading: antipodal pairing loses x2 when it cannot split "
             "across both ring\ndirections — the simulator must model "
             "balanced minimal routing (as Blue Gene/Q's\nadaptive routing "
             "does) or it would mispredict every even-dimension geometry.");
-  return 0;
+      });
 }

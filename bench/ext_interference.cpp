@@ -2,36 +2,56 @@
 // interference. Two tenants share one torus, each running Experiment A's
 // pairing among its own nodes; compact cuboid allocations are network-
 // disjoint, interleaved (cloud-style) allocations collide.
-#include <cstdio>
-
+//
+// Runs on the src/sweep bench runner: the (host torus x layout) grid fans
+// across the thread pool (--threads N, --seed S, --csv PATH).
 #include "bgq/geometry.hpp"
-#include "core/report.hpp"
 #include "simnet/interference.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Extension — two-tenant interference, furthest-node pairing "
-            "with 0.1342 GB messages");
-  core::TextTable table({"Host torus", "Layout", "Alone A (s)",
-                         "Alone B (s)", "Shared (s)", "Interference"});
-  const double bytes = 0.1342e9;
-  for (const bgq::Geometry& g :
-       {bgq::Geometry(2, 2, 1, 1), bgq::Geometry(4, 2, 1, 1)}) {
-    const simnet::TorusNetwork network(g.node_torus());
-    for (const auto& [label, layout] :
-         {std::pair{"compact", simnet::TenantLayout::kCompact},
-          std::pair{"interleaved", simnet::TenantLayout::kInterleaved}}) {
-      const auto report =
-          simnet::tenant_pairing_interference(network, layout, bytes);
-      table.add_row({network.torus().to_string(), label,
-                     core::format_double(report.alone_seconds_a, 3),
-                     core::format_double(report.alone_seconds_b, 3),
-                     core::format_double(report.shared_seconds, 3),
-                     "x" + core::format_double(report.interference_factor, 2)});
-    }
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nReading: compact cuboid allocations never interfere (x1.00) "
+  return sweep::Runner::main(
+      "Extension — two-tenant interference, furthest-node pairing with "
+      "0.1342 GB messages",
+      argc, argv, [](sweep::Runner& runner) {
+        struct Point {
+          bgq::Geometry geometry;
+          const char* label;
+          simnet::TenantLayout layout;
+        };
+        const std::vector<Point> points = {
+            {bgq::Geometry(2, 2, 1, 1), "compact",
+             simnet::TenantLayout::kCompact},
+            {bgq::Geometry(2, 2, 1, 1), "interleaved",
+             simnet::TenantLayout::kInterleaved},
+            {bgq::Geometry(4, 2, 1, 1), "compact",
+             simnet::TenantLayout::kCompact},
+            {bgq::Geometry(4, 2, 1, 1), "interleaved",
+             simnet::TenantLayout::kInterleaved},
+        };
+        const double bytes = 0.1342e9;
+
+        sweep::BenchGrid grid;
+        grid.columns = {"Host torus",  "Layout",     "Alone A (s)",
+                        "Alone B (s)", "Shared (s)", "Interference"};
+        grid.rows = static_cast<std::int64_t>(points.size());
+        grid.cells = [&points, bytes](std::int64_t i, std::uint64_t) {
+          const Point& point = points[static_cast<std::size_t>(i)];
+          const simnet::TorusNetwork network(point.geometry.node_torus());
+          const auto report = simnet::tenant_pairing_interference(
+              network, point.layout, bytes);
+          return std::vector<std::string>{
+              network.torus().to_string(), point.label,
+              core::format_double(report.alone_seconds_a, 3),
+              core::format_double(report.alone_seconds_b, 3),
+              core::format_double(report.shared_seconds, 3),
+              "x" + core::format_double(report.interference_factor, 2)};
+        };
+        runner.run(grid);
+
+        runner.note(
+            "Reading: compact cuboid allocations never interfere (x1.00) "
             "— minimal routes\nstay inside a convex region, the property "
             "that lets Blue Gene/Q isolate jobs by\ncuboid. A scattered "
             "tenant is *faster alone* (it borrows the idle neighbour's\n"
@@ -42,5 +62,5 @@ int main() {
             "partition of that shape: it has no wrap-around links, which "
             "is exactly\nwhy Blue Gene/Q partitions are built with their "
             "own.");
-  return 0;
+      });
 }

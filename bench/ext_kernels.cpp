@@ -3,46 +3,55 @@
 //
 // Section 5 predicts direct N-body feels the internal bisection more than
 // fast matrix multiplication, and stencils not at all. The flow simulator
-// quantifies the spectrum on the paper's 4- and 8-midplane geometry pairs.
-#include <cstdio>
-
+// quantifies the spectrum on the paper's 4-, 8- and 24-midplane geometry
+// pairs.
+//
+// Runs on the src/sweep bench runner: the per-pair sensitivity analyses
+// fan across the thread pool (--threads N, --seed S, --csv PATH).
 #include "apps/kernels.hpp"
-#include "core/report.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Extension — kernel sensitivity to partition geometry "
-            "(time_worst / time_best)");
-  core::TextTable table({"Pair", "Bisection ratio", "N-body", "FFT",
-                         "Halo"});
-  struct Pair {
-    const char* label;
-    bgq::Geometry worse;
-    bgq::Geometry better;
-  };
-  const Pair pairs[] = {
-      {"4 mp: 4x1x1x1 vs 2x2x1x1", bgq::Geometry(4, 1, 1, 1),
-       bgq::Geometry(2, 2, 1, 1)},
-      {"8 mp: 4x2x1x1 vs 2x2x2x1", bgq::Geometry(4, 2, 1, 1),
-       bgq::Geometry(2, 2, 2, 1)},
-      {"24 mp: 4x3x2x1 vs 3x2x2x2", bgq::Geometry(4, 3, 2, 1),
-       bgq::Geometry(3, 2, 2, 2)},
-  };
-  for (const Pair& pair : pairs) {
-    const auto s = apps::kernel_sensitivity(pair.worse, pair.better,
-                                            /*nbody_bodies=*/1 << 20,
-                                            /*fft_points=*/1 << 24);
-    table.add_row({pair.label,
-                   "x" + core::format_double(s.bisection_ratio, 2),
-                   "x" + core::format_double(s.nbody, 2),
-                   "x" + core::format_double(s.fft, 2),
-                   "x" + core::format_double(s.halo, 2)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nReading: all-to-all N-body realizes the entire bisection "
+  return sweep::Runner::main(
+      "Extension — kernel sensitivity to partition geometry (time_worst / "
+      "time_best)",
+      argc, argv, [](sweep::Runner& runner) {
+        struct Pair {
+          const char* label;
+          bgq::Geometry worse;
+          bgq::Geometry better;
+        };
+        const std::vector<Pair> pairs = {
+            {"4 mp: 4x1x1x1 vs 2x2x1x1", bgq::Geometry(4, 1, 1, 1),
+             bgq::Geometry(2, 2, 1, 1)},
+            {"8 mp: 4x2x1x1 vs 2x2x2x1", bgq::Geometry(4, 2, 1, 1),
+             bgq::Geometry(2, 2, 2, 1)},
+            {"24 mp: 4x3x2x1 vs 3x2x2x2", bgq::Geometry(4, 3, 2, 1),
+             bgq::Geometry(3, 2, 2, 2)},
+        };
+
+        sweep::BenchGrid grid;
+        grid.columns = {"Pair", "Bisection ratio", "N-body", "FFT", "Halo"};
+        grid.rows = static_cast<std::int64_t>(pairs.size());
+        grid.cells = [&pairs](std::int64_t i, std::uint64_t) {
+          const Pair& pair = pairs[static_cast<std::size_t>(i)];
+          const auto s = apps::kernel_sensitivity(pair.worse, pair.better,
+                                                  /*nbody_bodies=*/1 << 20,
+                                                  /*fft_points=*/1 << 24);
+          return std::vector<std::string>{
+              pair.label, "x" + core::format_double(s.bisection_ratio, 2),
+              "x" + core::format_double(s.nbody, 2),
+              "x" + core::format_double(s.fft, 2),
+              "x" + core::format_double(s.halo, 2)};
+        };
+        runner.run(grid);
+
+        runner.note(
+            "Reading: all-to-all N-body realizes the entire bisection "
             "ratio (the paper's\nprediction of larger speedups than the "
             "x1.37-1.52 CAPS saw); the FFT butterfly\nrealizes part of it; "
             "the nearest-neighbour halo is geometry-immune. Compare\n"
             "bench_fig5_matmul_comm for where CAPS lands in between.");
-  return 0;
+      });
 }

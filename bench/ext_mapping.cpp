@@ -2,41 +2,59 @@
 // partition geometry. The CAPS communication schedule is simulated under
 // blocked (ABCDE), strided and random rank-to-node mappings on both the
 // current and proposed 4-midplane geometries.
-#include <cstdio>
-
-#include "core/report.hpp"
+//
+// Runs on the src/sweep bench runner: the (geometry x mapping) grid fans
+// across the thread pool; the blocked baseline of each geometry goes
+// through the shared CAPS memo cache, so it is simulated once per geometry
+// rather than once per row (--threads N, --seed S, --csv PATH).
 #include "simmpi/communicator.hpp"
 #include "strassen/caps.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Extension — task mapping x partition geometry, CAPS n = 9408, "
-            "2401 ranks, 4 BFS steps");
-  core::TextTable table({"Geometry", "Mapping", "Comm (s)",
-                         "vs blocked"});
-  const strassen::CapsParams params{9408, 2401, 4};
-  for (const bgq::Geometry& g :
-       {bgq::Geometry(4, 1, 1, 1), bgq::Geometry(2, 2, 1, 1)}) {
-    const simnet::TorusNetwork net(g.node_torus());
-    double blocked_seconds = 0.0;
-    for (const auto& [label, strategy] :
-         {std::pair{"blocked", simmpi::MappingStrategy::kBlocked},
-          std::pair{"strided", simmpi::MappingStrategy::kStrided},
-          std::pair{"random", simmpi::MappingStrategy::kRandom}}) {
-      const simmpi::Communicator comm(
-          &net, simmpi::RankMap::with_mapping(
-                    params.ranks, net.torus().num_vertices(), strategy, 1));
-      const double seconds =
-          strassen::simulate_caps_communication(comm, params);
-      if (strategy == simmpi::MappingStrategy::kBlocked) {
-        blocked_seconds = seconds;
-      }
-      table.add_row({g.to_string(), label, core::format_double(seconds, 4),
-                     "x" + core::format_double(seconds / blocked_seconds, 2)});
-    }
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nReading: mapping composes with geometry. A *random* mapping "
+  return sweep::Runner::main(
+      "Extension — task mapping x partition geometry, CAPS n = 9408, 2401 "
+      "ranks, 4 BFS steps",
+      argc, argv, [](sweep::Runner& runner) {
+        const strassen::CapsParams params{9408, 2401, 4};
+        const std::vector<bgq::Geometry> geometries = {
+            bgq::Geometry(4, 1, 1, 1), bgq::Geometry(2, 2, 1, 1)};
+        const std::vector<std::pair<const char*, simmpi::MappingStrategy>>
+            mappings = {{"blocked", simmpi::MappingStrategy::kBlocked},
+                        {"strided", simmpi::MappingStrategy::kStrided},
+                        {"random", simmpi::MappingStrategy::kRandom}};
+
+        sweep::BenchGrid grid;
+        grid.columns = {"Geometry", "Mapping", "Comm (s)", "vs blocked"};
+        grid.rows = static_cast<std::int64_t>(geometries.size() *
+                                              mappings.size());
+        grid.cells = [&](std::int64_t i, std::uint64_t) {
+          const auto& geometry = geometries[static_cast<std::size_t>(
+              i / static_cast<std::int64_t>(mappings.size()))];
+          const auto& [label, strategy] = mappings[static_cast<std::size_t>(
+              i % static_cast<std::int64_t>(mappings.size()))];
+          // The blocked mapping is RankMap's default placement, so its
+          // simulation is exactly the cached core::caps_comm_seconds.
+          const double blocked_seconds =
+              runner.context().caps_comm_seconds(geometry, params);
+          double seconds = blocked_seconds;
+          if (strategy != simmpi::MappingStrategy::kBlocked) {
+            const simnet::TorusNetwork net(geometry.node_torus());
+            const simmpi::Communicator comm(
+                &net, simmpi::RankMap::with_mapping(
+                          params.ranks, net.torus().num_vertices(), strategy,
+                          1));
+            seconds = strassen::simulate_caps_communication(comm, params);
+          }
+          return std::vector<std::string>{
+              geometry.to_string(), label, core::format_double(seconds, 4),
+              "x" + core::format_double(seconds / blocked_seconds, 2)};
+        };
+        runner.run(grid);
+
+        runner.note(
+            "Reading: mapping composes with geometry. A *random* mapping "
             "squanders part of\nwhat the better geometry buys (deep-step "
             "groups get dragged across the whole\ntorus), while the "
             "regular *strided* mapping slightly helps by load-balancing "
@@ -44,5 +62,5 @@ int main() {
             "Topology-aware mapping\n(Bhatele et al. [10]) and bisection-"
             "aware allocation are complementary knobs,\nnot "
             "interchangeable ones.");
-  return 0;
+      });
 }

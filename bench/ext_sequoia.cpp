@@ -1,32 +1,27 @@
 // Extension bench (paper Section 5): the Sequoia analysis the authors
 // could not run experiments for (the machine moved to classified work in
 // 2013). Same method as Table 7, applied to the 4 x 4 x 4 x 3 machine.
-#include <cstdio>
-
-#include "core/experiments.hpp"
+//
+// Runs on the src/sweep bench runner: per-size rows fan across the thread
+// pool and share the enumeration cache (--threads N, --seed S, --csv PATH).
 #include "core/report.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
-  using namespace npac::core;
-  std::puts("Extension — Sequoia (4 x 4 x 4 x 3 midplanes, 98304 nodes): "
-            "best and worst partitions");
-  TextTable table({"P", "Midplanes", "Worst Geometry", "Worst BW",
-                   "Best Geometry", "Best BW", "Speedup"});
-  for (const BestWorstRow& row : sequoia_rows()) {
-    const bool improved = row.best_bw != row.worst_bw;
-    table.add_row({format_int(row.nodes), format_int(row.midplanes),
-                   row.worst.to_string(), format_int(row.worst_bw),
-                   improved ? row.best.to_string() : "-",
-                   improved ? format_int(row.best_bw) : "-",
-                   improved ? "x" + format_double(static_cast<double>(
-                                        row.best_bw) /
-                                        static_cast<double>(row.worst_bw), 2)
-                            : "-"});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::printf("\n%zu of %zu sizes admit a sub-optimal allocation — "
-              "Sequoia's free-cuboid scheduler\nhas the same exposure the "
-              "paper demonstrated on JUQUEEN (up to x2).\n",
-              sequoia_improvable_rows().size(), sequoia_rows().size());
-  return 0;
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Extension — Sequoia (4 x 4 x 4 x 3 midplanes, 98304 nodes): best "
+      "and worst partitions",
+      argc, argv, [](sweep::Runner& runner) {
+        const auto rows = core::sequoia_rows(&runner.engine());
+        runner.run(sweep::best_worst_grid(rows));
+        const auto improvable =
+            core::sequoia_improvable_rows(&runner.engine());
+        runner.note(
+            core::format_int(static_cast<std::int64_t>(improvable.size())) +
+            " of " + core::format_int(static_cast<std::int64_t>(rows.size())) +
+            " sizes admit a sub-optimal allocation — Sequoia's free-cuboid "
+            "scheduler\nhas the same exposure the paper demonstrated on "
+            "JUQUEEN (up to x2).");
+      });
 }

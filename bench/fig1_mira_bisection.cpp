@@ -2,34 +2,20 @@
 // currently-defined and proposed partition geometries across all sizes
 // (series printed as rows; plot midplanes vs the two BW columns).
 //
-// Ported onto the src/sweep engine: the per-size optimal-cuboid searches
-// fan across the thread pool (argv[1] = thread count) and share the sweep
-// cache, so repeated sizes cost one enumeration. Output is identical to the
-// sequential core::mira_rows() path, which the sweep tests assert.
-#include <cstdio>
-#include <cstdlib>
-
-#include "core/report.hpp"
-#include "sweep/sweep.hpp"
+// Runs on the src/sweep bench runner: the per-size optimal-cuboid searches
+// fan across the thread pool and share the sweep cache (--threads N,
+// --seed S, --csv PATH; output is byte-identical for any thread count).
+#include "sweep/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Figure 1 — Mira: normalized bisection bandwidth per size");
-
-  sweep::SweepOptions options;
-  options.threads = argc > 1 ? std::atoi(argv[1]) : 0;  // 0 = hardware
-  sweep::SweepContext context;
-
-  core::TextTable table({"Midplanes", "Current BW", "Proposed BW"});
-  for (const core::MiraRow& row :
-       sweep::mira_bisection_sweep(options, context)) {
-    table.add_row({core::format_int(row.midplanes),
-                   core::format_int(row.current_bw),
-                   core::format_int(row.proposed_bw)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nShape check: the proposed series doubles the current one at "
+  return sweep::Runner::main(
+      "Figure 1 — Mira: normalized bisection bandwidth per size", argc, argv,
+      [](sweep::Runner& runner) {
+        runner.run(sweep::mira_grid(core::mira_rows(&runner.engine())));
+        runner.note(
+            "Shape check: the proposed series doubles the current one at "
             "4, 8 and 16\nmidplanes and adds a third at 24; the series "
             "coincide elsewhere.");
-  return 0;
+      });
 }

@@ -1,29 +1,21 @@
 // Regenerates paper Figure 2: best and worst-case bisection bandwidth of
 // JUQUEEN partitions, including the 'spiking' drops at ring-shaped sizes
-// (5, 7, 10, 14, 20, 28 midplanes).
-#include <algorithm>
-#include <cstdio>
+// (5, 7, 10, 14, 20, 28 midplanes) — the Spike column of the shared
+// best/worst grid.
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Figure 2 — JUQUEEN: best and worst-case bisection per size");
-  TextTable table({"Midplanes", "Worst BW", "Best BW", "Spike"});
-  std::int64_t best_so_far = 0;
-  for (const BestWorstRow& row : juqueen_rows()) {
-    // The Figure 2 'spiking drops': sizes whose best bisection falls below
-    // that of a smaller partition because their only cuboids are
-    // ring-shaped (dominated by the length-7 dimension).
-    const bool spike = row.best_bw < best_so_far;
-    best_so_far = std::max(best_so_far, row.best_bw);
-    table.add_row({format_int(row.midplanes), format_int(row.worst_bw),
-                   format_int(row.best_bw), spike ? "drop" : ""});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nShape check: drops at 5, 7, 10, 14, 20, 28 midplanes — "
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Figure 2 — JUQUEEN: best and worst-case bisection per size", argc,
+      argv, [](sweep::Runner& runner) {
+        runner.run(
+            sweep::best_worst_grid(core::juqueen_rows(&runner.engine())));
+        runner.note(
+            "Shape check: drops at 5, 7, 10, 14, 20, 28 midplanes — "
             "sizes whose only cuboids\nare dominated by the length-7 "
             "dimension (paper: 'ring-shaped' partitions).");
-  return 0;
+      });
 }

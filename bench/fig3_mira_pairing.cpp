@@ -2,29 +2,23 @@
 // (4 warm-up + 26 measured rounds, 2 GiB per pair per round in 16 chunks,
 // 2 GB/s/direction links), current vs proposed geometries, on the
 // flow-level contention simulator.
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner: the per-size pairing rows fan across
+// the thread pool and are memoized by geometry pair (--threads N, --seed S,
+// --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Figure 3 — Mira bisection pairing (simulated), 26 measured "
-            "rounds x 2 GiB");
-  TextTable table({"Midplanes", "Current", "Time (s)", "Proposed",
-                   "Time (s)", "Speedup", "Predicted"});
-  for (const PairingComparison& cmp : fig3_mira_pairing()) {
-    table.add_row(
-        {format_int(cmp.midplanes), cmp.baseline.to_string(),
-         format_double(cmp.baseline_result.measured_seconds, 1),
-         cmp.proposed.to_string(),
-         format_double(cmp.proposed_result.measured_seconds, 1),
-         "x" + format_double(cmp.speedup, 2),
-         "x" + format_double(cmp.predicted_speedup, 2)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nPaper: measured speedup >= 1.92 where predicted 2.00; 1.44 "
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Figure 3 — Mira bisection pairing (simulated), 26 measured rounds "
+      "x 2 GiB",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(sweep::pairing_grid(core::fig3_mira_pairing(
+            core::paper_pingpong_config(), &runner.engine())));
+        runner.note(
+            "Paper: measured speedup >= 1.92 where predicted 2.00; 1.44 "
             "(pred. 1.50) at 24\nmidplanes. The fluid model realizes the "
             "bisection-ratio prediction exactly.");
-  return 0;
+      });
 }

@@ -1,27 +1,22 @@
 // Regenerates paper Figure 4: the bisection-pairing experiment on JUQUEEN,
 // worst-case vs proposed geometries at 4/6/8/12/16 midplanes.
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner: pairing rows fan across the thread
+// pool and share the per-geometry routing cache with Figure 3 and the
+// routing sweeps (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Figure 4 — JUQUEEN bisection pairing (simulated), 26 measured "
-            "rounds x 2 GiB");
-  TextTable table({"Midplanes", "Worst-case", "Time (s)", "Proposed",
-                   "Time (s)", "Speedup"});
-  for (const PairingComparison& cmp : fig4_juqueen_pairing()) {
-    table.add_row(
-        {format_int(cmp.midplanes), cmp.baseline.to_string(),
-         format_double(cmp.baseline_result.measured_seconds, 1),
-         cmp.proposed.to_string(),
-         format_double(cmp.proposed_result.measured_seconds, 1),
-         "x" + format_double(cmp.speedup, 2)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nShape check (paper Fig. 4 caption): 4 and 8 midplanes share "
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Figure 4 — JUQUEEN bisection pairing (simulated), 26 measured "
+      "rounds x 2 GiB",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(sweep::pairing_grid(core::fig4_juqueen_pairing(
+            core::paper_pingpong_config(), &runner.engine())));
+        runner.note(
+            "Shape check (paper Fig. 4 caption): 4 and 8 midplanes share "
             "one per-node\nbisection (equal times); the 6-midplane "
             "partition is 50% worse per node.");
-  return 0;
+      });
 }

@@ -1,32 +1,25 @@
 // Regenerates paper Figure 5: CAPS Strassen-Winograd communication time on
 // Mira, current vs proposed partitions, at the Table 3 configurations.
 //
-// The 24-midplane point routes ~1.5e8 node-level flows per BFS-step phase;
-// pass --fast to skip it (the 4/8/16 points carry the figure's story).
-#include <cstdio>
-#include <cstring>
-
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+// Runs on the src/sweep bench runner: the per-size CAPS simulations fan
+// across the thread pool and are memoized per (geometry, params). The
+// 24-midplane point routes ~1.5e8 node-level flows per phase; pass --fast
+// to skip it (the 4/8/16 points carry the figure's story). Also --threads,
+// --seed, --csv.
+#include "sweep/runner.hpp"
 
 int main(int argc, char** argv) {
-  using namespace npac::core;
-  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
-  std::puts("Figure 5 — Mira CAPS matmul communication time (simulated)");
-  TextTable table({"Midplanes", "Ranks", "n", "Comm current (s)",
-                   "Comm proposed (s)", "Ratio", "Paper comp (s)"});
-  for (const MatmulComparison& cmp : fig5_matmul(!fast)) {
-    table.add_row({format_int(cmp.midplanes), format_int(cmp.params.ranks),
-                   format_int(cmp.params.n),
-                   format_double(cmp.current_comm_seconds, 3),
-                   format_double(cmp.proposed_comm_seconds, 3),
-                   "x" + format_double(cmp.comm_speedup, 2),
-                   format_double(cmp.paper_computation_seconds, 4)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nPaper: communication improves x1.37-x1.52 with proposed "
+  using namespace npac;
+  return sweep::Runner::main(
+      "Figure 5 — Mira CAPS matmul communication time (simulated)", argc,
+      argv, [](sweep::Runner& runner) {
+        runner.run(sweep::matmul_grid(
+            core::fig5_matmul(/*include_24_midplanes=*/!runner.fast(),
+                              /*bfs_steps=*/4, &runner.engine())));
+        runner.note(
+            "Paper: communication improves x1.37-x1.52 with proposed "
             "partitions\n(current 0.37/0.21/0.13/0.12 s vs proposed "
             "0.27/0.14/0.082/0.091 s).\nComputation time is geometry-"
             "independent, so wall-clock gains are x1.08-x1.22.");
-  return 0;
+      });
 }

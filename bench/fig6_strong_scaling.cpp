@@ -1,34 +1,32 @@
 // Regenerates paper Figure 6: the strong-scaling experiment (n = 9408,
 // 2/4/8 Mira midplanes) whose point is that sub-optimal partitions make a
 // perfectly scaling algorithm look like it stops scaling.
-#include <cstdio>
-
-#include "core/experiments.hpp"
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH);
+// CAPS runs are memoized, so the 2-midplane point (current == proposed)
+// is simulated once.
 #include "core/report.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
-  using namespace npac::core;
-  std::puts("Figure 6 — Mira strong scaling, CAPS n = 9408 (simulated)");
-  TextTable table({"Midplanes", "Ranks", "Comm current (s)",
-                   "Comm proposed (s)", "Paper comp (s)"});
-  const auto points = fig6_strong_scaling();
-  for (const ScalingPoint& p : points) {
-    table.add_row({format_int(p.midplanes), format_int(p.params.ranks),
-                   format_double(p.current_comm_seconds, 4),
-                   format_double(p.proposed_comm_seconds, 4),
-                   format_double(p.paper_computation_seconds, 4)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  const double current_2_to_8 =
-      points.front().current_comm_seconds / points.back().current_comm_seconds;
-  const double proposed_2_to_8 = points.front().proposed_comm_seconds /
-                                 points.back().proposed_comm_seconds;
-  std::printf("\nCommunication-cost decrease 2 -> 8 midplanes: x%.2f with "
-              "current geometries,\nx%.2f with proposed (paper: x3.3 vs "
-              "x4.4; linear would be x4).\n",
-              current_2_to_8, proposed_2_to_8);
-  std::puts("The current-geometry 2->4 step has equal bisection (256 "
-            "links), so its\ncontention cost cannot drop — the strong-"
-            "scaling illusion.");
-  return 0;
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Figure 6 — Mira strong scaling, CAPS n = 9408 (simulated)", argc,
+      argv, [](sweep::Runner& runner) {
+        const auto points =
+            core::fig6_strong_scaling(/*bfs_steps=*/4, &runner.engine());
+        runner.run(sweep::scaling_grid(points));
+        const double current_2_to_8 = points.front().current_comm_seconds /
+                                      points.back().current_comm_seconds;
+        const double proposed_2_to_8 = points.front().proposed_comm_seconds /
+                                       points.back().proposed_comm_seconds;
+        runner.note("Communication-cost decrease 2 -> 8 midplanes: x" +
+                    core::format_double(current_2_to_8, 2) +
+                    " with current geometries,\nx" +
+                    core::format_double(proposed_2_to_8, 2) +
+                    " with proposed (paper: x3.3 vs x4.4; linear would be "
+                    "x4).\nThe current-geometry 2->4 step has equal "
+                    "bisection (256 links), so its\ncontention cost cannot "
+                    "drop — the strong-scaling illusion.");
+      });
 }

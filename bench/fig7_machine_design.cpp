@@ -1,26 +1,24 @@
 // Regenerates paper Figure 7: bisection-bandwidth comparison between
 // JUQUEEN and the hypothetical balanced machines JUQUEEN-48 / JUQUEEN-54
 // (best-case partitions everywhere).
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner: per-size rows fan across the thread
+// pool and the per-machine enumerations and size lists are memoized
+// (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Figure 7 — JUQUEEN vs JUQUEEN-48 / JUQUEEN-54 best-case "
-            "bisection bandwidth");
-  TextTable table({"Midplanes", "JUQUEEN", "JUQUEEN-48", "JUQUEEN-54"});
-  for (const MachineDesignRow& row : table5_rows()) {
-    table.add_row({format_int(row.midplanes),
-                   row.juqueen ? format_int(row.juqueen_bw) : "-",
-                   row.j48 ? format_int(row.j48_bw) : "-",
-                   row.j54 ? format_int(row.j54_bw) : "-"});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nShape check: identical at small sizes; JUQUEEN-48 reaches "
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Figure 7 — JUQUEEN vs JUQUEEN-48 / JUQUEEN-54 best-case bisection "
+      "bandwidth",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(
+            sweep::machine_design_grid(core::table5_rows(&runner.engine())));
+        runner.note(
+            "Shape check: identical at small sizes; JUQUEEN-48 reaches "
             "3072 at 36/48\nmidplanes and JUQUEEN-54 reaches 4608 at 54, "
             "while JUQUEEN plateaus at 2048\n(speedups up to x1.5 and x2 "
             "respectively, with fewer midplanes than JUQUEEN's 56).");
-  return 0;
+      });
 }

@@ -1,57 +1,81 @@
-// Micro-benchmarks (google-benchmark): the isoperimetric machinery —
-// bound evaluation, cuboid enumeration, and the exhaustive oracle.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks: the isoperimetric machinery — bound evaluation, cuboid
+// enumeration, the exhaustive oracle, and the bisection search.
+//
+// Runs on the src/sweep bench runner: each row is one kernel invocation,
+// timed in the stdout table ("Row time (s)", wall clock, excluded from the
+// CSV artifact) with its deterministic result value as the correctness
+// anchor — so --csv output is byte-identical for any --threads value.
 #include "bgq/bisection.hpp"
 #include "iso/brute_force.hpp"
 #include "iso/cuboid_search.hpp"
 #include "iso/torus_bound.hpp"
+#include "sweep/runner.hpp"
 #include "topo/torus.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Micro — isoperimetric machinery (Mira node torus 16x16x12x8x2)",
+      argc, argv, [](sweep::Runner& runner) {
+        const topo::Dims mira_dims{16, 16, 12, 8, 2};
 
-using namespace npac;
-
-void BM_TorusBound(benchmark::State& state) {
-  const topo::Dims dims{16, 16, 12, 8, 2};
-  const std::int64_t t = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        iso::torus_isoperimetric_lower_bound(dims, t).value);
-  }
+        std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
+            rows = {
+            [&](std::uint64_t) {
+              return std::vector<std::string>{
+                  "torus_bound", "t=64",
+                  sweep::format_exact(
+                      iso::torus_isoperimetric_lower_bound(mira_dims, 64)
+                          .value)};
+            },
+            [&](std::uint64_t) {
+              return std::vector<std::string>{
+                  "torus_bound", "t=4096",
+                  sweep::format_exact(
+                      iso::torus_isoperimetric_lower_bound(mira_dims, 4096)
+                          .value)};
+            },
+            [&](std::uint64_t) {
+              return std::vector<std::string>{
+                  "torus_bound", "t=24576",
+                  sweep::format_exact(
+                      iso::torus_isoperimetric_lower_bound(mira_dims, 24576)
+                          .value)};
+            },
+            [&](std::uint64_t) {
+              return std::vector<std::string>{
+                  "enumerate_cuboids", "t=256",
+                  core::format_int(static_cast<std::int64_t>(
+                      iso::enumerate_cuboids(mira_dims, 256).size()))};
+            },
+            [&](std::uint64_t) {
+              return std::vector<std::string>{
+                  "enumerate_cuboids", "t=4096",
+                  core::format_int(static_cast<std::int64_t>(
+                      iso::enumerate_cuboids(mira_dims, 4096).size()))};
+            },
+            [&](std::uint64_t) {
+              const topo::Graph graph = topo::Torus({4, 3, 2}).build_graph();
+              const auto result = iso::brute_force_isoperimetric(graph, 6);
+              return std::vector<std::string>{
+                  "brute_force 4x3x2", "t=6",
+                  sweep::format_exact(result.min_cut)};
+            },
+            [&](std::uint64_t) {
+              const topo::Graph graph = topo::Torus({4, 3, 2}).build_graph();
+              const auto result = iso::brute_force_isoperimetric(graph, 12);
+              return std::vector<std::string>{
+                  "brute_force 4x3x2", "t=12",
+                  sweep::format_exact(result.min_cut)};
+            },
+            [&](std::uint64_t) {
+              return std::vector<std::string>{
+                  "bisection_by_search", "2x2x1x1",
+                  core::format_int(bgq::normalized_bisection_by_search(
+                      bgq::Geometry(2, 2, 1, 1)))};
+            },
+        };
+        runner.run(sweep::rows_grid({"Kernel", "Config", "Result"},
+                                    std::move(rows), /*timed=*/true));
+      });
 }
-BENCHMARK(BM_TorusBound)->Arg(64)->Arg(4096)->Arg(24576);
-
-void BM_EnumerateCuboids(benchmark::State& state) {
-  const topo::Dims dims{16, 16, 12, 8, 2};
-  const std::int64_t t = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::enumerate_cuboids(dims, t).size());
-  }
-}
-BENCHMARK(BM_EnumerateCuboids)->Arg(256)->Arg(4096);
-
-void BM_BruteForceIsoperimetric(benchmark::State& state) {
-  const topo::Torus torus({4, 3, 2});
-  const topo::Graph graph = torus.build_graph();
-  const std::int64_t t = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        iso::brute_force_isoperimetric(graph, t).min_cut);
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(
-          iso::brute_force_isoperimetric(graph, t).subsets_examined));
-}
-BENCHMARK(BM_BruteForceIsoperimetric)->Arg(6)->Arg(12);
-
-void BM_BisectionSearchOnNodeTorus(benchmark::State& state) {
-  const bgq::Geometry g(2, 2, 1, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bgq::normalized_bisection_by_search(g));
-  }
-}
-BENCHMARK(BM_BisectionSearchOnNodeTorus);
-
-}  // namespace

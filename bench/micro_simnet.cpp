@@ -1,47 +1,59 @@
-// Micro-benchmarks (google-benchmark): flow-routing throughput of the
-// contention simulator — the cost driver of Figures 3-6.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks: flow-routing throughput of the contention simulator —
+// the cost driver of Figures 3-6.
+//
+// Runs on the src/sweep bench runner: each row routes one traffic pattern,
+// timed in the stdout table ("Row time (s)", wall clock, excluded from the
+// CSV artifact) with its deterministic max-load / completion result as the
+// correctness anchor — so --csv output is byte-identical for any --threads
+// value.
 #include "simnet/pingpong.hpp"
 #include "simnet/traffic.hpp"
+#include "sweep/runner.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Micro — flow routing throughput (fluid contention model)", argc,
+      argv, [](sweep::Runner& runner) {
+        const auto pairing_row = [](std::int64_t a) {
+          const bgq::Geometry g(a, 1, 1, 1);
+          const simnet::TorusNetwork network(g.node_torus());
+          const auto flows =
+              simnet::furthest_node_pairing(network.torus(), 1.0e6);
+          const double max_load = network.route_all(flows).max_load();
+          return std::vector<std::string>{
+              "route_pairing", g.to_string(),
+              core::format_int(static_cast<std::int64_t>(flows.size())),
+              sweep::format_exact(max_load)};
+        };
+        const auto alltoall_row = [](std::int64_t a) {
+          const topo::Torus torus({a, 4, 4, 4, 2});
+          const simnet::TorusNetwork network(torus);
+          const auto flows = simnet::uniform_all_to_all(torus, 1.0e6);
+          const double max_load = network.route_all(flows).max_load();
+          return std::vector<std::string>{
+              "route_all_to_all", torus.to_string(),
+              core::format_int(static_cast<std::int64_t>(flows.size())),
+              sweep::format_exact(max_load)};
+        };
 
-using namespace npac;
-
-void BM_RoutePairing(benchmark::State& state) {
-  const bgq::Geometry g(state.range(0), 1, 1, 1);
-  const simnet::TorusNetwork network(g.node_torus());
-  const auto flows = simnet::furthest_node_pairing(network.torus(), 1.0e6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(network.route_all(flows).max_load());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(flows.size()));
+        std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
+            rows = {
+            [&](std::uint64_t) { return pairing_row(1); },
+            [&](std::uint64_t) { return pairing_row(2); },
+            [&](std::uint64_t) { return pairing_row(4); },
+            [&](std::uint64_t) { return alltoall_row(4); },
+            [&](std::uint64_t) { return alltoall_row(8); },
+            [&](std::uint64_t) {
+              const bgq::Geometry g(2, 2, 1, 1);
+              const simnet::TorusNetwork network(g.node_torus());
+              const auto result = simnet::run_pingpong(network, {});
+              return std::vector<std::string>{
+                  "pingpong_round", g.to_string(), "-",
+                  sweep::format_exact(result.measured_seconds)};
+            },
+        };
+        runner.run(sweep::rows_grid({"Kernel", "Config", "Flows", "Result"},
+                                    std::move(rows), /*timed=*/true));
+      });
 }
-BENCHMARK(BM_RoutePairing)->Arg(1)->Arg(2)->Arg(4);
-
-void BM_RouteAllToAll(benchmark::State& state) {
-  const topo::Torus torus({state.range(0), 4, 4, 4, 2});
-  const simnet::TorusNetwork network(torus);
-  const auto flows = simnet::uniform_all_to_all(torus, 1.0e6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(network.route_all(flows).max_load());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(flows.size()));
-}
-BENCHMARK(BM_RouteAllToAll)->Arg(4)->Arg(8);
-
-void BM_PingPongRound(benchmark::State& state) {
-  const bgq::Geometry g(2, 2, 1, 1);
-  const simnet::TorusNetwork network(g.node_torus());
-  simnet::PingPongConfig config;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        simnet::run_pingpong(network, config).measured_seconds);
-  }
-}
-BENCHMARK(BM_PingPongRound);
-
-}  // namespace

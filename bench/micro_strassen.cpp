@@ -1,49 +1,71 @@
-// Micro-benchmarks (google-benchmark): the Strassen-Winograd kernel vs
-// classical GEMM, and the CAPS communication simulation.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks: the Strassen-Winograd kernel vs classical GEMM, and
+// the CAPS communication simulation.
+//
+// Runs on the src/sweep bench runner: each row is one kernel invocation,
+// timed in the stdout table ("Row time (s)", wall clock, excluded from the
+// CSV artifact). Matrix operands derive from the runner's per-row
+// task_seed, and every Result is a pure function of (row, seed) — so --csv
+// output is byte-identical for any --threads value (and changes only with
+// --seed).
+#include <numeric>
 
 #include "simmpi/communicator.hpp"
 #include "strassen/caps.hpp"
 #include "strassen/winograd.hpp"
+#include "sweep/runner.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Micro — Strassen-Winograd kernels and CAPS simulation", argc, argv,
+      [](sweep::Runner& runner) {
+        const auto checksum = [](const strassen::Matrix& m) {
+          return std::accumulate(m.data().begin(), m.data().end(), 0.0);
+        };
+        const auto multiply_row = [&checksum](const char* kernel,
+                                              std::int64_t n,
+                                              std::uint64_t seed,
+                                              bool winograd) {
+          const auto a = strassen::Matrix::random(n, n, seed);
+          const auto b = strassen::Matrix::random(n, n, seed + 1);
+          const auto c = winograd ? strassen::strassen_winograd(a, b)
+                                  : strassen::classical_multiply(a, b);
+          return std::vector<std::string>{
+              kernel, "n=" + core::format_int(n),
+              sweep::format_exact(checksum(c))};
+        };
+        const auto caps_row = [&runner](int bfs_steps) {
+          const strassen::CapsParams params{9408, 2401, bfs_steps};
+          const double seconds = runner.context().caps_comm_seconds(
+              bgq::Geometry(2, 1, 1, 1), params);
+          return std::vector<std::string>{
+              "caps_simulation",
+              "bfs_steps=" + core::format_int(bfs_steps),
+              sweep::format_exact(seconds)};
+        };
 
-using namespace npac;
-
-void BM_ClassicalMultiply(benchmark::State& state) {
-  const auto n = state.range(0);
-  const auto a = strassen::Matrix::random(n, n, 1);
-  const auto b = strassen::Matrix::random(n, n, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(strassen::classical_multiply(a, b));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          2 * n * n * n);
+        std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
+            rows = {
+                [&](std::uint64_t seed) {
+                  return multiply_row("classical_multiply", 128, seed, false);
+                },
+                [&](std::uint64_t seed) {
+                  return multiply_row("classical_multiply", 256, seed, false);
+                },
+                [&](std::uint64_t seed) {
+                  return multiply_row("strassen_winograd", 128, seed, true);
+                },
+                [&](std::uint64_t seed) {
+                  return multiply_row("strassen_winograd", 256, seed, true);
+                },
+                [&](std::uint64_t seed) {
+                  return multiply_row("strassen_winograd", 512, seed, true);
+                },
+                [&](std::uint64_t) { return caps_row(1); },
+                [&](std::uint64_t) { return caps_row(2); },
+                [&](std::uint64_t) { return caps_row(4); },
+            };
+        runner.run(sweep::rows_grid({"Kernel", "Config", "Result"},
+                                    std::move(rows), /*timed=*/true));
+      });
 }
-BENCHMARK(BM_ClassicalMultiply)->Arg(128)->Arg(256);
-
-void BM_StrassenWinograd(benchmark::State& state) {
-  const auto n = state.range(0);
-  const auto a = strassen::Matrix::random(n, n, 1);
-  const auto b = strassen::Matrix::random(n, n, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(strassen::strassen_winograd(a, b));
-  }
-}
-BENCHMARK(BM_StrassenWinograd)->Arg(128)->Arg(256)->Arg(512);
-
-void BM_CapsSimulation(benchmark::State& state) {
-  const bgq::Geometry g(2, 1, 1, 1);
-  const simnet::TorusNetwork network(g.node_torus());
-  const simmpi::RankMap map(2401, network.torus().num_vertices());
-  const simmpi::Communicator comm(&network, map);
-  const strassen::CapsParams params{9408, 2401,
-                                    static_cast<int>(state.range(0))};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        strassen::simulate_caps_communication(comm, params));
-  }
-}
-BENCHMARK(BM_CapsSimulation)->Arg(1)->Arg(2)->Arg(4);
-
-}  // namespace

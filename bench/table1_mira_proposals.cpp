@@ -1,22 +1,17 @@
 // Regenerates paper Table 1: Mira partitions whose internal bisection
 // improves under the proposed geometry (P = 2048 / 4096 / 8192 / 12288).
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Table 1 — Mira: current vs proposed partitions (improved rows)");
-  TextTable table({"P", "Midplanes", "Current Geometry", "BW",
-                   "Proposed Geometry", "Proposed BW"});
-  for (const MiraRow& row : table1_rows()) {
-    table.add_row({format_int(row.nodes), format_int(row.midplanes),
-                   row.current.to_string(), format_int(row.current_bw),
-                   row.proposed->to_string(), format_int(row.proposed_bw)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nPaper values: 2048/4 256->512, 4096/8 512->1024, "
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Table 1 — Mira: current vs proposed partitions (improved rows)", argc,
+      argv, [](sweep::Runner& runner) {
+        runner.run(sweep::mira_grid(core::table1_rows(&runner.engine())));
+        runner.note(
+            "Paper values: 2048/4 256->512, 4096/8 512->1024, "
             "8192/16 1024->2048, 12288/24 1536->2048.");
-  return 0;
+      });
 }

@@ -1,23 +1,19 @@
 // Regenerates paper Table 2: JUQUEEN sizes where the best and worst
 // permissible geometries differ.
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Table 2 — JUQUEEN: optimal vs worst-case partitions "
-            "(rows where they differ)");
-  TextTable table({"P", "Midplanes", "Worst Geometry", "Worst BW",
-                   "Best Geometry", "Best BW"});
-  for (const BestWorstRow& row : table2_rows()) {
-    table.add_row({format_int(row.nodes), format_int(row.midplanes),
-                   row.worst.to_string(), format_int(row.worst_bw),
-                   row.best.to_string(), format_int(row.best_bw)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  std::puts("\nPaper values: every listed size doubles its bisection "
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Table 2 — JUQUEEN: optimal vs worst-case partitions (rows where "
+      "they differ)",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(
+            sweep::best_worst_grid(core::table2_rows(&runner.engine())));
+        runner.note(
+            "Paper values: every listed size doubles its bisection "
             "(256->512 ... 1024->2048).");
-  return 0;
+      });
 }

@@ -1,34 +1,46 @@
 // Regenerates paper Table 3: the matrix-multiplication experiment
-// parameters on Mira, cross-checked against the rank-placement model.
-#include <cstdio>
-
+// parameters on Mira, cross-checked against the rank-placement model
+// (the "Model avg" column must match the paper's "Avg cores/proc").
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
 #include "core/report.hpp"
 #include "simmpi/rank_map.hpp"
 #include "strassen/caps.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Table 3 — matrix multiplication experiment parameters (Mira)");
-  core::TextTable table({"P", "Midplanes", "MPI Ranks", "Max active cores",
-                         "Avg cores/proc", "Matrix dim", "f * 7^k"});
-  for (const auto& row : strassen::table3_parameters()) {
-    const auto f = strassen::factor_ranks(row.mpi_ranks, /*max_f=*/13);
-    const simmpi::RankMap map(row.mpi_ranks, row.nodes);
-    table.add_row(
-        {core::format_int(row.nodes), core::format_int(row.midplanes),
-         core::format_int(row.mpi_ranks),
-         core::format_int(row.max_active_cores),
-         core::format_double(row.avg_cores_per_proc, 2),
-         core::format_int(row.matrix_dimension),
-         f ? core::format_int(f->f) + " * 7^" + core::format_int(f->k)
-           : "?"});
-    // Placement sanity: the model's average matches the paper's column.
-    if (map.avg_ranks_per_node() < row.avg_cores_per_proc - 0.01 ||
-        map.avg_ranks_per_node() > row.avg_cores_per_proc + 0.01) {
-      std::printf("  (placement model average %.2f differs from paper)\n",
-                  map.avg_ranks_per_node());
-    }
-  }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
+  return sweep::Runner::main(
+      "Table 3 — matrix multiplication experiment parameters (Mira)", argc,
+      argv, [](sweep::Runner& runner) {
+        const auto params = strassen::table3_parameters();
+        sweep::BenchGrid grid;
+        grid.columns = {"P",          "Midplanes",      "MPI Ranks",
+                        "Max active cores", "Avg cores/proc", "Matrix dim",
+                        "f * 7^k",    "Model avg",      "Model check"};
+        grid.rows = static_cast<std::int64_t>(params.size());
+        grid.cells = [&params](std::int64_t i, std::uint64_t) {
+          const auto& row = params[static_cast<std::size_t>(i)];
+          const auto f = strassen::factor_ranks(row.mpi_ranks, /*max_f=*/13);
+          const simmpi::RankMap map(row.mpi_ranks, row.nodes);
+          // Placement sanity: the model's average must match the paper's
+          // column (within rounding), or the row flags the deviation.
+          const double model_avg = map.avg_ranks_per_node();
+          const bool agrees =
+              model_avg >= row.avg_cores_per_proc - 0.01 &&
+              model_avg <= row.avg_cores_per_proc + 0.01;
+          return std::vector<std::string>{
+              core::format_int(row.nodes),
+              core::format_int(row.midplanes),
+              core::format_int(row.mpi_ranks),
+              core::format_int(row.max_active_cores),
+              core::format_double(row.avg_cores_per_proc, 2),
+              core::format_int(row.matrix_dimension),
+              f ? core::format_int(f->f) + " * 7^" + core::format_int(f->k)
+                : "?",
+              core::format_double(model_avg, 2),
+              agrees ? "ok" : "DIFFERS"};
+        };
+        runner.run(grid);
+      });
 }

@@ -1,23 +1,33 @@
 // Regenerates paper Table 4: strong-scaling experiment parameters on Mira
 // (n = 9408), including the bisection columns that drive Figure 6.
-#include <cstdio>
-
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
 #include "core/report.hpp"
 #include "strassen/caps.hpp"
+#include "sweep/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npac;
-  std::puts("Table 4 — strong scaling experiment parameters (Mira, n = 9408)");
-  core::TextTable table({"P", "Midplanes", "MPI Ranks", "Max active cores",
-                         "Avg cores/proc", "Current BW", "Proposed BW"});
-  for (const auto& row : strassen::table4_parameters()) {
-    table.add_row(
-        {core::format_int(row.nodes), core::format_int(row.midplanes),
-         core::format_int(row.mpi_ranks),
-         core::format_int(row.max_active_cores),
-         core::format_double(row.avg_cores_per_proc, 2),
-         core::format_int(row.current_bw), core::format_int(row.proposed_bw)});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
+  return sweep::Runner::main(
+      "Table 4 — strong scaling experiment parameters (Mira, n = 9408)",
+      argc, argv, [](sweep::Runner& runner) {
+        const auto params = strassen::table4_parameters();
+        sweep::BenchGrid grid;
+        grid.columns = {"P",          "Midplanes",      "MPI Ranks",
+                        "Max active cores", "Avg cores/proc", "Current BW",
+                        "Proposed BW"};
+        grid.rows = static_cast<std::int64_t>(params.size());
+        grid.cells = [&params](std::int64_t i, std::uint64_t) {
+          const auto& row = params[static_cast<std::size_t>(i)];
+          return std::vector<std::string>{
+              core::format_int(row.nodes),
+              core::format_int(row.midplanes),
+              core::format_int(row.mpi_ranks),
+              core::format_int(row.max_active_cores),
+              core::format_double(row.avg_cores_per_proc, 2),
+              core::format_int(row.current_bw),
+              core::format_int(row.proposed_bw)};
+        };
+        runner.run(grid);
+      });
 }

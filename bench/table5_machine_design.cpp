@@ -1,25 +1,17 @@
 // Regenerates paper Table 5: full list of best-case partitions in JUQUEEN
 // and the proposed machines JUQUEEN-54 and JUQUEEN-48, with geometries.
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner: per-size rows fan across the thread
+// pool, the enumeration and size-list caches are shared with Figure 7
+// (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Table 5 — best-case partitions: JUQUEEN / JUQUEEN-54 / "
-            "JUQUEEN-48");
-  TextTable table({"P", "Midplanes", "JUQUEEN", "J BW", "JUQUEEN-54",
-                   "J-54 BW", "JUQUEEN-48", "J-48 BW"});
-  for (const MachineDesignRow& row : table5_rows()) {
-    table.add_row({format_int(row.midplanes * 512), format_int(row.midplanes),
-                   row.juqueen ? row.juqueen->to_string() : "-",
-                   row.juqueen ? format_int(row.juqueen_bw) : "-",
-                   row.j54 ? row.j54->to_string() : "-",
-                   row.j54 ? format_int(row.j54_bw) : "-",
-                   row.j48 ? row.j48->to_string() : "-",
-                   row.j48 ? format_int(row.j48_bw) : "-"});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Table 5 — best-case partitions: JUQUEEN / JUQUEEN-54 / JUQUEEN-48",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(
+            sweep::machine_design_grid(core::table5_rows(&runner.engine())));
+      });
 }

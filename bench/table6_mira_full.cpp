@@ -1,22 +1,15 @@
 // Regenerates paper Table 6 (Appendix B): the full Mira scheduler list
 // with normalized bisections and proposals where they exist.
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Table 6 — Mira: normalized bisection of all current and "
-            "proposed partitions");
-  TextTable table(
-      {"P", "Midplanes", "Current Geometry", "BW", "New Geometry", "New BW"});
-  for (const MiraRow& row : mira_rows()) {
-    table.add_row({format_int(row.nodes), format_int(row.midplanes),
-                   row.current.to_string(), format_int(row.current_bw),
-                   row.proposed ? row.proposed->to_string() : "-",
-                   row.proposed ? format_int(row.proposed_bw) : "-"});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Table 6 — Mira: normalized bisection of all current and proposed "
+      "partitions",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(sweep::mira_grid(core::mira_rows(&runner.engine())));
+      });
 }

@@ -1,22 +1,15 @@
 // Regenerates paper Table 7 (Appendix B): all JUQUEEN allocation best and
 // worst cases by compute-node count.
-#include <cstdio>
+//
+// Runs on the src/sweep bench runner (--threads N, --seed S, --csv PATH).
+#include "sweep/runner.hpp"
 
-#include "core/experiments.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace npac::core;
-  std::puts("Table 7 — JUQUEEN: allocation best and worst cases, all sizes");
-  TextTable table({"P", "Midplanes", "Worst-case Geometry", "Worst BW",
-                   "Proposed Geometry", "Proposed BW"});
-  for (const BestWorstRow& row : juqueen_rows()) {
-    const bool improved = row.best_bw != row.worst_bw;
-    table.add_row({format_int(row.nodes), format_int(row.midplanes),
-                   row.worst.to_string(), format_int(row.worst_bw),
-                   improved ? row.best.to_string() : "-",
-                   improved ? format_int(row.best_bw) : "-"});
-  }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Table 7 — JUQUEEN: allocation best and worst cases, all sizes", argc,
+      argv, [](sweep::Runner& runner) {
+        runner.run(
+            sweep::best_worst_grid(core::juqueen_rows(&runner.engine())));
+      });
 }

@@ -8,9 +8,75 @@
 
 namespace npac::core {
 
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+std::vector<std::int64_t> ExperimentEngine::feasible_sizes(
+    const bgq::Machine& machine) {
+  return bgq::feasible_sizes(machine);
+}
+
+std::optional<bgq::Geometry> ExperimentEngine::best_geometry(
+    const bgq::Machine& machine, std::int64_t midplanes) {
+  return bgq::best_geometry(machine, midplanes);
+}
+
+std::optional<bgq::Geometry> ExperimentEngine::worst_geometry(
+    const bgq::Machine& machine, std::int64_t midplanes) {
+  return bgq::worst_geometry(machine, midplanes);
+}
+
+std::optional<bgq::Geometry> ExperimentEngine::propose_improvement(
+    const bgq::Machine& machine, const bgq::Geometry& current) {
+  return bgq::propose_improvement(machine, current);
+}
+
+simnet::PingPongResult ExperimentEngine::pingpong(
+    const bgq::Geometry& geometry, const simnet::PingPongConfig& config) {
+  return simnet::run_pingpong(geometry, config);
+}
+
+PairingComparison ExperimentEngine::pairing(
+    const bgq::Geometry& baseline, const bgq::Geometry& proposed,
+    const simnet::PingPongConfig& config) {
+  return make_pairing(baseline, proposed, pingpong(baseline, config),
+                      pingpong(proposed, config));
+}
+
+double ExperimentEngine::caps_comm_seconds(const bgq::Geometry& geometry,
+                                           const strassen::CapsParams& params) {
+  return core::caps_comm_seconds(geometry, params);
+}
+
+void ExperimentEngine::parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+}
+
+ExperimentEngine& serial_engine() {
+  static ExperimentEngine engine;
+  return engine;
+}
+
 namespace {
 
-/// Simulated CAPS communication time of `params` on one geometry.
+ExperimentEngine& resolve(ExperimentEngine* engine) {
+  return engine != nullptr ? *engine : serial_engine();
+}
+
+bgq::Geometry require_best(ExperimentEngine& engine,
+                           const bgq::Machine& machine,
+                           std::int64_t midplanes) {
+  const auto best = engine.best_geometry(machine, midplanes);
+  if (!best) {
+    throw std::logic_error("no feasible geometry for requested size");
+  }
+  return *best;
+}
+
+}  // namespace
+
 double caps_comm_seconds(const bgq::Geometry& geometry,
                          const strassen::CapsParams& params) {
   const simnet::TorusNetwork network(geometry.node_torus());
@@ -19,32 +85,21 @@ double caps_comm_seconds(const bgq::Geometry& geometry,
   return strassen::simulate_caps_communication(comm, params);
 }
 
-bgq::Geometry require_best(const bgq::Machine& machine,
-                           std::int64_t midplanes) {
-  const auto best = bgq::best_geometry(machine, midplanes);
-  if (!best) {
-    throw std::logic_error("no feasible geometry for requested size");
-  }
-  return *best;
-}
-
-PairingComparison run_pairing(std::int64_t midplanes,
-                              const bgq::Geometry& baseline,
-                              const bgq::Geometry& proposed,
-                              const simnet::PingPongConfig& config) {
+PairingComparison make_pairing(const bgq::Geometry& baseline,
+                               const bgq::Geometry& proposed,
+                               const simnet::PingPongResult& baseline_result,
+                               const simnet::PingPongResult& proposed_result) {
   PairingComparison cmp;
-  cmp.midplanes = midplanes;
+  cmp.midplanes = baseline.midplanes();
   cmp.baseline = baseline;
   cmp.proposed = proposed;
-  cmp.baseline_result = simnet::run_pingpong(baseline, config);
-  cmp.proposed_result = simnet::run_pingpong(proposed, config);
+  cmp.baseline_result = baseline_result;
+  cmp.proposed_result = proposed_result;
   cmp.speedup = cmp.baseline_result.measured_seconds /
                 cmp.proposed_result.measured_seconds;
   cmp.predicted_speedup = bgq::predicted_speedup(baseline, proposed);
   return cmp;
 }
-
-}  // namespace
 
 MiraRow make_mira_row(const bgq::PolicyEntry& entry,
                       std::optional<bgq::Geometry> proposed) {
@@ -59,19 +114,23 @@ MiraRow make_mira_row(const bgq::PolicyEntry& entry,
   return row;
 }
 
-std::vector<MiraRow> mira_rows() {
+std::vector<MiraRow> mira_rows(ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
   const bgq::Machine machine = bgq::mira();
-  std::vector<MiraRow> rows;
-  for (const bgq::PolicyEntry& entry : bgq::mira_scheduler_partitions()) {
-    rows.push_back(make_mira_row(
-        entry, bgq::propose_improvement(machine, entry.geometry)));
-  }
+  const auto entries = bgq::mira_scheduler_partitions();
+  std::vector<MiraRow> rows(entries.size());
+  e.parallel_for(static_cast<std::int64_t>(entries.size()),
+                 [&](std::int64_t i) {
+                   const auto& entry = entries[static_cast<std::size_t>(i)];
+                   rows[static_cast<std::size_t>(i)] = make_mira_row(
+                       entry, e.propose_improvement(machine, entry.geometry));
+                 });
   return rows;
 }
 
-std::vector<MiraRow> table1_rows() {
+std::vector<MiraRow> table1_rows(ExperimentEngine* engine) {
   std::vector<MiraRow> rows;
-  for (const MiraRow& row : mira_rows()) {
+  for (const MiraRow& row : mira_rows(engine)) {
     if (row.proposed) rows.push_back(row);
   }
   return rows;
@@ -79,48 +138,56 @@ std::vector<MiraRow> table1_rows() {
 
 namespace {
 
-std::vector<BestWorstRow> best_worst_rows(const bgq::Machine& machine) {
-  std::vector<BestWorstRow> rows;
-  for (const std::int64_t size : bgq::feasible_sizes(machine)) {
-    BestWorstRow row;
-    row.midplanes = size;
-    row.nodes = size * bgq::kNodesPerMidplane;
-    row.worst = *bgq::worst_geometry(machine, size);
-    row.worst_bw = bgq::normalized_bisection(row.worst);
-    row.best = *bgq::best_geometry(machine, size);
-    row.best_bw = bgq::normalized_bisection(row.best);
-    rows.push_back(row);
-  }
+/// One best/worst row per feasible size of a free-cuboid machine (the
+/// Table 7 method).
+std::vector<BestWorstRow> best_worst_rows(const bgq::Machine& machine,
+                                          ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
+  const auto sizes = e.feasible_sizes(machine);
+  std::vector<BestWorstRow> rows(sizes.size());
+  e.parallel_for(
+      static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
+        const std::int64_t size = sizes[static_cast<std::size_t>(i)];
+        BestWorstRow row;
+        row.midplanes = size;
+        row.nodes = size * bgq::kNodesPerMidplane;
+        row.worst = *e.worst_geometry(machine, size);
+        row.worst_bw = bgq::normalized_bisection(row.worst);
+        row.best = *e.best_geometry(machine, size);
+        row.best_bw = bgq::normalized_bisection(row.best);
+        rows[static_cast<std::size_t>(i)] = row;
+      });
   return rows;
 }
 
 }  // namespace
 
-std::vector<BestWorstRow> juqueen_rows() {
-  return best_worst_rows(bgq::juqueen());
+std::vector<BestWorstRow> juqueen_rows(ExperimentEngine* engine) {
+  return best_worst_rows(bgq::juqueen(), engine);
 }
 
-std::vector<BestWorstRow> table2_rows() {
+std::vector<BestWorstRow> table2_rows(ExperimentEngine* engine) {
   std::vector<BestWorstRow> rows;
-  for (const BestWorstRow& row : juqueen_rows()) {
+  for (const BestWorstRow& row : juqueen_rows(engine)) {
     if (row.best_bw != row.worst_bw) rows.push_back(row);
   }
   return rows;
 }
 
-std::vector<BestWorstRow> sequoia_rows() {
-  return best_worst_rows(bgq::sequoia());
+std::vector<BestWorstRow> sequoia_rows(ExperimentEngine* engine) {
+  return best_worst_rows(bgq::sequoia(), engine);
 }
 
-std::vector<BestWorstRow> sequoia_improvable_rows() {
+std::vector<BestWorstRow> sequoia_improvable_rows(ExperimentEngine* engine) {
   std::vector<BestWorstRow> rows;
-  for (const BestWorstRow& row : sequoia_rows()) {
+  for (const BestWorstRow& row : sequoia_rows(engine)) {
     if (row.best_bw != row.worst_bw) rows.push_back(row);
   }
   return rows;
 }
 
-std::vector<MachineDesignRow> table5_rows() {
+std::vector<MachineDesignRow> table5_rows(ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
   const bgq::Machine jq = bgq::juqueen();
   const bgq::Machine j54 = bgq::juqueen54();
   const bgq::Machine j48 = bgq::juqueen48();
@@ -129,7 +196,7 @@ std::vector<MachineDesignRow> table5_rows() {
   {
     std::vector<std::int64_t> all;
     for (const bgq::Machine& m : {jq, j54, j48}) {
-      const auto feasible = bgq::feasible_sizes(m);
+      const auto feasible = e.feasible_sizes(m);
       all.insert(all.end(), feasible.begin(), feasible.end());
     }
     std::sort(all.begin(), all.end());
@@ -137,24 +204,26 @@ std::vector<MachineDesignRow> table5_rows() {
     sizes = std::move(all);
   }
 
-  std::vector<MachineDesignRow> rows;
-  for (const std::int64_t size : sizes) {
-    MachineDesignRow row;
-    row.midplanes = size;
-    if (auto g = bgq::best_geometry(jq, size)) {
-      row.juqueen = g;
-      row.juqueen_bw = bgq::normalized_bisection(*g);
-    }
-    if (auto g = bgq::best_geometry(j54, size)) {
-      row.j54 = g;
-      row.j54_bw = bgq::normalized_bisection(*g);
-    }
-    if (auto g = bgq::best_geometry(j48, size)) {
-      row.j48 = g;
-      row.j48_bw = bgq::normalized_bisection(*g);
-    }
-    rows.push_back(row);
-  }
+  std::vector<MachineDesignRow> rows(sizes.size());
+  e.parallel_for(
+      static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
+        const std::int64_t size = sizes[static_cast<std::size_t>(i)];
+        MachineDesignRow row;
+        row.midplanes = size;
+        if (auto g = e.best_geometry(jq, size)) {
+          row.juqueen = g;
+          row.juqueen_bw = bgq::normalized_bisection(*g);
+        }
+        if (auto g = e.best_geometry(j54, size)) {
+          row.j54 = g;
+          row.j54_bw = bgq::normalized_bisection(*g);
+        }
+        if (auto g = e.best_geometry(j48, size)) {
+          row.j48 = g;
+          row.j48_bw = bgq::normalized_bisection(*g);
+        }
+        rows[static_cast<std::size_t>(i)] = row;
+      });
   return rows;
 }
 
@@ -168,31 +237,40 @@ simnet::PingPongConfig paper_pingpong_config() {
 }
 
 std::vector<PairingComparison> fig3_mira_pairing(
-    const simnet::PingPongConfig& config) {
-  const bgq::Machine machine = bgq::mira();
-  std::vector<PairingComparison> result;
-  for (const MiraRow& row : table1_rows()) {
-    result.push_back(
-        run_pairing(row.midplanes, row.current, *row.proposed, config));
-  }
-  (void)machine;
+    const simnet::PingPongConfig& config, ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
+  const auto improved = table1_rows(engine);
+  std::vector<PairingComparison> result(improved.size());
+  e.parallel_for(static_cast<std::int64_t>(improved.size()),
+                 [&](std::int64_t i) {
+                   const MiraRow& row = improved[static_cast<std::size_t>(i)];
+                   result[static_cast<std::size_t>(i)] =
+                       e.pairing(row.current, *row.proposed, config);
+                 });
   return result;
 }
 
 std::vector<PairingComparison> fig4_juqueen_pairing(
-    const simnet::PingPongConfig& config) {
+    const simnet::PingPongConfig& config, ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
   const bgq::Machine machine = bgq::juqueen();
-  std::vector<PairingComparison> result;
-  for (const std::int64_t size : {4, 6, 8, 12, 16}) {
-    const bgq::Geometry worst = *bgq::worst_geometry(machine, size);
-    const bgq::Geometry best = require_best(machine, size);
-    result.push_back(run_pairing(size, worst, best, config));
-  }
+  const std::vector<std::int64_t> sizes = {4, 6, 8, 12, 16};
+  std::vector<PairingComparison> result(sizes.size());
+  e.parallel_for(static_cast<std::int64_t>(sizes.size()),
+                 [&](std::int64_t i) {
+                   const std::int64_t size = sizes[static_cast<std::size_t>(i)];
+                   const bgq::Geometry worst = *e.worst_geometry(machine, size);
+                   const bgq::Geometry best = require_best(e, machine, size);
+                   result[static_cast<std::size_t>(i)] =
+                       e.pairing(worst, best, config);
+                 });
   return result;
 }
 
 std::vector<MatmulComparison> fig5_matmul(bool include_24_midplanes,
-                                          int bfs_steps) {
+                                          int bfs_steps,
+                                          ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
   const bgq::Machine machine = bgq::mira();
   // Computation seconds the paper measured (geometry-independent).
   struct Case {
@@ -208,33 +286,36 @@ std::vector<MatmulComparison> fig5_matmul(bool include_24_midplanes,
   };
   if (include_24_midplanes) cases.push_back({24, 117649, 21952, 0.0604});
 
-  std::vector<MatmulComparison> result;
-  for (const Case& c : cases) {
+  const auto current_entry = bgq::mira_scheduler_partitions();
+  std::vector<MatmulComparison> result(cases.size());
+  e.parallel_for(static_cast<std::int64_t>(cases.size()), [&](std::int64_t i) {
+    const Case& c = cases[static_cast<std::size_t>(i)];
     MatmulComparison cmp;
     cmp.midplanes = c.midplanes;
     cmp.params = {c.n, c.ranks, bfs_steps};
     cmp.paper_computation_seconds = c.computation_seconds;
 
-    const auto current_entry = bgq::mira_scheduler_partitions();
     const auto it =
         std::find_if(current_entry.begin(), current_entry.end(),
-                     [&](const bgq::PolicyEntry& e) {
-                       return e.midplanes == c.midplanes;
+                     [&](const bgq::PolicyEntry& entry) {
+                       return entry.midplanes == c.midplanes;
                      });
     if (it == current_entry.end()) {
       throw std::logic_error("fig5: size missing from Mira scheduler list");
     }
     cmp.current = it->geometry;
-    cmp.proposed = require_best(machine, c.midplanes);
-    cmp.current_comm_seconds = caps_comm_seconds(cmp.current, cmp.params);
-    cmp.proposed_comm_seconds = caps_comm_seconds(cmp.proposed, cmp.params);
+    cmp.proposed = require_best(e, machine, c.midplanes);
+    cmp.current_comm_seconds = e.caps_comm_seconds(cmp.current, cmp.params);
+    cmp.proposed_comm_seconds = e.caps_comm_seconds(cmp.proposed, cmp.params);
     cmp.comm_speedup = cmp.current_comm_seconds / cmp.proposed_comm_seconds;
-    result.push_back(cmp);
-  }
+    result[static_cast<std::size_t>(i)] = cmp;
+  });
   return result;
 }
 
-std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps) {
+std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps,
+                                              ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
   const bgq::Machine machine = bgq::mira();
   struct Case {
     std::int64_t midplanes;
@@ -247,28 +328,30 @@ std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps) {
       {8, 9604, 2.98e-2},
   };
 
-  std::vector<ScalingPoint> result;
-  for (const Case& c : cases) {
+  const auto list = bgq::mira_scheduler_partitions();
+  std::vector<ScalingPoint> result(cases.size());
+  e.parallel_for(static_cast<std::int64_t>(cases.size()), [&](std::int64_t i) {
+    const Case& c = cases[static_cast<std::size_t>(i)];
     ScalingPoint point;
     point.midplanes = c.midplanes;
     point.params = {9408, c.ranks, bfs_steps};
     point.paper_computation_seconds = c.computation_seconds;
 
-    const auto list = bgq::mira_scheduler_partitions();
     const auto it = std::find_if(list.begin(), list.end(),
-                                 [&](const bgq::PolicyEntry& e) {
-                                   return e.midplanes == c.midplanes;
+                                 [&](const bgq::PolicyEntry& entry) {
+                                   return entry.midplanes == c.midplanes;
                                  });
     if (it == list.end()) {
       throw std::logic_error("fig6: size missing from Mira scheduler list");
     }
     point.current = it->geometry;
-    point.proposed = require_best(machine, c.midplanes);
-    point.current_comm_seconds = caps_comm_seconds(point.current, point.params);
+    point.proposed = require_best(e, machine, c.midplanes);
+    point.current_comm_seconds =
+        e.caps_comm_seconds(point.current, point.params);
     point.proposed_comm_seconds =
-        caps_comm_seconds(point.proposed, point.params);
-    result.push_back(point);
-  }
+        e.caps_comm_seconds(point.proposed, point.params);
+    result[static_cast<std::size_t>(i)] = point;
+  });
   return result;
 }
 

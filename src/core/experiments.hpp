@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -16,6 +17,55 @@
 #include "strassen/caps.hpp"
 
 namespace npac::core {
+
+// ---------------------------------------------------------------------------
+// Experiment engine: the seam through which every figure/table driver
+// obtains its expensive sub-results.
+// ---------------------------------------------------------------------------
+
+struct PairingComparison;
+
+/// Backend for the experiment drivers below. The base class computes
+/// everything directly and serially; sweep::SweepEngine overrides each hook
+/// with a memoized, thread-pooled implementation, so one code path serves
+/// both the plain API and the parallel bench/test harness. Overrides must
+/// return exactly what the base implementation would (pure functions of the
+/// arguments) — the drivers' outputs are asserted byte-identical across
+/// engines and thread counts.
+class ExperimentEngine {
+ public:
+  virtual ~ExperimentEngine() = default;
+
+  /// bgq::feasible_sizes.
+  virtual std::vector<std::int64_t> feasible_sizes(const bgq::Machine& machine);
+  /// bgq::best_geometry.
+  virtual std::optional<bgq::Geometry> best_geometry(const bgq::Machine& machine,
+                                                     std::int64_t midplanes);
+  /// bgq::worst_geometry.
+  virtual std::optional<bgq::Geometry> worst_geometry(
+      const bgq::Machine& machine, std::int64_t midplanes);
+  /// bgq::propose_improvement.
+  virtual std::optional<bgq::Geometry> propose_improvement(
+      const bgq::Machine& machine, const bgq::Geometry& current);
+  /// simnet::run_pingpong on a partition geometry (default NetworkOptions).
+  virtual simnet::PingPongResult pingpong(const bgq::Geometry& geometry,
+                                          const simnet::PingPongConfig& config);
+  /// The Experiment A row: the same ping-pong run on both geometries plus
+  /// the measured and predicted speedups (see make_pairing).
+  virtual PairingComparison pairing(const bgq::Geometry& baseline,
+                                    const bgq::Geometry& proposed,
+                                    const simnet::PingPongConfig& config);
+  /// Simulated CAPS communication time on one geometry (caps_comm_seconds).
+  virtual double caps_comm_seconds(const bgq::Geometry& geometry,
+                                   const strassen::CapsParams& params);
+  /// Runs fn(i) for i in [0, n); the base class loops serially in index
+  /// order, pooled engines fan out. Row writes must be index-addressed.
+  virtual void parallel_for(std::int64_t n,
+                            const std::function<void(std::int64_t)>& fn);
+};
+
+/// Process-wide serial, uncached engine — what `engine = nullptr` means.
+ExperimentEngine& serial_engine();
 
 // ---------------------------------------------------------------------------
 // Figures 1, 2, 7 and Tables 1, 2, 5, 6, 7: bisection-bandwidth analysis.
@@ -33,7 +83,7 @@ struct MiraRow {
 };
 
 /// Table 6 (all scheduler sizes) / Figure 1 (same data as a series).
-std::vector<MiraRow> mira_rows();
+std::vector<MiraRow> mira_rows(ExperimentEngine* engine = nullptr);
 
 /// One Table 6 row from a scheduler entry and the (possibly memoized)
 /// propose_improvement result for it — shared with the sweep engine so the
@@ -42,7 +92,7 @@ MiraRow make_mira_row(const bgq::PolicyEntry& entry,
                       std::optional<bgq::Geometry> proposed);
 
 /// Table 1: the subset of mira_rows() where the bisection improves.
-std::vector<MiraRow> table1_rows();
+std::vector<MiraRow> table1_rows(ExperimentEngine* engine = nullptr);
 
 /// One size on a free-cuboid machine: worst and best geometries.
 struct BestWorstRow {
@@ -55,19 +105,20 @@ struct BestWorstRow {
 };
 
 /// Table 7 / Figure 2: every feasible JUQUEEN size.
-std::vector<BestWorstRow> juqueen_rows();
+std::vector<BestWorstRow> juqueen_rows(ExperimentEngine* engine = nullptr);
 
 /// Table 2: the subset of juqueen_rows() where best and worst differ.
-std::vector<BestWorstRow> table2_rows();
+std::vector<BestWorstRow> table2_rows(ExperimentEngine* engine = nullptr);
 
 /// Section 5's Sequoia analysis (no table in the paper — experiments were
 /// impossible after its transition to classified work, but the analysis
 /// applies): every feasible size of the 4 x 4 x 4 x 3 machine.
-std::vector<BestWorstRow> sequoia_rows();
+std::vector<BestWorstRow> sequoia_rows(ExperimentEngine* engine = nullptr);
 
 /// The Sequoia sizes where the free-cuboid policy can hand out a
 /// sub-optimal geometry.
-std::vector<BestWorstRow> sequoia_improvable_rows();
+std::vector<BestWorstRow> sequoia_improvable_rows(
+    ExperimentEngine* engine = nullptr);
 
 /// One size in the machine-design comparison (Table 5 / Figure 7): the
 /// best-case bisection on JUQUEEN and on the hypothetical JUQUEEN-54 and
@@ -78,7 +129,7 @@ struct MachineDesignRow {
   std::int64_t juqueen_bw = 0, j54_bw = 0, j48_bw = 0;
 };
 
-std::vector<MachineDesignRow> table5_rows();
+std::vector<MachineDesignRow> table5_rows(ExperimentEngine* engine = nullptr);
 
 // ---------------------------------------------------------------------------
 // Figures 3-4: bisection-pairing experiment (Experiment A).
@@ -101,13 +152,23 @@ struct PairingComparison {
   double predicted_speedup = 1.0;
 };
 
+/// Assembles the Experiment A row from its two measurements; midplanes is
+/// taken from the baseline geometry. Shared with the sweep engine so the
+/// speedup conventions live in one place.
+PairingComparison make_pairing(const bgq::Geometry& baseline,
+                               const bgq::Geometry& proposed,
+                               const simnet::PingPongResult& baseline_result,
+                               const simnet::PingPongResult& proposed_result);
+
 /// Figure 3: Mira, 4/8/16/24 midplanes, current vs proposed.
 std::vector<PairingComparison> fig3_mira_pairing(
-    const simnet::PingPongConfig& config = paper_pingpong_config());
+    const simnet::PingPongConfig& config = paper_pingpong_config(),
+    ExperimentEngine* engine = nullptr);
 
 /// Figure 4: JUQUEEN, 4/6/8/12/16 midplanes, worst vs best.
 std::vector<PairingComparison> fig4_juqueen_pairing(
-    const simnet::PingPongConfig& config = paper_pingpong_config());
+    const simnet::PingPongConfig& config = paper_pingpong_config(),
+    ExperimentEngine* engine = nullptr);
 
 // ---------------------------------------------------------------------------
 // Figure 5: CAPS Strassen-Winograd matrix multiplication (Experiment B).
@@ -126,11 +187,18 @@ struct MatmulComparison {
   double paper_computation_seconds = 0.0;
 };
 
+/// Simulated CAPS communication time of `params` on one geometry, with
+/// ranks placed by the default blocked RankMap — the quantity Figures 5-6
+/// compare across geometries (and the sweep engine memoizes).
+double caps_comm_seconds(const bgq::Geometry& geometry,
+                         const strassen::CapsParams& params);
+
 /// Figure 5 / Table 3: Mira, 4/8/16/24 midplanes. The 24-midplane case
 /// routes ~1.5e8 node flows per phase; pass include_24_midplanes = false
 /// for a quick run.
 std::vector<MatmulComparison> fig5_matmul(bool include_24_midplanes = true,
-                                          int bfs_steps = 4);
+                                          int bfs_steps = 4,
+                                          ExperimentEngine* engine = nullptr);
 
 // ---------------------------------------------------------------------------
 // Figure 6: strong-scaling illusion (Experiment C).
@@ -149,6 +217,7 @@ struct ScalingPoint {
 
 /// Figure 6 / Table 4: Mira, 2/4/8 midplanes, n = 9408. The 2-midplane
 /// point admits only one geometry, so current == proposed there.
-std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps = 4);
+std::vector<ScalingPoint> fig6_strong_scaling(int bfs_steps = 4,
+                                              ExperimentEngine* engine = nullptr);
 
 }  // namespace npac::core

@@ -53,19 +53,11 @@ void validate(const Dims& dims, std::int64_t t) {
 
 }  // namespace
 
-namespace {
-
-/// Cut contribution of one boundary fiber in a dimension of length `a`
-/// under the simple-graph torus convention of Section 2: a proper cycle is
-/// cut twice, the degenerate C_2 (single edge) once, and a length-1
-/// dimension has no edges at all.
-double cut_weight(std::int64_t a) {
-  if (a >= 3) return 2.0;
-  if (a == 2) return 1.0;
-  return 0.0;
+std::int64_t cut_weight(std::int64_t a) {
+  if (a >= 3) return 2;
+  if (a == 2) return 1;
+  return 0;
 }
-
-}  // namespace
 
 double torus_bound_term(const Dims& dims, std::int64_t t, int r) {
   // Weighted generalization of the Theorem 3.1 expression. A cuboid that
@@ -106,7 +98,7 @@ double torus_bound_term(const Dims& dims, std::int64_t t, int r) {
         valid = false;  // a cuboid always covers length-1 dimensions
         break;
       } else {
-        product *= cut_weight(length);
+        product *= static_cast<double>(cut_weight(length));
       }
     }
     if (valid) best_product = std::min(best_product, product);
@@ -160,7 +152,7 @@ std::int64_t cuboid_cut(const Dims& dims, const Dims& len) {
   std::int64_t cut = 0;
   for (std::size_t i = 0; i < len.size(); ++i) {
     if (len[i] == dims[i]) continue;
-    cut += ((dims[i] == 2) ? 1 : 2) * (volume / len[i]);
+    cut += cut_weight(dims[i]) * (volume / len[i]);
   }
   return cut;
 }

@@ -63,10 +63,17 @@ std::optional<Dims> extremal_cuboid(const Dims& dims, std::int64_t t, int r);
 /// Theorem 3.1 bound; returns the best (minimum-cut) constructible one.
 std::optional<Dims> best_extremal_cuboid(const Dims& dims, std::int64_t t);
 
+/// Cut contribution of one boundary fiber in a dimension of length `a`
+/// under the simple-graph torus convention of Section 2: a proper cycle
+/// (a >= 3) is cut twice, the degenerate C_2 single edge once, and a
+/// length-1 dimension has no edges at all. Shared by the Theorem 3.1 terms
+/// and the exact cuboid cut so the convention cannot drift between them.
+std::int64_t cut_weight(std::int64_t a);
+
 /// Closed-form cut size of a cuboid with side lengths `len` inside a torus
 /// with dimensions `dims` (both in the same order): for every dimension i
-/// with len[i] < dims[i], each column contributes 2 cut edges (1 when
-/// dims[i] == 2). This is Lemma 3.2's counting argument.
+/// with len[i] < dims[i], each column contributes cut_weight(dims[i]) cut
+/// edges. This is Lemma 3.2's counting argument.
 std::int64_t cuboid_cut(const Dims& dims, const Dims& len);
 
 /// Exact integer p-th root if `x` is a perfect p-th power.

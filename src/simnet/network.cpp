@@ -1,6 +1,7 @@
 #include "simnet/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -67,56 +68,124 @@ TorusNetwork::TorusNetwork(topo::Torus torus, NetworkOptions options)
   }
 }
 
-void TorusNetwork::route_dimension(topo::Coord& at, std::int64_t target,
-                                   std::size_t dim, double bytes,
-                                   LinkLoads& loads) const {
-  const std::int64_t a = torus_.dims()[dim];
-  const std::int64_t from = at[dim];
-  if (from == target) return;
+namespace {
 
-  const std::int64_t forward = ((target - from) % a + a) % a;
-  const std::int64_t backward = a - forward;
+/// Routing scratch shared across the flows of one route_all call: dimension
+/// lengths and mixed-radix strides, flattened so the per-hop walk touches no
+/// std::vector<Coord> and recomputes no index_of. Tori beyond kMaxDims (far
+/// past anything a Blue Gene/Q model builds) fall back would be pointless —
+/// reject loudly instead.
+constexpr std::size_t kMaxRouteDims = 32;
 
-  auto walk = [&](int direction, std::int64_t hops, double weight) {
-    topo::Coord cursor = at;
-    for (std::int64_t step = 0; step < hops; ++step) {
-      const topo::VertexId node = torus_.index_of(cursor);
-      loads.at(node, dim, direction) += weight;
-      const std::int64_t delta = (direction == 0) ? 1 : -1;
-      cursor[dim] = ((cursor[dim] + delta) % a + a) % a;
+struct RouteScratch {
+  std::size_t num_dims = 0;
+  std::int64_t num_vertices = 1;
+  std::array<std::int64_t, kMaxRouteDims> dims{};
+  std::array<std::int64_t, kMaxRouteDims> strides{};
+
+  explicit RouteScratch(const topo::Torus& torus) {
+    num_dims = torus.num_dims();
+    if (num_dims > kMaxRouteDims) {
+      throw std::invalid_argument("route_flow: too many torus dimensions");
     }
-  };
-
-  if (a == 2) {
-    // The two directions name the same physical link; charge the sender-side
-    // + channel.
-    walk(0, 1, bytes);
-  } else if (forward < backward) {
-    walk(0, forward, bytes);
-  } else if (backward < forward) {
-    walk(1, backward, bytes);
-  } else {
-    // Antipodal tie.
-    if (options_.tie_break == TieBreak::kSplit) {
-      walk(0, forward, bytes / 2.0);
-      walk(1, backward, bytes / 2.0);
-    } else {
-      walk(0, forward, bytes);
+    for (std::size_t i = 0; i < num_dims; ++i) {
+      dims[i] = torus.dims()[i];
+      strides[i] = num_vertices;
+      num_vertices *= dims[i];
     }
   }
-  at[dim] = target;
-}
+};
 
-void TorusNetwork::route_flow(const Flow& flow, LinkLoads& loads) const {
+/// Routes one flow with incremental vertex indexing. Visits the same
+/// channels in the same order with the same weights as the original
+/// per-hop index_of walk, so accumulated loads are bit-identical.
+void route_flow_fast(const RouteScratch& scratch, TieBreak tie_break,
+                     const Flow& flow, double* loads) {
   if (flow.bytes < 0.0) {
     throw std::invalid_argument("route_flow: negative byte count");
   }
-  if (flow.src == flow.dst || flow.bytes == 0.0) return;
-  topo::Coord at = torus_.coord_of(flow.src);
-  const topo::Coord dst = torus_.coord_of(flow.dst);
-  for (std::size_t dim = 0; dim < torus_.num_dims(); ++dim) {
-    route_dimension(at, dst[dim], dim, flow.bytes, loads);
+  if (flow.src < 0 || flow.src >= scratch.num_vertices || flow.dst < 0 ||
+      flow.dst >= scratch.num_vertices) {
+    throw std::out_of_range("route_flow: vertex out of range");
   }
+  if (flow.src == flow.dst || flow.bytes == 0.0) return;
+
+  const std::size_t num_dims = scratch.num_dims;
+  std::array<std::int64_t, kMaxRouteDims> at;
+  std::array<std::int64_t, kMaxRouteDims> dst;
+  std::int64_t src_rest = flow.src;
+  std::int64_t dst_rest = flow.dst;
+  for (std::size_t i = 0; i < num_dims; ++i) {
+    at[i] = src_rest % scratch.dims[i];
+    src_rest /= scratch.dims[i];
+    dst[i] = dst_rest % scratch.dims[i];
+    dst_rest /= scratch.dims[i];
+  }
+
+  std::int64_t node = flow.src;  // kept in sync with at[]
+  for (std::size_t dim = 0; dim < num_dims; ++dim) {
+    const std::int64_t a = scratch.dims[dim];
+    const std::int64_t stride = scratch.strides[dim];
+    const std::int64_t from = at[dim];
+    const std::int64_t target = dst[dim];
+    if (from == target) continue;
+
+    const std::int64_t forward = ((target - from) % a + a) % a;
+    const std::int64_t backward = a - forward;
+
+    const auto walk = [&](int direction, std::int64_t hops, double weight) {
+      std::int64_t cursor_node = node;
+      std::int64_t coord = from;
+      for (std::int64_t step = 0; step < hops; ++step) {
+        loads[(static_cast<std::size_t>(cursor_node) * num_dims + dim) * 2 +
+              static_cast<std::size_t>(direction)] += weight;
+        if (direction == 0) {
+          if (++coord == a) {
+            coord = 0;
+            cursor_node -= (a - 1) * stride;
+          } else {
+            cursor_node += stride;
+          }
+        } else {
+          if (coord == 0) {
+            coord = a - 1;
+            cursor_node += (a - 1) * stride;
+          } else {
+            --coord;
+            cursor_node -= stride;
+          }
+        }
+      }
+    };
+
+    if (a == 2) {
+      // The two directions name the same physical link; charge the
+      // sender-side + channel.
+      walk(0, 1, flow.bytes);
+    } else if (forward < backward) {
+      walk(0, forward, flow.bytes);
+    } else if (backward < forward) {
+      walk(1, backward, flow.bytes);
+    } else {
+      // Antipodal tie.
+      if (tie_break == TieBreak::kSplit) {
+        walk(0, forward, flow.bytes / 2.0);
+        walk(1, backward, flow.bytes / 2.0);
+      } else {
+        walk(0, forward, flow.bytes);
+      }
+    }
+
+    at[dim] = target;
+    node += (target - from) * stride;
+  }
+}
+
+}  // namespace
+
+void TorusNetwork::route_flow(const Flow& flow, LinkLoads& loads) const {
+  const RouteScratch scratch(torus_);
+  route_flow_fast(scratch, options_.tie_break, flow, loads.raw().data());
 }
 
 LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
@@ -129,8 +198,11 @@ LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
 #else
   const int max_threads = 1;
 #endif
+  const RouteScratch scratch(torus_);
   if (max_threads == 1 || flows.size() < 1024) {
-    for (const Flow& flow : flows) route_flow(flow, total);
+    for (const Flow& flow : flows) {
+      route_flow_fast(scratch, options_.tie_break, flow, total.raw().data());
+    }
     return total;
   }
 
@@ -140,7 +212,8 @@ LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
 #pragma omp for schedule(static) nowait
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(flows.size());
          ++i) {
-      route_flow(flows[static_cast<std::size_t>(i)], local);
+      route_flow_fast(scratch, options_.tie_break,
+                      flows[static_cast<std::size_t>(i)], local.raw().data());
     }
 #pragma omp critical(npac_simnet_route_all)
     total.add(local);

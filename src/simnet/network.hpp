@@ -92,9 +92,6 @@ class TorusNetwork {
   std::int64_t path_hops(const Flow& flow) const;
 
  private:
-  void route_dimension(topo::Coord& at, std::int64_t target, std::size_t dim,
-                       double bytes, LinkLoads& loads) const;
-
   topo::Torus torus_;
   NetworkOptions options_;
 };

@@ -101,21 +101,38 @@ double simulate_caps_communication(const simmpi::Communicator& comm,
   simmpi::Timeline& sink = timeline != nullptr ? *timeline : local;
 
   double total_seconds = 0.0;
-  // Descend: scatter the S/T operands of every BFS step.
+  // Descend: scatter the S/T operands of every BFS step. The gather of the
+  // same step moves the identical node-flow pattern at exactly half the
+  // volume (one matrix instead of two), and the fluid model is linear in
+  // flow bytes with a power-of-two factor — halving every flow halves every
+  // channel load, injection sum, and completion time bit-exactly. So each
+  // step is routed once and its gather phase is derived by scaling, instead
+  // of re-routing ~|nodes|^2 flows per phase.
+  std::vector<simmpi::PhaseRecord> scatter_records;
+  scatter_records.reserve(static_cast<std::size_t>(params.bfs_steps));
   for (int step = 0; step < params.bfs_steps; ++step) {
     const std::int64_t group = params.ranks / pow7(step);
     const auto flows = comm.alltoall_in_groups(
         group, caps_scatter_bytes_per_rank(params, step));
     total_seconds += comm.run_phase(
         "bfs" + std::to_string(step) + ":scatter", flows, sink);
+    scatter_records.push_back(sink.records().back());
   }
-  // Ascend: gather the C products in reverse order.
+  // Ascend: gather the C products in reverse order. The volume ratio comes
+  // from the per-rank byte API (currently exactly 0.5, a power of two, so
+  // the scaling is bit-exact) — never hardcode it here, or the simulated
+  // phases would silently diverge from caps_gather_bytes_per_rank.
   for (int step = params.bfs_steps - 1; step >= 0; --step) {
-    const std::int64_t group = params.ranks / pow7(step);
-    const auto flows = comm.alltoall_in_groups(
-        group, caps_gather_bytes_per_rank(params, step));
-    total_seconds += comm.run_phase(
-        "bfs" + std::to_string(step) + ":gather", flows, sink);
+    const double ratio = caps_gather_bytes_per_rank(params, step) /
+                         caps_scatter_bytes_per_rank(params, step);
+    simmpi::PhaseRecord record =
+        scatter_records[static_cast<std::size_t>(step)];
+    record.label = "bfs" + std::to_string(step) + ":gather";
+    record.seconds *= ratio;
+    record.max_channel_bytes *= ratio;
+    record.total_bytes *= ratio;
+    total_seconds += record.seconds;
+    sink.add(std::move(record));
   }
   return total_seconds;
 }

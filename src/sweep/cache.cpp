@@ -56,10 +56,49 @@ simnet::PingPongResult SweepContext::pingpong(
       key, [&] { return simnet::run_pingpong(geometry, config, options); });
 }
 
+std::vector<std::int64_t> SweepContext::feasible_sizes(
+    const bgq::Machine& machine) {
+  return feasible_.get_or_compute(
+      machine.shape, [&] { return bgq::feasible_sizes(machine); });
+}
+
+core::PairingComparison SweepContext::pairing(
+    const bgq::Geometry& baseline, const bgq::Geometry& proposed,
+    const simnet::PingPongConfig& config) {
+  PairingKey key;
+  key.baseline = baseline.dims();
+  key.proposed = proposed.dims();
+  key.total_rounds = config.total_rounds;
+  key.warmup_rounds = config.warmup_rounds;
+  key.bytes_per_round = config.bytes_per_round;
+  key.chunks_per_round = config.chunks_per_round;
+  return pairings_.get_or_compute(key, [&] {
+    // Both runs go through the per-geometry routing cache, so a geometry
+    // shared by several pairs (or by a routing sweep) is still routed once.
+    return core::make_pairing(baseline, proposed,
+                              pingpong(baseline, config, {}),
+                              pingpong(proposed, config, {}));
+  });
+}
+
+double SweepContext::caps_comm_seconds(const bgq::Geometry& geometry,
+                                       const strassen::CapsParams& params) {
+  CapsKey key;
+  key.geometry = geometry.dims();
+  key.n = params.n;
+  key.ranks = params.ranks;
+  key.bfs_steps = params.bfs_steps;
+  return caps_.get_or_compute(
+      key, [&] { return core::caps_comm_seconds(geometry, params); });
+}
+
 void SweepContext::clear() {
   bounds_.clear();
   geometries_.clear();
   routing_.clear();
+  feasible_.clear();
+  pairings_.clear();
+  caps_.clear();
 }
 
 }  // namespace npac::sweep

@@ -22,9 +22,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/experiments.hpp"
 #include "core/scheduler.hpp"
 #include "iso/torus_bound.hpp"
 #include "simnet/pingpong.hpp"
+#include "strassen/caps.hpp"
 
 namespace npac::sweep {
 
@@ -79,6 +81,29 @@ class MemoCache {
   std::uint64_t misses_ = 0;
 };
 
+/// Cache key for one Experiment A pairing row: the two geometries plus the
+/// ping-pong protocol. Default <=> over the scalar fields.
+struct PairingKey {
+  std::array<std::int64_t, 4> baseline{1, 1, 1, 1};
+  std::array<std::int64_t, 4> proposed{1, 1, 1, 1};
+  int total_rounds = 0;
+  int warmup_rounds = 0;
+  double bytes_per_round = 0.0;
+  int chunks_per_round = 0;
+
+  auto operator<=>(const PairingKey&) const = default;
+};
+
+/// Cache key for one simulated CAPS communication run (blocked rank map).
+struct CapsKey {
+  std::array<std::int64_t, 4> geometry{1, 1, 1, 1};
+  std::int64_t n = 0;
+  std::int64_t ranks = 0;
+  int bfs_steps = 0;
+
+  auto operator<=>(const CapsKey&) const = default;
+};
+
 /// Cache key for one ping-pong routing configuration. Default <=> over the
 /// scalar fields; doubles never hold NaN here.
 struct RoutingKey {
@@ -121,9 +146,27 @@ class SweepContext {
                                   const simnet::PingPongConfig& config,
                                   const simnet::NetworkOptions& options);
 
+  /// bgq::feasible_sizes, keyed by the machine's shape — the size list the
+  /// best/worst and machine-design bound tables (Tables 2/5/7) iterate.
+  std::vector<std::int64_t> feasible_sizes(const bgq::Machine& machine);
+
+  /// The Experiment A row for a geometry pair (core::make_pairing over two
+  /// cached ping-pong runs), keyed by (baseline, proposed, protocol).
+  core::PairingComparison pairing(const bgq::Geometry& baseline,
+                                  const bgq::Geometry& proposed,
+                                  const simnet::PingPongConfig& config);
+
+  /// core::caps_comm_seconds — one simulated CAPS communication run, the
+  /// cost driver of Figures 5-6.
+  double caps_comm_seconds(const bgq::Geometry& geometry,
+                           const strassen::CapsParams& params);
+
   CacheStats bound_stats() const { return bounds_.stats(); }
   CacheStats geometry_stats() const { return geometries_.stats(); }
   CacheStats routing_stats() const { return routing_.stats(); }
+  CacheStats feasible_stats() const { return feasible_.stats(); }
+  CacheStats pairing_stats() const { return pairings_.stats(); }
+  CacheStats caps_stats() const { return caps_.stats(); }
 
   void clear();
 
@@ -132,6 +175,9 @@ class SweepContext {
   MemoCache<std::pair<bgq::Geometry, std::int64_t>, std::vector<bgq::Geometry>>
       geometries_;
   MemoCache<RoutingKey, simnet::PingPongResult> routing_;
+  MemoCache<bgq::Geometry, std::vector<std::int64_t>> feasible_;
+  MemoCache<PairingKey, core::PairingComparison> pairings_;
+  MemoCache<CapsKey, double> caps_;
 };
 
 /// core::GeometryOracle adapter: routes the scheduler simulation's geometry

@@ -44,7 +44,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work_through_run() {
   std::unique_lock<std::mutex> lock(mutex_);
-  while (fn_ != nullptr && next_task_ < num_tasks_) {
+  while (fn_ != nullptr && next_task_ < num_tasks_ && !first_error_) {
     const std::int64_t index = next_task_++;
     ++in_flight_;
     const auto* fn = fn_;
@@ -57,7 +57,12 @@ void ThreadPool::work_through_run() {
     }
     lock.lock();
     --in_flight_;
-    if (error && !first_error_) first_error_ = error;
+    if (error && !first_error_) {
+      first_error_ = error;
+      // Fail fast: advance the cursor past the end so no worker claims the
+      // unstarted tasks; run_indexed rethrows once in-flight tasks drain.
+      next_task_ = num_tasks_;
+    }
   }
   if (next_task_ >= num_tasks_ && in_flight_ == 0) run_done_.notify_all();
 }

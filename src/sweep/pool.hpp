@@ -46,9 +46,9 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, num_tasks) and blocks until all
   /// complete. The calling thread participates, so a pool constructed with
-  /// threads=1 runs everything inline. If any task throws, the first
-  /// exception is rethrown here after the run drains; remaining tasks still
-  /// execute (they may not depend on each other by contract).
+  /// threads=1 runs everything inline. If any task throws, the run fails
+  /// fast: tasks not yet claimed are skipped, already-running tasks drain,
+  /// and the first exception is rethrown here.
   void run_indexed(std::int64_t num_tasks,
                    const std::function<void(std::int64_t)>& fn);
 

@@ -1,0 +1,391 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "bgq/bisection.hpp"
+
+namespace npac::sweep {
+
+namespace {
+
+constexpr const char* kUsage =
+    "flags: [--threads N] [--seed S] [--csv PATH] [--fast]";
+
+std::int64_t parse_integer(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(flag + ": malformed integer '" + text + "'\n" +
+                                kUsage);
+  }
+  return value;
+}
+
+std::string speedup_cell(std::int64_t better_bw, std::int64_t worse_bw) {
+  if (better_bw == worse_bw) return "-";
+  return "x" + core::format_double(static_cast<double>(better_bw) /
+                                       static_cast<double>(worse_bw),
+                                   2);
+}
+
+}  // namespace
+
+RunnerConfig parse_runner_flags(int argc, char** argv) {
+  RunnerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(flag + ": missing value\n" + kUsage);
+      }
+      return argv[++i];
+    };
+    if (flag == "--threads") {
+      const std::int64_t threads = parse_integer(flag, value());
+      // < 1 selects hardware concurrency; cap the explicit count well
+      // below anything spawnable so a typo cannot ask for 10^9 workers.
+      if (threads > 4096) {
+        throw std::invalid_argument(flag + ": at most 4096 threads\n" +
+                                    kUsage);
+      }
+      config.threads = static_cast<int>(threads);
+    } else if (flag == "--seed") {
+      config.seed = static_cast<std::uint64_t>(parse_integer(flag, value()));
+    } else if (flag == "--csv") {
+      config.csv_path = value();
+    } else if (flag == "--fast") {
+      config.fast = true;
+    } else {
+      throw std::invalid_argument("unknown flag '" + flag + "'\n" + kUsage);
+    }
+  }
+  return config;
+}
+
+std::vector<std::vector<std::string>> run_grid(
+    const BenchGrid& grid, ThreadPool& pool, std::uint64_t base_seed,
+    std::vector<double>* row_seconds) {
+  std::vector<std::vector<std::string>> rows(
+      static_cast<std::size_t>(grid.rows));
+  if (row_seconds != nullptr) {
+    row_seconds->assign(static_cast<std::size_t>(grid.rows), 0.0);
+  }
+  pool.run_indexed(grid.rows, [&](std::int64_t i) {
+    const auto row_start = std::chrono::steady_clock::now();
+    rows[static_cast<std::size_t>(i)] =
+        grid.cells(i, task_seed(base_seed, i));
+    if (row_seconds != nullptr) {
+      (*row_seconds)[static_cast<std::size_t>(i)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        row_start)
+              .count();
+    }
+  });
+  return rows;
+}
+
+namespace {
+
+/// RFC 4180 quoting: cells containing a comma, quote, or newline are
+/// wrapped in quotes with inner quotes doubled; all current grid cells
+/// pass through verbatim, so this only guards future free-form labels
+/// against silently shifting columns.
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string grid_csv(const BenchGrid& grid,
+                     const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < grid.columns.size(); ++i) {
+    out << (i > 0 ? "," : "") << csv_cell(grid.columns[i]);
+  }
+  out << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i > 0 ? "," : "") << csv_cell(row[i]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+BenchGrid rows_grid(
+    std::vector<std::string> columns,
+    std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
+        row_fns,
+    bool timed) {
+  BenchGrid grid;
+  grid.columns = std::move(columns);
+  grid.rows = static_cast<std::int64_t>(row_fns.size());
+  grid.timed = timed;
+  grid.cells = [row_fns = std::move(row_fns)](std::int64_t i,
+                                              std::uint64_t seed) {
+    return row_fns[static_cast<std::size_t>(i)](seed);
+  };
+  return grid;
+}
+
+// --------------------------------------------------------------------------
+// Canonical grids
+// --------------------------------------------------------------------------
+
+BenchGrid mira_grid(std::vector<core::MiraRow> rows) {
+  BenchGrid grid;
+  grid.columns = {"P",  "Midplanes",         "Current Geometry",
+                  "BW", "Proposed Geometry", "Proposed BW"};
+  grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
+    const core::MiraRow& row = rows[static_cast<std::size_t>(i)];
+    return std::vector<std::string>{
+        core::format_int(row.nodes),
+        core::format_int(row.midplanes),
+        row.current.to_string(),
+        core::format_int(row.current_bw),
+        row.proposed ? row.proposed->to_string() : "-",
+        row.proposed ? core::format_int(row.proposed_bw) : "-"};
+  };
+  return grid;
+}
+
+BenchGrid best_worst_grid(std::vector<core::BestWorstRow> rows) {
+  BenchGrid grid;
+  grid.columns = {"P",        "Midplanes", "Worst Geometry",
+                  "Worst BW", "Best Geometry", "Best BW",
+                  "Speedup",  "Spike"};
+  grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
+    const core::BestWorstRow& row = rows[static_cast<std::size_t>(i)];
+    // Figure 2's 'spiking drop': the best bisection of this size falls
+    // below that of a smaller size (ring-shaped partitions). Pure in the
+    // row index — it only reads earlier rows of the captured vector.
+    std::int64_t best_before = 0;
+    for (std::int64_t j = 0; j < i; ++j) {
+      best_before =
+          std::max(best_before, rows[static_cast<std::size_t>(j)].best_bw);
+    }
+    return std::vector<std::string>{
+        core::format_int(row.nodes),
+        core::format_int(row.midplanes),
+        row.worst.to_string(),
+        core::format_int(row.worst_bw),
+        row.best.to_string(),
+        core::format_int(row.best_bw),
+        speedup_cell(row.best_bw, row.worst_bw),
+        row.best_bw < best_before ? "drop" : ""};
+  };
+  return grid;
+}
+
+BenchGrid machine_design_grid(std::vector<core::MachineDesignRow> rows) {
+  BenchGrid grid;
+  grid.columns = {"P",      "Midplanes", "JUQUEEN",    "J BW",
+                  "JUQUEEN-54", "J-54 BW",   "JUQUEEN-48", "J-48 BW"};
+  grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
+    const core::MachineDesignRow& row = rows[static_cast<std::size_t>(i)];
+    return std::vector<std::string>{
+        core::format_int(row.midplanes * bgq::kNodesPerMidplane),
+        core::format_int(row.midplanes),
+        row.juqueen ? row.juqueen->to_string() : "-",
+        row.juqueen ? core::format_int(row.juqueen_bw) : "-",
+        row.j54 ? row.j54->to_string() : "-",
+        row.j54 ? core::format_int(row.j54_bw) : "-",
+        row.j48 ? row.j48->to_string() : "-",
+        row.j48 ? core::format_int(row.j48_bw) : "-"};
+  };
+  return grid;
+}
+
+BenchGrid pairing_grid(std::vector<core::PairingComparison> rows) {
+  BenchGrid grid;
+  grid.columns = {"Midplanes",    "Baseline", "Baseline time (s)",
+                  "Proposed",     "Proposed time (s)", "Speedup",
+                  "Predicted"};
+  grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
+    const core::PairingComparison& cmp = rows[static_cast<std::size_t>(i)];
+    return std::vector<std::string>{
+        core::format_int(cmp.midplanes),
+        cmp.baseline.to_string(),
+        format_exact(cmp.baseline_result.measured_seconds),
+        cmp.proposed.to_string(),
+        format_exact(cmp.proposed_result.measured_seconds),
+        "x" + core::format_double(cmp.speedup, 2),
+        "x" + core::format_double(cmp.predicted_speedup, 2)};
+  };
+  return grid;
+}
+
+BenchGrid matmul_grid(std::vector<core::MatmulComparison> rows) {
+  BenchGrid grid;
+  grid.columns = {"Midplanes",         "Ranks", "n",
+                  "BFS steps",         "Comm current (s)",
+                  "Comm proposed (s)", "Ratio",
+                  "Paper comp (s)"};
+  grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
+    const core::MatmulComparison& cmp = rows[static_cast<std::size_t>(i)];
+    return std::vector<std::string>{
+        core::format_int(cmp.midplanes),
+        core::format_int(cmp.params.ranks),
+        core::format_int(cmp.params.n),
+        core::format_int(cmp.params.bfs_steps),
+        format_exact(cmp.current_comm_seconds),
+        format_exact(cmp.proposed_comm_seconds),
+        "x" + core::format_double(cmp.comm_speedup, 2),
+        core::format_double(cmp.paper_computation_seconds, 4)};
+  };
+  return grid;
+}
+
+BenchGrid scaling_grid(std::vector<core::ScalingPoint> rows) {
+  BenchGrid grid;
+  grid.columns = {"Midplanes",         "Ranks",
+                  "Comm current (s)",  "Comm proposed (s)",
+                  "Current BW",        "Proposed BW",
+                  "Paper comp (s)"};
+  grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
+    const core::ScalingPoint& point = rows[static_cast<std::size_t>(i)];
+    return std::vector<std::string>{
+        core::format_int(point.midplanes),
+        core::format_int(point.params.ranks),
+        format_exact(point.current_comm_seconds),
+        format_exact(point.proposed_comm_seconds),
+        core::format_int(bgq::normalized_bisection(point.current)),
+        core::format_int(bgq::normalized_bisection(point.proposed)),
+        core::format_double(point.paper_computation_seconds, 4)};
+  };
+  return grid;
+}
+
+// --------------------------------------------------------------------------
+// Runner
+// --------------------------------------------------------------------------
+
+Runner::Runner(std::string title, int argc, char** argv)
+    : title_(std::move(title)),
+      config_(parse_runner_flags(argc, argv)),
+      pool_(config_.threads),
+      engine_(context_, pool_),
+      start_(std::chrono::steady_clock::now()) {
+  std::printf("%s\n", title_.c_str());
+}
+
+SweepOptions Runner::sweep_options() const {
+  SweepOptions options;
+  options.threads = config_.threads;
+  options.base_seed = config_.seed;
+  return options;
+}
+
+void Runner::run(const BenchGrid& grid) {
+  std::vector<double> row_seconds;
+  std::vector<std::vector<std::string>> rows;
+  if (grid.timed) {
+    // Timed rows run serially so "Row time" measures the kernel, not
+    // contention with the other rows; results are unchanged (cells are
+    // pure in (row, seed)), only the wall-clock column is affected.
+    ThreadPool serial(1);
+    rows = run_grid(grid, serial, config_.seed, &row_seconds);
+  } else {
+    rows = run_grid(grid, pool_, config_.seed, nullptr);
+  }
+
+  std::vector<std::string> headers = grid.columns;
+  if (grid.timed) headers.push_back("Row time (s)");
+  core::TextTable table(headers);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> cells = rows[i];
+    if (grid.timed) {
+      cells.push_back(core::format_double(row_seconds[i], 4));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("\n");
+  std::fputs(table.render().c_str(), stdout);
+
+  if (!csv_.empty()) csv_ += "\n";
+  csv_ += grid_csv(grid, rows);
+}
+
+void Runner::run_csv_only(const BenchGrid& grid) {
+  const auto rows = run_grid(grid, pool_, config_.seed, nullptr);
+  if (!csv_.empty()) csv_ += "\n";
+  csv_ += grid_csv(grid, rows);
+}
+
+void Runner::note(const std::string& text) {
+  std::printf("\n%s\n", text.c_str());
+}
+
+int Runner::finish() {
+  if (!config_.csv_path.empty()) {
+    std::ofstream out(config_.csv_path, std::ios::binary);
+    out << csv_;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write CSV artifact '%s'\n",
+                   config_.csv_path.c_str());
+      return 1;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::printf("\n%.2f s on %d threads (seed %llu)",
+              elapsed, pool_.num_threads(),
+              static_cast<unsigned long long>(config_.seed));
+  const auto print_stats = [](const char* name, const CacheStats& stats) {
+    if (stats.lookups() == 0) return;
+    std::printf("; %s %llu/%llu hits", name,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.lookups()));
+  };
+  print_stats("geometries", context_.geometry_stats());
+  print_stats("bounds", context_.bound_stats());
+  print_stats("routing", context_.routing_stats());
+  print_stats("feasible", context_.feasible_stats());
+  print_stats("pairings", context_.pairing_stats());
+  print_stats("caps", context_.caps_stats());
+  std::printf("\n");
+  return 0;
+}
+
+core::ExperimentEngine& Runner::process_engine() {
+  static SweepContext context;
+  static ThreadPool pool(0);  // hardware concurrency
+  static SweepEngine engine(context, pool);
+  return engine;
+}
+
+int Runner::main(const std::string& title, int argc, char** argv,
+                 const std::function<void(Runner&)>& body) {
+  try {
+    Runner runner(title, argc, argv);
+    body(runner);
+    return runner.finish();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace npac::sweep

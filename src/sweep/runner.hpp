@@ -1,0 +1,214 @@
+// Shared bench-runner layer: every bench/ driver is a grid definition plus
+// a row function, and this module owns everything else — CLI flags
+// (--threads N, --seed S, --csv PATH, --fast), the thread pool and memo
+// caches, deterministic per-row seeding via task_seed, and table/CSV result
+// emission.
+//
+// Contract: a BenchGrid's cell function must be a pure function of
+// (row index, row seed) — never of thread ids or execution order — so a
+// driver's table and CSV artifact are byte-identical for every --threads
+// value. The determinism regression tests in tests/sweep/runner_test.cpp
+// hold ported drivers to exactly that.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/pool.hpp"
+#include "sweep/sweep.hpp"
+
+namespace npac::sweep {
+
+/// core::ExperimentEngine backend on the sweep machinery: sub-results are
+/// memoized in a SweepContext and row loops fan out on a ThreadPool. Every
+/// hook returns exactly what the serial engine would (cached values are
+/// pure functions of their keys; parallel_for writes are index-addressed),
+/// so driving an experiment through this engine changes its cost, never its
+/// output.
+class SweepEngine final : public core::ExperimentEngine {
+ public:
+  /// Both referents must outlive the engine.
+  SweepEngine(SweepContext& context, ThreadPool& pool)
+      : context_(&context), pool_(&pool) {}
+
+  std::vector<std::int64_t> feasible_sizes(
+      const bgq::Machine& machine) override {
+    return context_->feasible_sizes(machine);
+  }
+  std::optional<bgq::Geometry> best_geometry(const bgq::Machine& machine,
+                                             std::int64_t midplanes) override {
+    return context_->best_geometry(machine, midplanes);
+  }
+  std::optional<bgq::Geometry> worst_geometry(const bgq::Machine& machine,
+                                              std::int64_t midplanes) override {
+    return context_->worst_geometry(machine, midplanes);
+  }
+  std::optional<bgq::Geometry> propose_improvement(
+      const bgq::Machine& machine, const bgq::Geometry& current) override {
+    return context_->propose_improvement(machine, current);
+  }
+  simnet::PingPongResult pingpong(const bgq::Geometry& geometry,
+                                  const simnet::PingPongConfig& config) override {
+    return context_->pingpong(geometry, config, {});
+  }
+  core::PairingComparison pairing(const bgq::Geometry& baseline,
+                                  const bgq::Geometry& proposed,
+                                  const simnet::PingPongConfig& config) override {
+    return context_->pairing(baseline, proposed, config);
+  }
+  double caps_comm_seconds(const bgq::Geometry& geometry,
+                           const strassen::CapsParams& params) override {
+    return context_->caps_comm_seconds(geometry, params);
+  }
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& fn) override {
+    pool_->run_indexed(n, fn);
+  }
+
+  SweepContext& context() { return *context_; }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  SweepContext* context_;
+  ThreadPool* pool_;
+};
+
+// --------------------------------------------------------------------------
+// CLI flags
+// --------------------------------------------------------------------------
+
+struct RunnerConfig {
+  /// --threads N; < 1 selects std::thread::hardware_concurrency().
+  int threads = 0;
+  /// --seed S; the base of every task_seed in the run.
+  std::uint64_t seed = 42;
+  /// --csv PATH; empty = no CSV artifact.
+  std::string csv_path;
+  /// --fast; drivers may skip their most expensive grid points.
+  bool fast = false;
+};
+
+/// Parses the shared bench flags. Throws std::invalid_argument (with a
+/// usage line) on an unknown flag or a malformed value.
+RunnerConfig parse_runner_flags(int argc, char** argv);
+
+// --------------------------------------------------------------------------
+// Grids
+// --------------------------------------------------------------------------
+
+struct BenchGrid {
+  std::vector<std::string> columns;
+  std::int64_t rows = 0;
+  /// cells(row, seed) -> one formatted cell per column. Must be pure in
+  /// (row, seed); seed is task_seed(base_seed, row).
+  std::function<std::vector<std::string>(std::int64_t, std::uint64_t)> cells;
+  /// When set, Runner::run appends a wall-clock "Row time (s)" column to
+  /// the stdout table (never to the CSV — timing is not deterministic)
+  /// and executes the rows serially so each time measures the kernel
+  /// rather than contention with the other rows.
+  bool timed = false;
+};
+
+/// Grid over an explicit list of row functions — the micro-bench shape:
+/// one lambda per row, each a pure function of its per-row task seed.
+BenchGrid rows_grid(
+    std::vector<std::string> columns,
+    std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
+        row_fns,
+    bool timed);
+
+/// Computes all rows on the pool, in index order regardless of scheduling.
+/// When row_seconds is non-null it is resized to the row count and filled
+/// with each row's wall-clock (display only — never part of the CSV).
+std::vector<std::vector<std::string>> run_grid(
+    const BenchGrid& grid, ThreadPool& pool, std::uint64_t base_seed,
+    std::vector<double>* row_seconds = nullptr);
+
+/// CSV rendering (header + rows) of a computed grid.
+std::string grid_csv(const BenchGrid& grid,
+                     const std::vector<std::vector<std::string>>& rows);
+
+// --------------------------------------------------------------------------
+// Canonical grid definitions for the paper's row types, shared by the bench
+// drivers and the determinism regression tests.
+// --------------------------------------------------------------------------
+
+/// Table 6 / Table 1 / Figure 1 rows (Mira current vs proposed).
+BenchGrid mira_grid(std::vector<core::MiraRow> rows);
+
+/// Table 7 / Table 2 / Figure 2 / Sequoia rows (free-cuboid best vs worst).
+/// The "Spike" column marks Figure 2's ring-shaped drops (a best bisection
+/// below that of a smaller size).
+BenchGrid best_worst_grid(std::vector<core::BestWorstRow> rows);
+
+/// Table 5 / Figure 7 rows (JUQUEEN vs JUQUEEN-54 / JUQUEEN-48).
+BenchGrid machine_design_grid(std::vector<core::MachineDesignRow> rows);
+
+/// Figure 3 / Figure 4 rows (Experiment A pairing).
+BenchGrid pairing_grid(std::vector<core::PairingComparison> rows);
+
+/// Figure 5 rows (Experiment B CAPS matmul).
+BenchGrid matmul_grid(std::vector<core::MatmulComparison> rows);
+
+/// Figure 6 rows (Experiment C strong scaling).
+BenchGrid scaling_grid(std::vector<core::ScalingPoint> rows);
+
+// --------------------------------------------------------------------------
+// Runner
+// --------------------------------------------------------------------------
+
+class Runner {
+ public:
+  /// Parses flags and prints the title. Throws std::invalid_argument on bad
+  /// flags (use Runner::main to get uniform error handling).
+  Runner(std::string title, int argc, char** argv);
+
+  const RunnerConfig& config() const { return config_; }
+  bool fast() const { return config_.fast; }
+  /// The sweep options equivalent of the flags (for run_scheduler_sweep
+  /// and friends).
+  SweepOptions sweep_options() const;
+  SweepContext& context() { return context_; }
+  ThreadPool& pool() { return pool_; }
+  core::ExperimentEngine& engine() { return engine_; }
+
+  /// Runs the grid on the pool, prints it as an aligned table, and appends
+  /// it to the CSV artifact.
+  void run(const BenchGrid& grid);
+  /// Runs the grid and appends it to the CSV artifact without printing —
+  /// for full-resolution data whose stdout form is a separate summary.
+  void run_csv_only(const BenchGrid& grid);
+  /// Prints a footer paragraph (blank-line separated).
+  void note(const std::string& text);
+  /// Writes the CSV artifact (if --csv), prints elapsed time, thread count
+  /// and cache statistics. Returns the process exit code.
+  int finish();
+
+  /// Uniform driver entry point: constructs Runner(title, argc, argv),
+  /// calls body, and returns finish(); flag errors and driver exceptions
+  /// land on stderr with a nonzero exit code.
+  static int main(const std::string& title, int argc, char** argv,
+                  const std::function<void(Runner&)>& body);
+
+  /// Process-wide pooled engine — one static SweepContext + hardware-sized
+  /// ThreadPool + SweepEngine — for callers without a Runner, e.g. test
+  /// binaries sharing memoized results across their test cases.
+  static core::ExperimentEngine& process_engine();
+
+ private:
+  std::string title_;
+  RunnerConfig config_;
+  SweepContext context_;
+  ThreadPool pool_;
+  SweepEngine engine_;
+  std::string csv_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace npac::sweep

@@ -7,6 +7,7 @@
 
 #include "bgq/bisection.hpp"
 #include "bgq/policy.hpp"
+#include "sweep/runner.hpp"
 
 namespace npac::sweep {
 
@@ -208,15 +209,9 @@ std::string routing_sweep_csv(const std::vector<RoutingSweepRow>& rows) {
 
 std::vector<core::MiraRow> mira_bisection_sweep(const SweepOptions& options,
                                                 SweepContext& context) {
-  const bgq::Machine machine = bgq::mira();
-  const auto entries = bgq::mira_scheduler_partitions();
   ThreadPool pool(options.threads);
-  return parallel_map<core::MiraRow>(
-      pool, static_cast<std::int64_t>(entries.size()), [&](std::int64_t i) {
-        const bgq::PolicyEntry& entry = entries[static_cast<std::size_t>(i)];
-        return core::make_mira_row(
-            entry, context.propose_improvement(machine, entry.geometry));
-      });
+  SweepEngine engine(context, pool);
+  return core::mira_rows(&engine);
 }
 
 }  // namespace npac::sweep

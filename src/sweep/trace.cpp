@@ -117,16 +117,32 @@ std::string format_trace(const std::vector<core::Job>& jobs) {
   return out.str();
 }
 
+namespace {
+
+/// std::getline keeps the '\r' of a "\r\n" line ending; strip it so traces
+/// written (or converted) with CRLF conventions parse identically to
+/// LF-only ones.
+void strip_trailing_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
 std::vector<core::Job> parse_trace(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kTraceHeader) {
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("parse_trace: missing trace header");
+  }
+  strip_trailing_cr(line);
+  if (line != kTraceHeader) {
     throw std::invalid_argument("parse_trace: missing trace header");
   }
   std::vector<core::Job> jobs;
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    strip_trailing_cr(line);
     if (line.empty()) continue;
     std::array<std::string, 5> fields;
     std::size_t field = 0;

@@ -2,15 +2,25 @@
 // all tables). The simulator-backed figures 3-6 are covered at full paper
 // scale by the integration suite; here we validate their structure on the
 // smallest configurations.
+//
+// Every call goes through one shared sweep engine (memoized caches + a
+// hardware-sized thread pool), so results repeated across test cases —
+// the JUQUEEN/Sequoia enumerations, the Table 5 machine comparison — are
+// computed once. Engine results are asserted identical to the serial path
+// in tests/sweep/runner_test.cpp.
 #include "core/experiments.hpp"
 
 #include <gtest/gtest.h>
 
+#include "sweep/runner.hpp"
+
 namespace npac::core {
 namespace {
 
+ExperimentEngine* engine() { return &sweep::Runner::process_engine(); }
+
 TEST(ExperimentsTest, MiraRowsCoverTableSix) {
-  const auto rows = mira_rows();
+  const auto rows = mira_rows(engine());
   ASSERT_EQ(rows.size(), 10u);
   // Row "P = 2048": current 4x1x1x1 at 256, proposed 2x2x1x1 at 512.
   const auto& row = rows[2];
@@ -23,7 +33,7 @@ TEST(ExperimentsTest, MiraRowsCoverTableSix) {
 }
 
 TEST(ExperimentsTest, Table1IsTheImprovableSubset) {
-  const auto rows = table1_rows();
+  const auto rows = table1_rows(engine());
   ASSERT_EQ(rows.size(), 4u);
   EXPECT_EQ(rows[0].midplanes, 4);
   EXPECT_EQ(rows[1].midplanes, 8);
@@ -36,7 +46,7 @@ TEST(ExperimentsTest, Table1IsTheImprovableSubset) {
 }
 
 TEST(ExperimentsTest, JuqueenRowsCoverAllFeasibleSizes) {
-  const auto rows = juqueen_rows();
+  const auto rows = juqueen_rows(engine());
   EXPECT_EQ(rows.size(), 19u);  // Table 7
   for (const auto& row : rows) {
     EXPECT_GE(row.best_bw, row.worst_bw);
@@ -45,7 +55,7 @@ TEST(ExperimentsTest, JuqueenRowsCoverAllFeasibleSizes) {
 }
 
 TEST(ExperimentsTest, Table2MatchesPaper) {
-  const auto rows = table2_rows();
+  const auto rows = table2_rows(engine());
   ASSERT_EQ(rows.size(), 6u);
   // P = 12288 (24 midplanes): worst 6x2x2x1 @ 1024, best 3x2x2x2 @ 2048.
   const auto& last = rows.back();
@@ -60,13 +70,13 @@ TEST(ExperimentsTest, SequoiaRowsCoverSection5Claim) {
   // Section 5: Sequoia's scheduler permits any cuboid, so "both optimal
   // and sub-optimal permissible partitions may be defined for certain
   // midplane counts".
-  const auto rows = sequoia_rows();
+  const auto rows = sequoia_rows(engine());
   ASSERT_FALSE(rows.empty());
   for (const auto& row : rows) {
     EXPECT_GE(row.best_bw, row.worst_bw);
     EXPECT_EQ(row.nodes, row.midplanes * 512);
   }
-  const auto improvable = sequoia_improvable_rows();
+  const auto improvable = sequoia_improvable_rows(engine());
   ASSERT_FALSE(improvable.empty());
   // The familiar sizes improve by the familiar factor.
   const auto& first = improvable.front();
@@ -79,7 +89,7 @@ TEST(ExperimentsTest, SequoiaRowsCoverSection5Claim) {
 }
 
 TEST(ExperimentsTest, Table5MachineDesign) {
-  const auto rows = table5_rows();
+  const auto rows = table5_rows(engine());
   ASSERT_FALSE(rows.empty());
   for (const auto& row : rows) {
     // Where JUQUEEN-54 supports a size, its best bisection is at least
@@ -118,7 +128,7 @@ TEST(ExperimentsTest, Fig3SmallConfigRatios) {
   // model) and run the Mira pairing comparison.
   simnet::PingPongConfig config = paper_pingpong_config();
   config.bytes_per_round = 1.0e6;
-  const auto comparisons = fig3_mira_pairing(config);
+  const auto comparisons = fig3_mira_pairing(config, engine());
   ASSERT_EQ(comparisons.size(), 4u);
   for (const auto& cmp : comparisons) {
     EXPECT_NEAR(cmp.speedup, cmp.predicted_speedup, 1e-9)
@@ -129,7 +139,7 @@ TEST(ExperimentsTest, Fig3SmallConfigRatios) {
 }
 
 TEST(ExperimentsTest, Fig6StructureAtOneBfsStep) {
-  const auto points = fig6_strong_scaling(1);
+  const auto points = fig6_strong_scaling(1, engine());
   ASSERT_EQ(points.size(), 3u);
   // 2 midplanes admits a single geometry: current == proposed.
   EXPECT_EQ(points[0].current, points[0].proposed);

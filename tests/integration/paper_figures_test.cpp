@@ -1,12 +1,21 @@
 // Integration: the simulator-backed experiments (Figures 3-6) reproduce
 // the paper's headline ratios. Volumes are scaled down where the fluid
 // model makes results volume-invariant, keeping the suite fast.
+//
+// Every experiment call goes through one shared sweep engine: pairing and
+// CAPS results repeated across test cases are computed once (the caches
+// are keyed, pure functions), and row loops fan out on a hardware-sized
+// thread pool. Engine results are asserted identical to the serial path in
+// tests/sweep/runner_test.cpp.
 #include <gtest/gtest.h>
 
 #include "core/experiments.hpp"
+#include "sweep/runner.hpp"
 
 namespace npac::core {
 namespace {
+
+ExperimentEngine* engine() { return &sweep::Runner::process_engine(); }
 
 simnet::PingPongConfig fast_pingpong() {
   auto config = paper_pingpong_config();
@@ -19,7 +28,7 @@ TEST(PaperFiguresTest, Fig3MiraPairingSpeedups) {
   // factor is 2.00, and 1.44 (predicted 1.50) on 24 midplanes. Our fluid
   // model reproduces the prediction exactly: x2 for 4/8/16 midplanes and
   // x1.33 (the Table 1 bisection ratio 2048/1536) for 24.
-  const auto comparisons = fig3_mira_pairing(fast_pingpong());
+  const auto comparisons = fig3_mira_pairing(fast_pingpong(), engine());
   ASSERT_EQ(comparisons.size(), 4u);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_NEAR(comparisons[i].speedup, 2.0, 1e-9)
@@ -33,7 +42,7 @@ TEST(PaperFiguresTest, Fig3BaselineTimesAreFlatAcrossScale) {
   // Figure 3's current-partition times are nearly flat in midplane count:
   // per-node bisection is constant (256 links per 2048 nodes at every
   // size) for 4/8/16 midplanes.
-  const auto comparisons = fig3_mira_pairing(fast_pingpong());
+  const auto comparisons = fig3_mira_pairing(fast_pingpong(), engine());
   const double t4 = comparisons[0].baseline_result.measured_seconds;
   const double t8 = comparisons[1].baseline_result.measured_seconds;
   const double t16 = comparisons[2].baseline_result.measured_seconds;
@@ -42,7 +51,7 @@ TEST(PaperFiguresTest, Fig3BaselineTimesAreFlatAcrossScale) {
 }
 
 TEST(PaperFiguresTest, Fig4JuqueenPairingSpeedups) {
-  const auto comparisons = fig4_juqueen_pairing(fast_pingpong());
+  const auto comparisons = fig4_juqueen_pairing(fast_pingpong(), engine());
   ASSERT_EQ(comparisons.size(), 5u);
   // Worst vs best differ by exactly the predicted x2 at 4/6/8/12/16.
   for (const auto& cmp : comparisons) {
@@ -54,7 +63,7 @@ TEST(PaperFiguresTest, Fig4JuqueenPairingSpeedups) {
 TEST(PaperFiguresTest, Fig4SixMidplaneCaseIsSlowerPerNode) {
   // Figure 4's caption: per-node bisection of the 6-midplane best case is
   // half that of the 4- and 8-midplane best cases, so its time is ~2x.
-  const auto comparisons = fig4_juqueen_pairing(fast_pingpong());
+  const auto comparisons = fig4_juqueen_pairing(fast_pingpong(), engine());
   const double t4 = comparisons[0].proposed_result.measured_seconds;
   const double t6 = comparisons[1].proposed_result.measured_seconds;
   const double t8 = comparisons[2].proposed_result.measured_seconds;
@@ -68,7 +77,7 @@ TEST(PaperFiguresTest, Fig5MatmulCommunicationImproves) {
   // assert the direction everywhere and the magnitude window loosely
   // (our substrate is a simulator, not Mira).
   const auto comparisons = fig5_matmul(/*include_24_midplanes=*/false,
-                                       /*bfs_steps=*/2);
+                                       /*bfs_steps=*/2, engine());
   ASSERT_EQ(comparisons.size(), 3u);
   for (const auto& cmp : comparisons) {
     EXPECT_GT(cmp.comm_speedup, 1.2) << cmp.midplanes;
@@ -82,7 +91,7 @@ TEST(PaperFiguresTest, Fig6ProposedScalesLinearlyCurrentDoesNot) {
   // decreases ~linearly from 2 to 8 midplanes; with the current
   // partitions the 2->4 step is flat (equal bisection), which is the
   // "strong-scaling illusion".
-  const auto points = fig6_strong_scaling(/*bfs_steps=*/2);
+  const auto points = fig6_strong_scaling(/*bfs_steps=*/2, engine());
   ASSERT_EQ(points.size(), 3u);
   const double proposed_ratio_2_to_8 = points[0].proposed_comm_seconds /
                                        points[2].proposed_comm_seconds;
@@ -97,7 +106,7 @@ TEST(PaperFiguresTest, Fig6ProposedScalesLinearlyCurrentDoesNot) {
 }
 
 TEST(PaperFiguresTest, Fig6TableFourBisectionColumn) {
-  const auto points = fig6_strong_scaling(1);
+  const auto points = fig6_strong_scaling(1, engine());
   EXPECT_EQ(bgq::normalized_bisection(points[0].current), 256);
   EXPECT_EQ(bgq::normalized_bisection(points[1].current), 256);
   EXPECT_EQ(bgq::normalized_bisection(points[1].proposed), 512);

@@ -230,6 +230,22 @@ TEST(CuboidCutTest, ClosedForm) {
   EXPECT_EQ(cuboid_cut({4, 4}, {4, 4}), 0);
 }
 
+TEST(CuboidCutTest, SharesCutWeightConventionWithBound) {
+  // cut_weight is the single source of the per-fiber convention used by
+  // both the Theorem 3.1 terms and the exact cuboid cut.
+  EXPECT_EQ(cut_weight(1), 0);
+  EXPECT_EQ(cut_weight(2), 1);
+  EXPECT_EQ(cut_weight(3), 2);
+  EXPECT_EQ(cut_weight(7), 2);
+  // cuboid_cut is exactly sum_i cut_weight(dims[i]) * volume / len[i] over
+  // the dimensions the cuboid does not fully cover.
+  const Dims dims{5, 2, 2, 1};
+  const Dims len{2, 1, 2, 1};
+  const std::int64_t volume = 2 * 1 * 2 * 1;
+  EXPECT_EQ(cuboid_cut(dims, len),
+            cut_weight(5) * (volume / 2) + cut_weight(2) * (volume / 1));
+}
+
 TEST(CuboidCutTest, Validation) {
   EXPECT_THROW(cuboid_cut({4, 4}, {2}), std::invalid_argument);
   EXPECT_THROW(cuboid_cut({4, 4}, {5, 1}), std::invalid_argument);

@@ -1,0 +1,189 @@
+// Bench-runner tests: flag parsing, grid execution and CSV rendering, the
+// SweepEngine's agreement with the serial engine, and the determinism
+// regression the ported drivers are held to — byte-identical CSV output
+// between --threads 1 and --threads N.
+#include "sweep/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace npac::sweep {
+namespace {
+
+simnet::PingPongConfig fast_pingpong() {
+  auto config = core::paper_pingpong_config();
+  config.bytes_per_round = 1.0e6;  // ratios are volume-invariant
+  return config;
+}
+
+TEST(RunnerFlagsTest, DefaultsAndAllFlags) {
+  const RunnerConfig defaults = parse_runner_flags(1, nullptr);
+  EXPECT_EQ(defaults.threads, 0);
+  EXPECT_EQ(defaults.seed, 42u);
+  EXPECT_TRUE(defaults.csv_path.empty());
+  EXPECT_FALSE(defaults.fast);
+
+  const char* argv[] = {"bench", "--threads", "3",       "--seed", "7",
+                        "--csv", "/tmp/x.csv", "--fast"};
+  const RunnerConfig config =
+      parse_runner_flags(8, const_cast<char**>(argv));
+  EXPECT_EQ(config.threads, 3);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.csv_path, "/tmp/x.csv");
+  EXPECT_TRUE(config.fast);
+}
+
+TEST(RunnerFlagsTest, RejectsUnknownAndMalformed) {
+  const char* unknown[] = {"bench", "--frobnicate"};
+  EXPECT_THROW(parse_runner_flags(2, const_cast<char**>(unknown)),
+               std::invalid_argument);
+  const char* missing[] = {"bench", "--threads"};
+  EXPECT_THROW(parse_runner_flags(2, const_cast<char**>(missing)),
+               std::invalid_argument);
+  const char* malformed[] = {"bench", "--threads", "two"};
+  EXPECT_THROW(parse_runner_flags(3, const_cast<char**>(malformed)),
+               std::invalid_argument);
+  const char* overflow[] = {"bench", "--threads", "99999999999999999999"};
+  EXPECT_THROW(parse_runner_flags(3, const_cast<char**>(overflow)),
+               std::invalid_argument);
+  const char* huge[] = {"bench", "--threads", "99999999999"};
+  EXPECT_THROW(parse_runner_flags(3, const_cast<char**>(huge)),
+               std::invalid_argument);
+  // Negative counts are valid: they select hardware concurrency.
+  const char* negative[] = {"bench", "--threads", "-1"};
+  EXPECT_EQ(parse_runner_flags(3, const_cast<char**>(negative)).threads, -1);
+}
+
+TEST(RunnerGridTest, RowsComputeInIndexOrderWithTaskSeeds) {
+  BenchGrid grid;
+  grid.columns = {"Row", "Seed"};
+  grid.rows = 16;
+  grid.cells = [](std::int64_t i, std::uint64_t seed) {
+    return std::vector<std::string>{std::to_string(i), std::to_string(seed)};
+  };
+  ThreadPool pool(4);
+  const auto rows = run_grid(grid, pool, 99);
+  ASSERT_EQ(rows.size(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)][0], std::to_string(i));
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)][1],
+              std::to_string(task_seed(99, i)));
+  }
+}
+
+TEST(RunnerGridTest, CsvRendersHeaderAndRows) {
+  BenchGrid grid;
+  grid.columns = {"A", "B"};
+  grid.rows = 2;
+  grid.cells = [](std::int64_t i, std::uint64_t) {
+    return std::vector<std::string>{std::to_string(i), "x"};
+  };
+  ThreadPool pool(1);
+  EXPECT_EQ(grid_csv(grid, run_grid(grid, pool, 0)), "A,B\n0,x\n1,x\n");
+}
+
+TEST(SweepEngineTest, MatchesSerialEngineOnAnalyticalTables) {
+  SweepContext context;
+  ThreadPool pool(4);
+  SweepEngine engine(context, pool);
+
+  const auto mira_sweep = core::mira_rows(&engine);
+  const auto mira_serial = core::mira_rows();
+  ASSERT_EQ(mira_sweep.size(), mira_serial.size());
+  for (std::size_t i = 0; i < mira_sweep.size(); ++i) {
+    EXPECT_EQ(mira_sweep[i].current, mira_serial[i].current);
+    EXPECT_EQ(mira_sweep[i].proposed, mira_serial[i].proposed);
+    EXPECT_EQ(mira_sweep[i].proposed_bw, mira_serial[i].proposed_bw);
+  }
+
+  const auto design_sweep = core::table5_rows(&engine);
+  const auto design_serial = core::table5_rows();
+  ASSERT_EQ(design_sweep.size(), design_serial.size());
+  for (std::size_t i = 0; i < design_sweep.size(); ++i) {
+    EXPECT_EQ(design_sweep[i].midplanes, design_serial[i].midplanes);
+    EXPECT_EQ(design_sweep[i].juqueen, design_serial[i].juqueen);
+    EXPECT_EQ(design_sweep[i].j54, design_serial[i].j54);
+    EXPECT_EQ(design_sweep[i].j48, design_serial[i].j48);
+  }
+}
+
+TEST(SweepEngineTest, PairingAndCapsMatchSerialExactly) {
+  SweepContext context;
+  ThreadPool pool(4);
+  SweepEngine engine(context, pool);
+
+  const auto sweep_rows = core::fig4_juqueen_pairing(fast_pingpong(), &engine);
+  const auto serial_rows = core::fig4_juqueen_pairing(fast_pingpong());
+  ASSERT_EQ(sweep_rows.size(), serial_rows.size());
+  for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+    EXPECT_EQ(sweep_rows[i].baseline, serial_rows[i].baseline);
+    EXPECT_EQ(sweep_rows[i].proposed, serial_rows[i].proposed);
+    EXPECT_EQ(sweep_rows[i].baseline_result.measured_seconds,
+              serial_rows[i].baseline_result.measured_seconds);
+    EXPECT_EQ(sweep_rows[i].speedup, serial_rows[i].speedup);
+  }
+
+  // CAPS memoization returns exactly the direct simulation (small rank
+  // count keeps this fast; the full Figure 5/6 pipelines are exercised at
+  // scale by the integration suite through the same engine).
+  const strassen::CapsParams params{9408, 343, 2};
+  for (const auto& geometry :
+       {bgq::Geometry(2, 1, 1, 1), bgq::Geometry(2, 2, 1, 1)}) {
+    const double direct = core::caps_comm_seconds(geometry, params);
+    EXPECT_EQ(engine.caps_comm_seconds(geometry, params), direct);  // miss
+    EXPECT_EQ(engine.caps_comm_seconds(geometry, params), direct);  // hit
+  }
+  EXPECT_EQ(context.caps_stats().hits, 2u);
+  EXPECT_EQ(context.caps_stats().misses, 2u);
+}
+
+// The determinism regression of the ported drivers (ISSUE acceptance):
+// the full driver pipeline — experiment rows through the SweepEngine, then
+// the canonical grid and CSV — must be byte-identical between
+// --threads 1 and --threads N.
+
+std::string fig4_driver_csv(int threads) {
+  SweepContext context;
+  ThreadPool pool(threads);
+  SweepEngine engine(context, pool);
+  const auto grid =
+      pairing_grid(core::fig4_juqueen_pairing(fast_pingpong(), &engine));
+  return grid_csv(grid, run_grid(grid, pool, 42));
+}
+
+TEST(RunnerDeterminismTest, Fig4PairingCsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = fig4_driver_csv(1);
+  EXPECT_EQ(serial, fig4_driver_csv(4));
+  EXPECT_EQ(serial, fig4_driver_csv(7));
+}
+
+std::string table5_driver_csv(int threads) {
+  SweepContext context;
+  ThreadPool pool(threads);
+  SweepEngine engine(context, pool);
+  const auto grid = machine_design_grid(core::table5_rows(&engine));
+  return grid_csv(grid, run_grid(grid, pool, 42));
+}
+
+TEST(RunnerDeterminismTest,
+     Table5MachineDesignCsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = table5_driver_csv(1);
+  EXPECT_EQ(serial, table5_driver_csv(4));
+  EXPECT_EQ(serial, table5_driver_csv(7));
+}
+
+std::string table7_driver_csv(int threads) {
+  SweepContext context;
+  ThreadPool pool(threads);
+  SweepEngine engine(context, pool);
+  const auto grid = best_worst_grid(core::juqueen_rows(&engine));
+  return grid_csv(grid, run_grid(grid, pool, 42));
+}
+
+TEST(RunnerDeterminismTest, Table7BestWorstCsvByteIdenticalAcrossThreadCounts) {
+  EXPECT_EQ(table7_driver_csv(1), table7_driver_csv(5));
+}
+
+}  // namespace
+}  // namespace npac::sweep

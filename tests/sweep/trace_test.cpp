@@ -114,6 +114,24 @@ TEST(TraceTest, SerializationRoundTripsExactly) {
   EXPECT_TRUE(jobs_equal(jobs, parsed));
 }
 
+TEST(TraceTest, CrlfTraceRoundTripsLikeLf) {
+  // A trace authored on Windows (or passed through a \n -> \r\n
+  // conversion) must parse identically to the LF original.
+  const auto jobs = generate_trace(bgq::mira(), TraceConfig{}, 99);
+  std::string crlf;
+  for (const char c : format_trace(jobs)) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  EXPECT_TRUE(jobs_equal(jobs, parse_trace(crlf)));
+  // A lone CRLF line (blank line with Windows ending) is skipped, and a
+  // CRLF header with no rows parses as an empty trace.
+  const std::string header =
+      "id,midplanes,base_seconds,contention_bound,arrival_seconds\r\n";
+  EXPECT_TRUE(parse_trace(header).empty());
+  EXPECT_TRUE(parse_trace(header + "\r\n").empty());
+}
+
 TEST(TraceTest, ParseRejectsMalformedInput) {
   EXPECT_THROW(parse_trace(""), std::invalid_argument);
   EXPECT_THROW(parse_trace("wrong,header\n"), std::invalid_argument);
