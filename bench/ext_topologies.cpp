@@ -1,0 +1,29 @@
+// ext_topologies — the paper's machine-design question (Section 5,
+// Table 5 / Figure 7) asked across network families instead of across
+// torus aspect ratios: at equal node count and equal link budget, how do a
+// BG/Q-style torus, a hypercube, a HyperX/Hamming, an Aries-style
+// dragonfly, and a non-blocking fat-tree compare on exact/heuristic
+// bisection and on simulated furthest-pairing contention time?
+//
+// Bisection uses the family's exact theory where one exists (Theorem 3.1,
+// Harper, Lindsey, the Clos property) and the spectral sweep otherwise;
+// pairing times come from the simnet::Network backends (TorusNetwork for
+// tori, capacity-aware GraphNetwork elsewhere), normalized to each tier's
+// torus link budget. Try `--list` and `--filter=dragonfly`.
+#include "sweep/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "ext_topologies — machine design across network families (Section 5)",
+      argc, argv, [](sweep::Runner& runner) {
+        runner.run(sweep::topology_design_grid(runner.engine(),
+                                               runner.fast()));
+        runner.note(
+            "Budget = total link capacity of the tier's BG/Q torus; every "
+            "row's pairing time is scaled to that budget, so rows within a "
+            "tier compare equal-cost machines. Bisection is exact where the "
+            "Method column names a theorem; 'spectral sweep' rows are "
+            "heuristic upper bounds on the optimal cut.");
+      });
+}

@@ -84,8 +84,7 @@ double simulate_halo_communication(const simmpi::Communicator& comm,
   simmpi::Timeline local;
   simmpi::Timeline& sink = timeline != nullptr ? *timeline : local;
 
-  const auto flows = simnet::nearest_neighbor_halo(comm.network().torus(),
-                                                   params.bytes_per_face);
+  const auto flows = comm.network().halo_flows(params.bytes_per_face);
   double total = 0.0;
   for (int step = 0; step < params.steps; ++step) {
     total += comm.run_phase("halo:step" + std::to_string(step), flows, sink);

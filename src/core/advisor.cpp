@@ -4,7 +4,55 @@
 #include <sstream>
 #include <utility>
 
+#include "iso/brute_force.hpp"
+#include "iso/harper.hpp"
+#include "iso/lindsey.hpp"
+#include "iso/spectral.hpp"
+#include "iso/torus_bound.hpp"
+#include "topo/hamming.hpp"
+
 namespace npac::core {
+
+TopologyBisection topology_bisection(const topo::TopologySpec& spec) {
+  using Kind = topo::TopologySpec::Kind;
+  const std::int64_t n = spec.num_vertices();
+  const std::int64_t half = n / 2;
+  if (half < 1) return {0.0, "trivial"};
+  switch (spec.kind()) {
+    case Kind::kTorus: {
+      // Theorem 3.1 at t = N/2 (tight on the torus family; capacities are
+      // uniform, so the unit-capacity bound scales linearly).
+      const double bound =
+          iso::torus_isoperimetric_lower_bound(spec.dims(), half).value;
+      return {bound * spec.capacities()[0], "Theorem 3.1"};
+    }
+    case Kind::kHypercube:
+      return {static_cast<double>(iso::harper_cut(
+                  static_cast<int>(spec.dims()[0]), half)) *
+                  spec.capacities()[0],
+              "Harper"};
+    case Kind::kHamming:
+      return {iso::hyperx_bisection(
+                  topo::Hamming(spec.dims(), spec.capacities())),
+              "Lindsey"};
+    case Kind::kFatTree:
+      // Non-blocking Clos: the host bisection equals half the hosts' access
+      // capacity.
+      return {static_cast<double>(spec.num_hosts()) / 2.0 *
+                  spec.capacities()[0],
+              "Clos"};
+    case Kind::kMesh:
+    case Kind::kDragonfly:
+      break;  // no family theory; fall through to the generic paths
+  }
+  const topo::Graph graph = spec.build();
+  // The exhaustive oracle is exact but only feasible on tiny instances.
+  if (n <= 20) {
+    return {iso::brute_force_isoperimetric(graph, half).min_cut,
+            "brute force"};
+  }
+  return {iso::spectral_sweep_cut(graph, half).cut_capacity, "spectral sweep"};
+}
 
 std::string Recommendation::to_string() const {
   std::ostringstream out;

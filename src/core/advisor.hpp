@@ -13,8 +13,25 @@
 #include <vector>
 
 #include "bgq/policy.hpp"
+#include "topo/descriptor.hpp"
 
 namespace npac::core {
+
+/// Bisection bandwidth of an arbitrary topology, with the method that
+/// produced it — the advisor's answer where the cuboid search of Lemma 3.3
+/// does not apply. Exact theory is used per family (Theorem 3.1 for tori,
+/// Harper for hypercubes, Lindsey for Hamming/HyperX, the non-blocking Clos
+/// property for fat-trees); graphs small enough for the exhaustive oracle
+/// are solved exactly, and everything else falls back to the spectral
+/// sweep heuristic.
+struct TopologyBisection {
+  double value = 0.0;
+  std::string method;  ///< "Theorem 3.1", "Harper", "Lindsey", "Clos",
+                       ///< "brute force", or "spectral sweep"
+};
+
+/// Graph-backed bisection of `spec` at half the vertex count.
+TopologyBisection topology_bisection(const topo::TopologySpec& spec);
 
 /// How a machine's scheduler assigns geometries.
 enum class AllocationPolicy {

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "simmpi/communicator.hpp"
+#include "simnet/graph_network.hpp"
+#include "simnet/traffic.hpp"
+#include "topo/fattree.hpp"
 
 namespace npac::core {
 
@@ -47,6 +50,16 @@ PairingComparison ExperimentEngine::pairing(
 double ExperimentEngine::caps_comm_seconds(const bgq::Geometry& geometry,
                                            const strassen::CapsParams& params) {
   return core::caps_comm_seconds(geometry, params);
+}
+
+TopologyBisection ExperimentEngine::topology_bisection(
+    const topo::TopologySpec& spec) {
+  return core::topology_bisection(spec);
+}
+
+double ExperimentEngine::topology_pairing_seconds(
+    const topo::TopologySpec& spec, double bytes_per_pair) {
+  return core::topology_pairing_seconds(spec, bytes_per_pair);
 }
 
 void ExperimentEngine::parallel_for(
@@ -225,6 +238,87 @@ std::vector<MachineDesignRow> table5_rows(ExperimentEngine* engine) {
         rows[static_cast<std::size_t>(i)] = row;
       });
   return rows;
+}
+
+double topology_pairing_seconds(const topo::TopologySpec& spec,
+                                double bytes_per_pair) {
+  const auto network = simnet::make_network(spec);
+  std::vector<simnet::Flow> flows;
+  if (spec.kind() == topo::TopologySpec::Kind::kTorus) {
+    flows = simnet::furthest_node_pairing(topo::Torus(spec.dims()),
+                                          bytes_per_pair);
+  } else {
+    // Id-shift pairing h <-> h + H/2: a permutation that pushes the full
+    // pairwise volume across the id-space bisection (the generators number
+    // vertices so the top id bit is a natural cut: hypercube top bit,
+    // Hamming largest factor, dragonfly group halves, fat-tree pods).
+    // Unlike a per-source BFS-furthest peer, a permutation creates no
+    // ejection hotspots, keeping the comparison about link contention.
+    const std::int64_t hosts = spec.num_hosts();
+    for (std::int64_t h = 0; h < hosts; ++h) {
+      flows.push_back({h, (h + hosts / 2) % hosts, bytes_per_pair});
+    }
+  }
+  return network->completion_seconds(flows);
+}
+
+std::vector<TopologyDesignCase> topology_design_cases(bool fast) {
+  using topo::TopologySpec;
+  std::vector<TopologyDesignCase> cases;
+  const auto add_tier = [&cases](const std::string& tier,
+                                 const topo::Dims& torus_dims,
+                                 int hypercube_n, topo::Dims hamming_dims,
+                                 const topo::DragonflyConfig& dragonfly,
+                                 std::int64_t fat_tree_k) {
+    // Every member of a tier is priced at the tier's BG/Q torus link
+    // budget, so the pairing column compares equal-cost machines.
+    const double budget =
+        static_cast<double>(topo::Torus(torus_dims).expected_num_edges());
+    cases.push_back({tier, TopologySpec::torus(torus_dims), budget});
+    cases.push_back({tier, TopologySpec::hypercube(hypercube_n), budget});
+    cases.push_back(
+        {tier, TopologySpec::hamming(std::move(hamming_dims)), budget});
+    cases.push_back({tier, TopologySpec::dragonfly(dragonfly), budget});
+    cases.push_back({tier, TopologySpec::fat_tree(fat_tree_k), budget});
+  };
+
+  const auto dragonfly = [](std::int64_t a, std::int64_t h,
+                            std::int64_t groups) {
+    topo::DragonflyConfig config;  // Aries-style 1x/3x/4x capacities
+    config.a = a;
+    config.h = h;
+    config.groups = groups;
+    config.global_ports = 1;
+    return config;
+  };
+
+  // One BG/Q midplane, its doubling, and its quadrupling, each against the
+  // closest same-size members of the other families (the fat-tree host
+  // count is the nearest even-radix k^3/4).
+  add_tier("512", {4, 4, 4, 4, 2}, 9, {8, 8, 8}, dragonfly(8, 4, 16), 12);
+  if (fast) return cases;
+  add_tier("1024", {8, 4, 4, 4, 2}, 10, {16, 8, 8}, dragonfly(8, 8, 16), 16);
+  add_tier("2048", {8, 8, 4, 4, 2}, 11, {16, 16, 8}, dragonfly(16, 8, 16),
+           20);
+  return cases;
+}
+
+TopologyDesignRow topology_design_row(const TopologyDesignCase& design_case,
+                                      ExperimentEngine* engine) {
+  ExperimentEngine& e = resolve(engine);
+  TopologyDesignRow row;
+  row.design_case = design_case;
+  const topo::Graph graph = design_case.spec.build();
+  row.vertices = graph.num_vertices();
+  row.hosts = design_case.spec.num_hosts();
+  row.edges = static_cast<std::int64_t>(graph.num_edges());
+  row.link_capacity_total = graph.total_capacity();
+  row.bisection = e.topology_bisection(design_case.spec);
+  const double raw =
+      e.topology_pairing_seconds(design_case.spec, kTopologyPairingBytes);
+  row.pairing_seconds =
+      raw * (row.link_capacity_total / design_case.link_budget);
+  return row;
 }
 
 simnet::PingPongConfig paper_pingpong_config() {

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "bgq/policy.hpp"
+#include "core/advisor.hpp"
 #include "simnet/pingpong.hpp"
 #include "strassen/caps.hpp"
+#include "topo/descriptor.hpp"
 
 namespace npac::core {
 
@@ -58,6 +60,14 @@ class ExperimentEngine {
   /// Simulated CAPS communication time on one geometry (caps_comm_seconds).
   virtual double caps_comm_seconds(const bgq::Geometry& geometry,
                                    const strassen::CapsParams& params);
+  /// core::topology_bisection — graph-backed bisection where the cuboid
+  /// search does not apply (memoized per topology descriptor by the sweep
+  /// engine).
+  virtual TopologyBisection topology_bisection(const topo::TopologySpec& spec);
+  /// core::topology_pairing_seconds — furthest-pairing contention time on
+  /// the topology's preferred Network backend.
+  virtual double topology_pairing_seconds(const topo::TopologySpec& spec,
+                                          double bytes_per_pair);
   /// Runs fn(i) for i in [0, n); the base class loops serially in index
   /// order, pooled engines fan out. Row writes must be index-addressed.
   virtual void parallel_for(std::int64_t n,
@@ -130,6 +140,56 @@ struct MachineDesignRow {
 };
 
 std::vector<MachineDesignRow> table5_rows(ExperimentEngine* engine = nullptr);
+
+// ---------------------------------------------------------------------------
+// ext_topologies: the Table 5 procurement question asked across network
+// families — torus vs dragonfly vs fat-tree vs Hamming/HyperX vs hypercube
+// at equal node count and equal link budget.
+// ---------------------------------------------------------------------------
+
+/// Bytes each ordered pair exchanges in the cross-topology pairing run.
+inline constexpr double kTopologyPairingBytes = 1.0e9;
+
+/// Completion time of the bisection pairing (`bytes_per_pair` per ordered
+/// pair) on `spec`'s preferred Network backend (TorusNetwork for tori,
+/// capacity-aware GraphNetwork otherwise) at the default 2 GB/s link
+/// bandwidth and the topology's own capacities. Tori run the paper's
+/// antipode pairing; every other family pairs host h with host
+/// (h + H/2) mod H, the hotspot-free permutation across the id-space
+/// bisection (fat-tree switches do not inject).
+double topology_pairing_seconds(const topo::TopologySpec& spec,
+                                double bytes_per_pair);
+
+/// One point of the cross-topology machine-design grid.
+struct TopologyDesignCase {
+  std::string tier;          ///< equal-node-count tier label, e.g. "512"
+  topo::TopologySpec spec;
+  /// Total link capacity every tier member is normalized to (the tier's
+  /// BG/Q torus budget), making the pairing times cost-comparable.
+  double link_budget = 0.0;
+};
+
+/// The ext_topologies grid: per node-count tier (512 / 1024 / 2048), a
+/// BG/Q-style torus and hypercube / HyperX / dragonfly / fat-tree peers.
+/// `fast` keeps only the 512-node tier.
+std::vector<TopologyDesignCase> topology_design_cases(bool fast);
+
+struct TopologyDesignRow {
+  TopologyDesignCase design_case;
+  std::int64_t vertices = 0;
+  std::int64_t hosts = 0;
+  std::int64_t edges = 0;
+  double link_capacity_total = 0.0;
+  TopologyBisection bisection;
+  /// Pairing completion at the tier's link budget: raw seconds scaled by
+  /// link_capacity_total / link_budget (uniform capacity scaling commutes
+  /// with the fluid model, so the scaled time is exact, not approximate).
+  double pairing_seconds = 0.0;
+};
+
+/// Computes one grid row through the (possibly memoizing) engine.
+TopologyDesignRow topology_design_row(const TopologyDesignCase& design_case,
+                                      ExperimentEngine* engine = nullptr);
 
 // ---------------------------------------------------------------------------
 // Figures 3-4: bisection-pairing experiment (Experiment A).

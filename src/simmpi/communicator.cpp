@@ -13,12 +13,12 @@ double Timeline::total_seconds() const {
   return total;
 }
 
-Communicator::Communicator(const simnet::TorusNetwork* network, RankMap map)
+Communicator::Communicator(const simnet::Network* network, RankMap map)
     : network_(network), map_(std::move(map)) {
   if (network_ == nullptr) {
     throw std::invalid_argument("Communicator: network must not be null");
   }
-  if (map_.num_nodes() != network_->torus().num_vertices()) {
+  if (map_.num_nodes() != network_->num_nodes()) {
     throw std::invalid_argument(
         "Communicator: rank map node count must match the network");
   }

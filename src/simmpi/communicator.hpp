@@ -1,6 +1,6 @@
 // Simulated message-passing communicator.
 //
-// Ranks live on the nodes of a TorusNetwork partition (via RankMap);
+// Ranks live on the nodes of a simnet::Network partition (via RankMap);
 // communication phases are expressed as rank-level volumes, aggregated into
 // node-level flows (intra-node traffic is free, as on real Blue Gene/Q
 // where ranks on one node share memory), routed by the flow simulator, and
@@ -38,12 +38,14 @@ class Timeline {
 
 class Communicator {
  public:
-  /// `network` must outlive the communicator.
-  Communicator(const simnet::TorusNetwork* network, RankMap map);
+  /// `network` must outlive the communicator. Any backend works: the
+  /// communicator only aggregates rank traffic to node flows and prices
+  /// them through the Network interface.
+  Communicator(const simnet::Network* network, RankMap map);
 
   std::int64_t size() const { return map_.num_ranks(); }
   const RankMap& rank_map() const { return map_; }
-  const simnet::TorusNetwork& network() const { return *network_; }
+  const simnet::Network& network() const { return *network_; }
 
   /// Times an explicit flow set as one phase, appending it to `timeline`.
   double run_phase(const std::string& label,
@@ -100,7 +102,7 @@ class Communicator {
       double bytes_per_peer) const;
 
  private:
-  const simnet::TorusNetwork* network_;
+  const simnet::Network* network_;
   RankMap map_;
 };
 

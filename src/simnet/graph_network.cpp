@@ -1,0 +1,226 @@
+#include "simnet/graph_network.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+#include "simnet/traffic.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace npac::simnet {
+
+GraphNetwork::GraphNetwork(topo::Graph graph, NetworkOptions options)
+    : Network(options), graph_(std::move(graph)) {
+  if (graph_.num_vertices() < 1) {
+    throw std::invalid_argument("GraphNetwork: empty graph");
+  }
+  for (std::size_t arc = 0; arc < graph_.num_arcs(); ++arc) {
+    if (graph_.arc_at(arc).capacity <= 0.0) {
+      throw std::invalid_argument(
+          "GraphNetwork: arc capacities must be positive");
+    }
+  }
+}
+
+void GraphNetwork::route_group(topo::VertexId dst, std::span<const Flow> flows,
+                               double* loads) const {
+  const std::int64_t n = graph_.num_vertices();
+  const std::vector<std::int64_t> dist = graph_.bfs_distances(dst);
+
+  std::vector<double> weight(static_cast<std::size_t>(n), 0.0);
+  std::int64_t max_dist = 0;
+  for (const Flow& flow : flows) {
+    if (flow.bytes < 0.0) {
+      throw std::invalid_argument("route_flow: negative byte count");
+    }
+    if (flow.src < 0 || flow.src >= n || flow.dst < 0 || flow.dst >= n) {
+      throw std::out_of_range("route_flow: vertex out of range");
+    }
+    if (flow.src == flow.dst || flow.bytes == 0.0) continue;
+    if (dist[static_cast<std::size_t>(flow.src)] < 0) {
+      throw std::invalid_argument(
+          "route_flow: destination unreachable from source");
+    }
+    weight[static_cast<std::size_t>(flow.src)] += flow.bytes;
+    max_dist = std::max(max_dist, dist[static_cast<std::size_t>(flow.src)]);
+  }
+  if (max_dist == 0) return;
+
+  // Vertices bucketed by distance, ascending id within a level, so the
+  // propagation order — and therefore floating-point accumulation — is a
+  // pure function of (graph, dst).
+  std::vector<std::vector<topo::VertexId>> levels(
+      static_cast<std::size_t>(max_dist) + 1);
+  for (topo::VertexId v = 0; v < n; ++v) {
+    const std::int64_t d = dist[static_cast<std::size_t>(v)];
+    if (d >= 1 && d <= max_dist) {
+      levels[static_cast<std::size_t>(d)].push_back(v);
+    }
+  }
+
+  for (std::int64_t d = max_dist; d >= 1; --d) {
+    for (const topo::VertexId v : levels[static_cast<std::size_t>(d)]) {
+      const double w = weight[static_cast<std::size_t>(v)];
+      if (w == 0.0) continue;
+      const auto adjacency = graph_.neighbors(v);
+      const std::size_t base = graph_.arc_begin(v);
+      if (options().tie_break == TieBreak::kPositive) {
+        for (std::size_t k = 0; k < adjacency.size(); ++k) {
+          if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
+            loads[base + k] += w;
+            weight[static_cast<std::size_t>(adjacency[k].to)] += w;
+            break;
+          }
+        }
+        continue;
+      }
+      std::size_t advancing = 0;
+      for (const topo::Arc& arc : adjacency) {
+        if (dist[static_cast<std::size_t>(arc.to)] == d - 1) ++advancing;
+      }
+      const double share = w / static_cast<double>(advancing);
+      for (std::size_t k = 0; k < adjacency.size(); ++k) {
+        if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
+          loads[base + k] += share;
+          weight[static_cast<std::size_t>(adjacency[k].to)] += share;
+        }
+      }
+    }
+  }
+}
+
+void GraphNetwork::route_flow(const Flow& flow, LinkLoads& loads) const {
+  if (loads.num_channels() != num_channels()) {
+    throw std::invalid_argument("route_flow: loads shape mismatch");
+  }
+  route_group(flow.dst, {&flow, 1}, loads.raw().data());
+}
+
+LinkLoads GraphNetwork::route_all(std::span<const Flow> flows) const {
+  LinkLoads total = make_loads();
+  if (flows.empty()) return total;
+
+  // Group flows by destination: one BFS serves every flow with that dst
+  // (weight propagation is linear, so batching is exact up to summation
+  // order, which the level walk fixes).
+  std::vector<Flow> sorted(flows.begin(), flows.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Flow& a, const Flow& b) { return a.dst < b.dst; });
+  struct Group {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].dst == sorted[i].dst) ++j;
+    groups.push_back({i, j - i});
+    i = j;
+  }
+
+  // Chunks of destination groups are accumulated independently and merged
+  // in chunk order: the chunking depends only on the input, so the result
+  // is byte-identical for any thread count.
+  constexpr std::size_t kGroupsPerChunk = 16;
+  const std::size_t num_chunks =
+      (groups.size() + kGroupsPerChunk - 1) / kGroupsPerChunk;
+  if (num_chunks == 1) {
+    for (const Group& group : groups) {
+      route_group(sorted[group.first].dst,
+                  {sorted.data() + group.first, group.count},
+                  total.raw().data());
+    }
+    return total;
+  }
+
+  // Invalid flows (bad ranges, negative bytes, unreachable destinations)
+  // must surface as catchable exceptions; OpenMP forbids exceptions
+  // escaping the parallel region, so the first one is captured and
+  // rethrown after the loop.
+  std::vector<std::vector<double>> partials(num_chunks);
+  std::exception_ptr error;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::ptrdiff_t chunk = 0;
+       chunk < static_cast<std::ptrdiff_t>(num_chunks); ++chunk) {
+    try {
+      std::vector<double> local(num_channels(), 0.0);
+      const std::size_t first_group =
+          static_cast<std::size_t>(chunk) * kGroupsPerChunk;
+      const std::size_t last_group =
+          std::min(first_group + kGroupsPerChunk, groups.size());
+      for (std::size_t g = first_group; g < last_group; ++g) {
+        route_group(sorted[groups[g].first].dst,
+                    {sorted.data() + groups[g].first, groups[g].count},
+                    local.data());
+      }
+      partials[static_cast<std::size_t>(chunk)] = std::move(local);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical(npac_simnet_graph_route_all)
+#endif
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  for (const std::vector<double>& partial : partials) {
+    for (std::size_t c = 0; c < partial.size(); ++c) total[c] += partial[c];
+  }
+  return total;
+}
+
+std::int64_t GraphNetwork::path_hops(const Flow& flow) const {
+  const std::int64_t n = graph_.num_vertices();
+  if (flow.src < 0 || flow.src >= n || flow.dst < 0 || flow.dst >= n) {
+    throw std::out_of_range("path_hops: vertex out of range");
+  }
+  const std::int64_t d = graph_.bfs_distances(
+      flow.src)[static_cast<std::size_t>(flow.dst)];
+  if (d < 0) {
+    throw std::invalid_argument("path_hops: destination unreachable");
+  }
+  return d;
+}
+
+std::vector<Flow> GraphNetwork::halo_flows(double bytes) const {
+  return nearest_neighbor_halo(graph_, bytes);
+}
+
+std::size_t GraphNetwork::channel_of(topo::VertexId from,
+                                     topo::VertexId to) const {
+  const auto adjacency = graph_.neighbors(from);
+  for (std::size_t k = 0; k < adjacency.size(); ++k) {
+    if (adjacency[k].to == to) return graph_.arc_begin(from) + k;
+  }
+  throw std::invalid_argument("channel_of: no such edge");
+}
+
+double GraphNetwork::channel_capacity(std::size_t channel) const {
+  return graph_.arc_at(channel).capacity;
+}
+
+double GraphNetwork::channel_seconds(const LinkLoads& loads) const {
+  double worst = 0.0;
+  for (std::size_t c = 0; c < loads.num_channels(); ++c) {
+    worst = std::max(worst, loads[c] / graph_.arc_at(c).capacity);
+  }
+  return worst / options().link_bytes_per_second;
+}
+
+std::unique_ptr<Network> make_network(const topo::TopologySpec& spec,
+                                      NetworkOptions options) {
+  // TorusNetwork prices channels at unit capacity; a weighted torus must go
+  // through the capacity-aware graph backend.
+  if (spec.kind() == topo::TopologySpec::Kind::kTorus &&
+      spec.capacities()[0] == 1.0) {
+    return std::make_unique<TorusNetwork>(topo::Torus(spec.dims()), options);
+  }
+  return std::make_unique<GraphNetwork>(spec.build(), options);
+}
+
+}  // namespace npac::simnet

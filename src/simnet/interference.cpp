@@ -45,7 +45,7 @@ std::vector<Flow> tenant_pairing(const topo::Torus& torus,
   return flows;
 }
 
-InterferenceReport measure_interference(const TorusNetwork& network,
+InterferenceReport measure_interference(const Network& network,
                                         const std::vector<Flow>& tenant_a,
                                         const std::vector<Flow>& tenant_b) {
   InterferenceReport report;

@@ -55,8 +55,8 @@ struct InterferenceReport {
   double interference_factor = 1.0;
 };
 
-/// Times each tenant's traffic alone and together on `network`.
-InterferenceReport measure_interference(const TorusNetwork& network,
+/// Times each tenant's traffic alone and together on any network backend.
+InterferenceReport measure_interference(const Network& network,
                                         const std::vector<Flow>& tenant_a,
                                         const std::vector<Flow>& tenant_b);
 

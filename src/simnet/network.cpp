@@ -8,15 +8,28 @@
 #include <omp.h>
 #endif
 
+#include "simnet/traffic.hpp"
+
 namespace npac::simnet {
+
+LinkLoads::LinkLoads(std::size_t num_channels) : loads_(num_channels, 0.0) {}
 
 LinkLoads::LinkLoads(std::int64_t num_nodes, std::size_t num_dims)
     : num_nodes_(num_nodes),
       num_dims_(num_dims),
       loads_(static_cast<std::size_t>(num_nodes) * num_dims * 2, 0.0) {}
 
+void LinkLoads::require_torus_shape() const {
+  if (!torus_shaped()) {
+    throw std::logic_error(
+        "LinkLoads: (node, dim, direction) accessors require a torus-shaped "
+        "channel layout");
+  }
+}
+
 std::size_t LinkLoads::channel_index(topo::VertexId node, std::size_t dim,
                                      int direction) const {
+  require_torus_shape();
   return (static_cast<std::size_t>(node) * num_dims_ + dim) * 2 +
          static_cast<std::size_t>(direction);
 }
@@ -43,6 +56,7 @@ double LinkLoads::total_load() const {
 }
 
 double LinkLoads::max_load_in_dim(std::size_t dim) const {
+  require_torus_shape();
   double best = 0.0;
   for (topo::VertexId node = 0; node < num_nodes_; ++node) {
     best = std::max(best, at(node, dim, 0));
@@ -60,12 +74,66 @@ void LinkLoads::add(const LinkLoads& other) {
   }
 }
 
-TorusNetwork::TorusNetwork(topo::Torus torus, NetworkOptions options)
-    : torus_(std::move(torus)), options_(options) {
+// ---------------------------------------------------------------------------
+// Network (shared completion-time model)
+// ---------------------------------------------------------------------------
+
+Network::Network(NetworkOptions options) : options_(options) {
   if (options_.link_bytes_per_second <= 0.0) {
-    throw std::invalid_argument(
-        "TorusNetwork: link bandwidth must be positive");
+    throw std::invalid_argument("Network: link bandwidth must be positive");
   }
+}
+
+LinkLoads Network::make_loads() const { return LinkLoads(num_channels()); }
+
+LinkLoads Network::route_all(std::span<const Flow> flows) const {
+  LinkLoads total = make_loads();
+  for (const Flow& flow : flows) route_flow(flow, total);
+  return total;
+}
+
+double Network::channel_seconds(const LinkLoads& loads) const {
+  return loads.max_load() / options_.link_bytes_per_second;
+}
+
+double Network::completion_seconds(const LinkLoads& loads,
+                                   std::span<const Flow> flows) const {
+  double time = channel_seconds(loads);
+  if (options_.injection_bytes_per_second > 0.0) {
+    std::vector<double> injected(static_cast<std::size_t>(num_nodes()), 0.0);
+    std::vector<double> ejected(static_cast<std::size_t>(num_nodes()), 0.0);
+    for (const Flow& flow : flows) {
+      if (flow.src == flow.dst) continue;
+      injected[static_cast<std::size_t>(flow.src)] += flow.bytes;
+      ejected[static_cast<std::size_t>(flow.dst)] += flow.bytes;
+    }
+    double peak = 0.0;
+    for (std::size_t i = 0; i < injected.size(); ++i) {
+      peak = std::max({peak, injected[i], ejected[i]});
+    }
+    time = std::max(time, peak / options_.injection_bytes_per_second);
+  }
+  return time;
+}
+
+double Network::completion_seconds(std::span<const Flow> flows) const {
+  return completion_seconds(route_all(flows), flows);
+}
+
+// ---------------------------------------------------------------------------
+// TorusNetwork
+// ---------------------------------------------------------------------------
+
+TorusNetwork::TorusNetwork(topo::Torus torus, NetworkOptions options)
+    : Network(options), torus_(std::move(torus)) {}
+
+std::size_t TorusNetwork::num_channels() const {
+  return static_cast<std::size_t>(torus_.num_vertices()) * torus_.num_dims() *
+         2;
+}
+
+LinkLoads TorusNetwork::make_loads() const {
+  return LinkLoads(torus_.num_vertices(), torus_.num_dims());
 }
 
 namespace {
@@ -185,7 +253,7 @@ void route_flow_fast(const RouteScratch& scratch, TieBreak tie_break,
 
 void TorusNetwork::route_flow(const Flow& flow, LinkLoads& loads) const {
   const RouteScratch scratch(torus_);
-  route_flow_fast(scratch, options_.tie_break, flow, loads.raw().data());
+  route_flow_fast(scratch, options().tie_break, flow, loads.raw().data());
 }
 
 LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
@@ -201,7 +269,7 @@ LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
   const RouteScratch scratch(torus_);
   if (max_threads == 1 || flows.size() < 1024) {
     for (const Flow& flow : flows) {
-      route_flow_fast(scratch, options_.tie_break, flow, total.raw().data());
+      route_flow_fast(scratch, options().tie_break, flow, total.raw().data());
     }
     return total;
   }
@@ -212,7 +280,7 @@ LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
 #pragma omp for schedule(static) nowait
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(flows.size());
          ++i) {
-      route_flow_fast(scratch, options_.tie_break,
+      route_flow_fast(scratch, options().tie_break,
                       flows[static_cast<std::size_t>(i)], local.raw().data());
     }
 #pragma omp critical(npac_simnet_route_all)
@@ -221,34 +289,12 @@ LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
   return total;
 }
 
-double TorusNetwork::completion_seconds(const LinkLoads& loads,
-                                        std::span<const Flow> flows) const {
-  double time = loads.max_load() / options_.link_bytes_per_second;
-  if (options_.injection_bytes_per_second > 0.0) {
-    std::vector<double> injected(
-        static_cast<std::size_t>(torus_.num_vertices()), 0.0);
-    std::vector<double> ejected(
-        static_cast<std::size_t>(torus_.num_vertices()), 0.0);
-    for (const Flow& flow : flows) {
-      if (flow.src == flow.dst) continue;
-      injected[static_cast<std::size_t>(flow.src)] += flow.bytes;
-      ejected[static_cast<std::size_t>(flow.dst)] += flow.bytes;
-    }
-    double peak = 0.0;
-    for (std::size_t i = 0; i < injected.size(); ++i) {
-      peak = std::max({peak, injected[i], ejected[i]});
-    }
-    time = std::max(time, peak / options_.injection_bytes_per_second);
-  }
-  return time;
-}
-
-double TorusNetwork::completion_seconds(std::span<const Flow> flows) const {
-  return completion_seconds(route_all(flows), flows);
-}
-
 std::int64_t TorusNetwork::path_hops(const Flow& flow) const {
   return torus_.distance(torus_.coord_of(flow.src), torus_.coord_of(flow.dst));
+}
+
+std::vector<Flow> TorusNetwork::halo_flows(double bytes) const {
+  return nearest_neighbor_halo(torus_, bytes);
 }
 
 }  // namespace npac::simnet

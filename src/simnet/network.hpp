@@ -1,14 +1,23 @@
-// Torus network with per-direction channels and a max-congestion
-// completion-time model.
+// The contention-network abstraction and its torus backend.
 //
-// Channels: every node has, per torus dimension, a + channel and a −
-// channel (a directed link to its ring successor / predecessor). Dimensions
-// of length 1 have no channels; dimensions of length 2 collapse both
-// directions onto the single physical link (one channel per direction of
-// that link, reached by either sign).
+// Network is the topology-agnostic seam of the flow simulator: a backend
+// routes flows into per-channel byte loads, and the shared completion-time
+// model (max-congestion fluid model, optionally floored by a per-node
+// injection cap) turns loads into seconds. Two backends exist:
 //
-// Routing is dimension-ordered along minimal ring paths, with ties broken
-// per TieBreak. Splitting yields fractional loads, which is the fluid-model
+//  * TorusNetwork (this header) — dimension-ordered minimal ring routing on
+//    a topo::Torus, kept on its specialized allocation-free incremental-
+//    index path. Channels are (node, dimension, direction) triples.
+//  * GraphNetwork (simnet/graph_network.hpp) — BFS shortest paths with
+//    ECMP-style fractional splitting over any topo::Graph. Channels are
+//    directed CSR arcs.
+//
+// Torus channel conventions: every node has, per torus dimension, a +
+// channel and a − channel (a directed link to its ring successor /
+// predecessor). Dimensions of length 1 have no channels; dimensions of
+// length 2 collapse both directions onto the single physical link (the
+// sender-side + channel is charged). Antipodal ties are broken per
+// TieBreak; splitting yields fractional loads, the fluid-model
 // idealization of Blue Gene/Q's adaptive routing.
 #pragma once
 
@@ -32,12 +41,28 @@ struct NetworkOptions {
   double injection_bytes_per_second = 0.0;
 };
 
-/// Per-channel byte loads produced by routing a set of flows.
+/// Per-channel byte loads produced by routing a set of flows. A channel is
+/// whatever directed unit the backend routes onto: arc-indexed storage with
+/// an optional torus (node, dimension, direction) layout adapter on top.
 class LinkLoads {
  public:
+  /// Generic arc-indexed storage (GraphNetwork channels).
+  explicit LinkLoads(std::size_t num_channels);
+
+  /// Torus layout: channel (node, dim, direction) at index
+  /// (node * num_dims + dim) * 2 + direction.
   LinkLoads(std::int64_t num_nodes, std::size_t num_dims);
 
+  std::size_t num_channels() const { return loads_.size(); }
+
+  double& operator[](std::size_t channel) { return loads_[channel]; }
+  double operator[](std::size_t channel) const { return loads_[channel]; }
+
+  /// True when the torus (node, dim, direction) accessors are available.
+  bool torus_shaped() const { return num_dims_ > 0; }
+
   /// Channel index for (node, dimension, direction). direction: 0 = +, 1 = −.
+  /// Requires torus_shaped().
   std::size_t channel_index(topo::VertexId node, std::size_t dim,
                             int direction) const;
 
@@ -52,35 +77,48 @@ class LinkLoads {
   /// Sum of all channel loads (byte-hops), for flow-conservation checks.
   double total_load() const;
 
-  /// Maximum load among channels of one dimension.
+  /// Maximum load among channels of one dimension. Requires torus_shaped().
   double max_load_in_dim(std::size_t dim) const;
 
   void add(const LinkLoads& other);
 
  private:
-  std::int64_t num_nodes_;
-  std::size_t num_dims_;
+  void require_torus_shape() const;
+
+  std::int64_t num_nodes_ = 0;
+  std::size_t num_dims_ = 0;  // 0 = generic arc-indexed storage
   std::vector<double> loads_;
 };
 
-/// The simulated interconnect of one partition.
-class TorusNetwork {
+/// The simulated interconnect of one partition: routes flows to channel
+/// loads and prices them under the max-congestion completion-time model.
+class Network {
  public:
-  TorusNetwork(topo::Torus torus, NetworkOptions options = {});
+  virtual ~Network() = default;
 
-  const topo::Torus& torus() const { return torus_; }
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   const NetworkOptions& options() const { return options_; }
 
-  /// Routes one flow, adding its bytes to `loads`. Weight scales the flow
-  /// (used internally for tie splits).
-  void route_flow(const Flow& flow, LinkLoads& loads) const;
+  /// Number of injecting/ejecting endpoints (flow src/dst range).
+  virtual std::int64_t num_nodes() const = 0;
 
-  /// Routes every flow (OpenMP-parallel) and returns the accumulated loads.
-  LinkLoads route_all(std::span<const Flow> flows) const;
+  /// Number of directed channels loads are accumulated in.
+  virtual std::size_t num_channels() const = 0;
+
+  /// An all-zero LinkLoads of this network's channel shape.
+  virtual LinkLoads make_loads() const;
+
+  /// Routes one flow, adding its bytes to `loads`.
+  virtual void route_flow(const Flow& flow, LinkLoads& loads) const = 0;
+
+  /// Routes every flow and returns the accumulated loads. Results are
+  /// deterministic: independent of thread count and scheduling.
+  virtual LinkLoads route_all(std::span<const Flow> flows) const;
 
   /// Completion time of a set of flows that start simultaneously:
-  /// max-channel-load / link-bandwidth, floored by the injection cap when
-  /// one is configured.
+  /// max-channel-time, floored by the injection cap when one is configured.
   double completion_seconds(std::span<const Flow> flows) const;
 
   /// Completion time given precomputed loads plus the flows' injection
@@ -89,11 +127,44 @@ class TorusNetwork {
                             std::span<const Flow> flows) const;
 
   /// Total hop count of the minimal route of a flow (for diagnostics).
-  std::int64_t path_hops(const Flow& flow) const;
+  virtual std::int64_t path_hops(const Flow& flow) const = 0;
+
+  /// Nearest-neighbour halo pattern of this network's topology: one flow
+  /// of `bytes` per directed channel's endpoint pair (the contention-free
+  /// baseline traffic). Backends emit their native flow order.
+  virtual std::vector<Flow> halo_flows(double bytes) const = 0;
+
+ protected:
+  explicit Network(NetworkOptions options);
+
+  /// Time for the most-loaded channel to drain. The base implementation
+  /// assumes uniform unit-capacity channels (max_load / link bandwidth);
+  /// capacity-weighted backends override.
+  virtual double channel_seconds(const LinkLoads& loads) const;
+
+ private:
+  NetworkOptions options_;
+};
+
+/// Torus backend: dimension-ordered minimal ring routing (see header
+/// comment for channel conventions).
+class TorusNetwork final : public Network {
+ public:
+  explicit TorusNetwork(topo::Torus torus, NetworkOptions options = {});
+
+  const topo::Torus& torus() const { return torus_; }
+
+  std::int64_t num_nodes() const override { return torus_.num_vertices(); }
+  std::size_t num_channels() const override;
+  LinkLoads make_loads() const override;
+  void route_flow(const Flow& flow, LinkLoads& loads) const override;
+  /// OpenMP-parallel specialized routing; bit-identical to the serial walk.
+  LinkLoads route_all(std::span<const Flow> flows) const override;
+  std::int64_t path_hops(const Flow& flow) const override;
+  std::vector<Flow> halo_flows(double bytes) const override;
 
  private:
   topo::Torus torus_;
-  NetworkOptions options_;
 };
 
 }  // namespace npac::simnet

@@ -1,10 +1,12 @@
 #include "simnet/pingpong.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace npac::simnet {
 
-PingPongResult run_pingpong(const TorusNetwork& network,
+PingPongResult run_pingpong(const Network& network,
+                            std::span<const Flow> pairing,
                             const PingPongConfig& config) {
   if (config.total_rounds < 1 || config.warmup_rounds < 0 ||
       config.warmup_rounds >= config.total_rounds) {
@@ -19,7 +21,8 @@ PingPongResult run_pingpong(const TorusNetwork& network,
   // chunk-time under the fluid model.
   const double chunk_bytes =
       config.bytes_per_round / static_cast<double>(config.chunks_per_round);
-  const auto flows = furthest_node_pairing(network.torus(), chunk_bytes);
+  std::vector<Flow> flows(pairing.begin(), pairing.end());
+  for (Flow& flow : flows) flow.bytes = chunk_bytes;
   const LinkLoads loads = network.route_all(flows);
   const double chunk_seconds = network.completion_seconds(loads, flows);
   const double round_seconds =
@@ -35,6 +38,12 @@ PingPongResult run_pingpong(const TorusNetwork& network,
       round_seconds *
       static_cast<double>(config.total_rounds - config.warmup_rounds);
   return result;
+}
+
+PingPongResult run_pingpong(const TorusNetwork& network,
+                            const PingPongConfig& config) {
+  return run_pingpong(network, furthest_node_pairing(network.torus(), 0.0),
+                      config);
 }
 
 PingPongResult run_pingpong(const bgq::Geometry& geometry,

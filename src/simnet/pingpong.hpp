@@ -31,6 +31,14 @@ struct PingPongResult {
   double max_channel_bytes_per_round = 0.0;
 };
 
+/// Runs the ping-pong protocol over an explicit pairing pattern on any
+/// network backend: each flow of `pairing` exchanges
+/// config.bytes_per_round bytes per round, sent as chunks_per_round
+/// serialized chunks (the pattern's own bytes fields are ignored).
+PingPongResult run_pingpong(const Network& network,
+                            std::span<const Flow> pairing,
+                            const PingPongConfig& config = {});
+
 /// Runs the furthest-node ping-pong on an arbitrary torus network.
 PingPongResult run_pingpong(const TorusNetwork& network,
                             const PingPongConfig& config = {});

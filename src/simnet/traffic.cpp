@@ -19,6 +19,25 @@ std::vector<Flow> furthest_node_pairing(const topo::Torus& torus,
   return flows;
 }
 
+std::vector<Flow> furthest_node_pairing(const topo::Graph& graph,
+                                        double bytes) {
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(graph.num_vertices()));
+  for (topo::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto dist = graph.bfs_distances(v);
+    std::int64_t best = 0;
+    topo::VertexId peer = v;
+    for (topo::VertexId u = 0; u < graph.num_vertices(); ++u) {
+      if (dist[static_cast<std::size_t>(u)] > best) {
+        best = dist[static_cast<std::size_t>(u)];
+        peer = u;
+      }
+    }
+    if (peer != v) flows.push_back({v, peer, bytes});
+  }
+  return flows;
+}
+
 std::vector<Flow> random_permutation(const topo::Torus& torus, double bytes,
                                      std::uint64_t seed) {
   const std::int64_t n = torus.num_vertices();
@@ -67,6 +86,18 @@ std::vector<Flow> nearest_neighbor_halo(const topo::Torus& torus,
         back[dim] = (c[dim] - 1 + a) % a;
         flows.push_back({v, torus.index_of(back), bytes});
       }
+    }
+  }
+  return flows;
+}
+
+std::vector<Flow> nearest_neighbor_halo(const topo::Graph& graph,
+                                        double bytes) {
+  std::vector<Flow> flows;
+  flows.reserve(graph.num_arcs());
+  for (topo::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const topo::Arc& arc : graph.neighbors(v)) {
+      flows.push_back({v, arc.to, bytes});
     }
   }
   return flows;

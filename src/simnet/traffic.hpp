@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simnet/flow.hpp"
+#include "topo/graph.hpp"
 #include "topo/torus.hpp"
 
 namespace npac::simnet {
@@ -20,6 +21,13 @@ namespace npac::simnet {
 /// `bytes` each — 2N flows in total (each unordered pair exchanges in both
 /// directions simultaneously, as in the paper's ping-pong).
 std::vector<Flow> furthest_node_pairing(const topo::Torus& torus,
+                                        double bytes);
+
+/// Furthest-node pairing on an arbitrary graph: every vertex sends `bytes`
+/// to the lowest-id vertex at maximal BFS distance from it (the graph
+/// generalization of the torus antipode pairing; ties broken by lowest id
+/// as in tenant_pairing). Isolated or singleton vertices emit no flow.
+std::vector<Flow> furthest_node_pairing(const topo::Graph& graph,
                                         double bytes);
 
 /// Random permutation traffic: each node sends `bytes` to a unique,
@@ -35,6 +43,12 @@ std::vector<Flow> uniform_all_to_all(const topo::Torus& torus,
 /// Nearest-neighbour halo exchange: every node sends `bytes` to each of its
 /// torus neighbours (the contention-free baseline pattern).
 std::vector<Flow> nearest_neighbor_halo(const topo::Torus& torus,
+                                        double bytes);
+
+/// Halo exchange on an arbitrary graph: one flow per directed arc. On a
+/// torus graph this reproduces the torus halo (a length-2 dimension is a
+/// single edge, hence a single flow per direction).
+std::vector<Flow> nearest_neighbor_halo(const topo::Graph& graph,
                                         double bytes);
 
 /// Uniform all-to-all restricted to a contiguous block of node ids

@@ -44,7 +44,7 @@ simnet::PingPongResult SweepContext::pingpong(
     const bgq::Geometry& geometry, const simnet::PingPongConfig& config,
     const simnet::NetworkOptions& options) {
   RoutingKey key;
-  key.geometry = geometry.dims();
+  key.topology = topo::TopologySpec::torus(geometry.node_dims()).id();
   key.total_rounds = config.total_rounds;
   key.warmup_rounds = config.warmup_rounds;
   key.bytes_per_round = config.bytes_per_round;
@@ -92,6 +92,19 @@ double SweepContext::caps_comm_seconds(const bgq::Geometry& geometry,
       key, [&] { return core::caps_comm_seconds(geometry, params); });
 }
 
+core::TopologyBisection SweepContext::topology_bisection(
+    const topo::TopologySpec& spec) {
+  return topologies_.get_or_compute(
+      spec.id(), [&] { return core::topology_bisection(spec); });
+}
+
+double SweepContext::topology_pairing_seconds(const topo::TopologySpec& spec,
+                                              double bytes_per_pair) {
+  return topology_routing_.get_or_compute(
+      std::make_pair(spec.id(), bytes_per_pair),
+      [&] { return core::topology_pairing_seconds(spec, bytes_per_pair); });
+}
+
 void SweepContext::clear() {
   bounds_.clear();
   geometries_.clear();
@@ -99,6 +112,8 @@ void SweepContext::clear() {
   feasible_.clear();
   pairings_.clear();
   caps_.clear();
+  topologies_.clear();
+  topology_routing_.clear();
 }
 
 }  // namespace npac::sweep

@@ -22,11 +22,14 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "core/experiments.hpp"
 #include "core/scheduler.hpp"
 #include "iso/torus_bound.hpp"
 #include "simnet/pingpong.hpp"
 #include "strassen/caps.hpp"
+#include "topo/descriptor.hpp"
 
 namespace npac::sweep {
 
@@ -104,10 +107,12 @@ struct CapsKey {
   auto operator<=>(const CapsKey&) const = default;
 };
 
-/// Cache key for one ping-pong routing configuration. Default <=> over the
-/// scalar fields; doubles never hold NaN here.
+/// Cache key for one ping-pong routing configuration, keyed by the
+/// topology descriptor of the routed network (not a torus shape, so
+/// non-torus backends share the same cache). Default <=> over the fields;
+/// doubles never hold NaN here.
 struct RoutingKey {
-  std::array<std::int64_t, 4> geometry{1, 1, 1, 1};
+  std::string topology;  ///< topo::TopologySpec::id() of the network
   int total_rounds = 0;
   int warmup_rounds = 0;
   double bytes_per_round = 0.0;
@@ -161,12 +166,23 @@ class SweepContext {
   double caps_comm_seconds(const bgq::Geometry& geometry,
                            const strassen::CapsParams& params);
 
+  /// core::topology_bisection, keyed by the topology descriptor id.
+  core::TopologyBisection topology_bisection(const topo::TopologySpec& spec);
+
+  /// core::topology_pairing_seconds, keyed by (descriptor id, volume).
+  double topology_pairing_seconds(const topo::TopologySpec& spec,
+                                  double bytes_per_pair);
+
   CacheStats bound_stats() const { return bounds_.stats(); }
   CacheStats geometry_stats() const { return geometries_.stats(); }
   CacheStats routing_stats() const { return routing_.stats(); }
   CacheStats feasible_stats() const { return feasible_.stats(); }
   CacheStats pairing_stats() const { return pairings_.stats(); }
   CacheStats caps_stats() const { return caps_.stats(); }
+  CacheStats topology_stats() const { return topologies_.stats(); }
+  CacheStats topology_routing_stats() const {
+    return topology_routing_.stats();
+  }
 
   void clear();
 
@@ -178,6 +194,8 @@ class SweepContext {
   MemoCache<bgq::Geometry, std::vector<std::int64_t>> feasible_;
   MemoCache<PairingKey, core::PairingComparison> pairings_;
   MemoCache<CapsKey, double> caps_;
+  MemoCache<std::string, core::TopologyBisection> topologies_;
+  MemoCache<std::pair<std::string, double>, double> topology_routing_;
 };
 
 /// core::GeometryOracle adapter: routes the scheduler simulation's geometry

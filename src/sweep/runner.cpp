@@ -16,7 +16,8 @@ namespace npac::sweep {
 namespace {
 
 constexpr const char* kUsage =
-    "flags: [--threads N] [--seed S] [--csv PATH] [--fast]";
+    "flags: [--threads N] [--seed S] [--csv PATH] [--fast] [--list] "
+    "[--filter=SUBSTR]";
 
 std::int64_t parse_integer(const std::string& flag, const char* text) {
   char* end = nullptr;
@@ -27,6 +28,19 @@ std::int64_t parse_integer(const std::string& flag, const char* text) {
                                 kUsage);
   }
   return value;
+}
+
+/// "mp<midplanes>" labels for the canonical per-size grids, so
+/// --filter=mp8 reruns one job size in isolation.
+template <typename Row>
+std::function<std::string(std::int64_t)> midplane_labels(
+    const std::vector<Row>& rows) {
+  std::vector<std::int64_t> midplanes;
+  midplanes.reserve(rows.size());
+  for (const Row& row : rows) midplanes.push_back(row.midplanes);
+  return [midplanes = std::move(midplanes)](std::int64_t i) {
+    return "mp" + std::to_string(midplanes[static_cast<std::size_t>(i)]);
+  };
 }
 
 std::string speedup_cell(std::int64_t better_bw, std::int64_t worse_bw) {
@@ -63,6 +77,12 @@ RunnerConfig parse_runner_flags(int argc, char** argv) {
       config.csv_path = value();
     } else if (flag == "--fast") {
       config.fast = true;
+    } else if (flag == "--list") {
+      config.list = true;
+    } else if (flag == "--filter") {
+      config.filter = value();
+    } else if (flag.rfind("--filter=", 0) == 0) {
+      config.filter = flag.substr(std::string("--filter=").size());
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" + kUsage);
     }
@@ -70,20 +90,50 @@ RunnerConfig parse_runner_flags(int argc, char** argv) {
   return config;
 }
 
+std::string row_label(const BenchGrid& grid, std::int64_t row) {
+  if (grid.label) return grid.label(row);
+  return "row" + std::to_string(row);
+}
+
+std::vector<std::int64_t> select_rows(const BenchGrid& grid,
+                                      const std::string& filter) {
+  std::vector<std::int64_t> selection;
+  for (std::int64_t i = 0; i < grid.rows; ++i) {
+    if (filter.empty() ||
+        row_label(grid, i).find(filter) != std::string::npos) {
+      selection.push_back(i);
+    }
+  }
+  return selection;
+}
+
 std::vector<std::vector<std::string>> run_grid(
     const BenchGrid& grid, ThreadPool& pool, std::uint64_t base_seed,
-    std::vector<double>* row_seconds) {
-  std::vector<std::vector<std::string>> rows(
-      static_cast<std::size_t>(grid.rows));
-  if (row_seconds != nullptr) {
-    row_seconds->assign(static_cast<std::size_t>(grid.rows), 0.0);
+    std::vector<double>* row_seconds,
+    const std::vector<std::int64_t>* selection) {
+  // Map the k-th computed row to its original grid index so filtered rows
+  // keep the task seed of the unfiltered run.
+  std::vector<std::int64_t> indices;
+  if (selection != nullptr) {
+    indices = *selection;
+  } else {
+    indices.resize(static_cast<std::size_t>(grid.rows));
+    for (std::int64_t i = 0; i < grid.rows; ++i) {
+      indices[static_cast<std::size_t>(i)] = i;
+    }
   }
-  pool.run_indexed(grid.rows, [&](std::int64_t i) {
+  std::vector<std::vector<std::string>> rows(indices.size());
+  if (row_seconds != nullptr) {
+    row_seconds->assign(indices.size(), 0.0);
+  }
+  pool.run_indexed(static_cast<std::int64_t>(indices.size()),
+                   [&](std::int64_t k) {
+    const std::int64_t i = indices[static_cast<std::size_t>(k)];
     const auto row_start = std::chrono::steady_clock::now();
-    rows[static_cast<std::size_t>(i)] =
+    rows[static_cast<std::size_t>(k)] =
         grid.cells(i, task_seed(base_seed, i));
     if (row_seconds != nullptr) {
-      (*row_seconds)[static_cast<std::size_t>(i)] =
+      (*row_seconds)[static_cast<std::size_t>(k)] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         row_start)
               .count();
@@ -152,6 +202,7 @@ BenchGrid mira_grid(std::vector<core::MiraRow> rows) {
   grid.columns = {"P",  "Midplanes",         "Current Geometry",
                   "BW", "Proposed Geometry", "Proposed BW"};
   grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.label = midplane_labels(rows);
   grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
     const core::MiraRow& row = rows[static_cast<std::size_t>(i)];
     return std::vector<std::string>{
@@ -171,6 +222,7 @@ BenchGrid best_worst_grid(std::vector<core::BestWorstRow> rows) {
                   "Worst BW", "Best Geometry", "Best BW",
                   "Speedup",  "Spike"};
   grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.label = midplane_labels(rows);
   grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
     const core::BestWorstRow& row = rows[static_cast<std::size_t>(i)];
     // Figure 2's 'spiking drop': the best bisection of this size falls
@@ -199,6 +251,7 @@ BenchGrid machine_design_grid(std::vector<core::MachineDesignRow> rows) {
   grid.columns = {"P",      "Midplanes", "JUQUEEN",    "J BW",
                   "JUQUEEN-54", "J-54 BW",   "JUQUEEN-48", "J-48 BW"};
   grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.label = midplane_labels(rows);
   grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
     const core::MachineDesignRow& row = rows[static_cast<std::size_t>(i)];
     return std::vector<std::string>{
@@ -220,6 +273,7 @@ BenchGrid pairing_grid(std::vector<core::PairingComparison> rows) {
                   "Proposed",     "Proposed time (s)", "Speedup",
                   "Predicted"};
   grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.label = midplane_labels(rows);
   grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
     const core::PairingComparison& cmp = rows[static_cast<std::size_t>(i)];
     return std::vector<std::string>{
@@ -241,6 +295,7 @@ BenchGrid matmul_grid(std::vector<core::MatmulComparison> rows) {
                   "Comm proposed (s)", "Ratio",
                   "Paper comp (s)"};
   grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.label = midplane_labels(rows);
   grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
     const core::MatmulComparison& cmp = rows[static_cast<std::size_t>(i)];
     return std::vector<std::string>{
@@ -263,6 +318,7 @@ BenchGrid scaling_grid(std::vector<core::ScalingPoint> rows) {
                   "Current BW",        "Proposed BW",
                   "Paper comp (s)"};
   grid.rows = static_cast<std::int64_t>(rows.size());
+  grid.label = midplane_labels(rows);
   grid.cells = [rows = std::move(rows)](std::int64_t i, std::uint64_t) {
     const core::ScalingPoint& point = rows[static_cast<std::size_t>(i)];
     return std::vector<std::string>{
@@ -273,6 +329,34 @@ BenchGrid scaling_grid(std::vector<core::ScalingPoint> rows) {
         core::format_int(bgq::normalized_bisection(point.current)),
         core::format_int(bgq::normalized_bisection(point.proposed)),
         core::format_double(point.paper_computation_seconds, 4)};
+  };
+  return grid;
+}
+
+BenchGrid topology_design_grid(core::ExperimentEngine& engine, bool fast) {
+  const auto cases = core::topology_design_cases(fast);
+  BenchGrid grid;
+  grid.columns = {"Tier",     "Topology", "N",      "Hosts",
+                  "Edges",    "Capacity", "Bisection", "Method",
+                  "Pairing (s)"};
+  grid.rows = static_cast<std::int64_t>(cases.size());
+  grid.label = [cases](std::int64_t i) {
+    const auto& c = cases[static_cast<std::size_t>(i)];
+    return c.tier + ":" + c.spec.family();
+  };
+  grid.cells = [cases, &engine](std::int64_t i, std::uint64_t) {
+    const auto row = core::topology_design_row(
+        cases[static_cast<std::size_t>(i)], &engine);
+    return std::vector<std::string>{
+        row.design_case.tier,
+        row.design_case.spec.id(),
+        core::format_int(row.vertices),
+        core::format_int(row.hosts),
+        core::format_int(row.edges),
+        core::format_double(row.link_capacity_total, 0),
+        core::format_double(row.bisection.value, 1),
+        row.bisection.method,
+        format_exact(row.pairing_seconds)};
   };
   return grid;
 }
@@ -297,7 +381,21 @@ SweepOptions Runner::sweep_options() const {
   return options;
 }
 
+bool Runner::handle_list(const BenchGrid& grid) const {
+  if (!config_.list) return false;
+  std::printf("\n");
+  for (std::int64_t i = 0; i < grid.rows; ++i) {
+    std::printf("%3lld  %s\n", static_cast<long long>(i),
+                row_label(grid, i).c_str());
+  }
+  return true;
+}
+
 void Runner::run(const BenchGrid& grid) {
+  if (handle_list(grid)) return;
+  const std::vector<std::int64_t> selection =
+      select_rows(grid, config_.filter);
+
   std::vector<double> row_seconds;
   std::vector<std::vector<std::string>> rows;
   if (grid.timed) {
@@ -305,9 +403,9 @@ void Runner::run(const BenchGrid& grid) {
     // contention with the other rows; results are unchanged (cells are
     // pure in (row, seed)), only the wall-clock column is affected.
     ThreadPool serial(1);
-    rows = run_grid(grid, serial, config_.seed, &row_seconds);
+    rows = run_grid(grid, serial, config_.seed, &row_seconds, &selection);
   } else {
-    rows = run_grid(grid, pool_, config_.seed, nullptr);
+    rows = run_grid(grid, pool_, config_.seed, nullptr, &selection);
   }
 
   std::vector<std::string> headers = grid.columns;
@@ -328,7 +426,10 @@ void Runner::run(const BenchGrid& grid) {
 }
 
 void Runner::run_csv_only(const BenchGrid& grid) {
-  const auto rows = run_grid(grid, pool_, config_.seed, nullptr);
+  if (handle_list(grid)) return;
+  const std::vector<std::int64_t> selection =
+      select_rows(grid, config_.filter);
+  const auto rows = run_grid(grid, pool_, config_.seed, nullptr, &selection);
   if (!csv_.empty()) csv_ += "\n";
   csv_ += grid_csv(grid, rows);
 }

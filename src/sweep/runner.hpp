@@ -1,8 +1,20 @@
 // Shared bench-runner layer: every bench/ driver is a grid definition plus
-// a row function, and this module owns everything else — CLI flags
-// (--threads N, --seed S, --csv PATH, --fast), the thread pool and memo
-// caches, deterministic per-row seeding via task_seed, and table/CSV result
-// emission.
+// a row function, and this module owns everything else — CLI flags, the
+// thread pool and memo caches, deterministic per-row seeding via
+// task_seed, and table/CSV result emission.
+//
+// Flags every driver accepts:
+//   --threads N        worker count (< 1 selects hardware concurrency)
+//   --seed S           base seed of every per-row task_seed
+//   --csv PATH         append each grid to a CSV artifact
+//   --fast             drivers may skip their most expensive grid points
+//   --list             print each row's index and label without running
+//   --filter=SUBSTR    run only rows whose label contains SUBSTR (also
+//                      accepted as `--filter SUBSTR`), so a single grid row
+//                      can be rerun in isolation; filtered-out rows are
+//                      never computed, and surviving rows keep their
+//                      original per-row seeds, so their cells are
+//                      byte-identical to a full run
 //
 // Contract: a BenchGrid's cell function must be a pure function of
 // (row index, row seed) — never of thread ids or execution order — so a
@@ -66,6 +78,14 @@ class SweepEngine final : public core::ExperimentEngine {
                            const strassen::CapsParams& params) override {
     return context_->caps_comm_seconds(geometry, params);
   }
+  core::TopologyBisection topology_bisection(
+      const topo::TopologySpec& spec) override {
+    return context_->topology_bisection(spec);
+  }
+  double topology_pairing_seconds(const topo::TopologySpec& spec,
+                                  double bytes_per_pair) override {
+    return context_->topology_pairing_seconds(spec, bytes_per_pair);
+  }
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& fn) override {
     pool_->run_indexed(n, fn);
@@ -92,6 +112,10 @@ struct RunnerConfig {
   std::string csv_path;
   /// --fast; drivers may skip their most expensive grid points.
   bool fast = false;
+  /// --list; print row labels instead of running the grids.
+  bool list = false;
+  /// --filter=SUBSTR; run only rows whose label contains the substring.
+  std::string filter;
 };
 
 /// Parses the shared bench flags. Throws std::invalid_argument (with a
@@ -113,7 +137,19 @@ struct BenchGrid {
   /// and executes the rows serially so each time measures the kernel
   /// rather than contention with the other rows.
   bool timed = false;
+  /// Optional cheap row label for --list / --filter. Must be pure in the
+  /// row index and must not trigger the row's computation. Unset rows are
+  /// labeled "row<i>".
+  std::function<std::string(std::int64_t)> label;
 };
+
+/// The label of one grid row ("row<i>" when the grid defines none).
+std::string row_label(const BenchGrid& grid, std::int64_t row);
+
+/// Indices of the rows whose label contains `filter` (all rows when the
+/// filter is empty), in row order.
+std::vector<std::int64_t> select_rows(const BenchGrid& grid,
+                                      const std::string& filter);
 
 /// Grid over an explicit list of row functions — the micro-bench shape:
 /// one lambda per row, each a pure function of its per-row task seed.
@@ -123,12 +159,16 @@ BenchGrid rows_grid(
         row_fns,
     bool timed);
 
-/// Computes all rows on the pool, in index order regardless of scheduling.
-/// When row_seconds is non-null it is resized to the row count and filled
-/// with each row's wall-clock (display only — never part of the CSV).
+/// Computes rows on the pool, in index order regardless of scheduling.
+/// When `selection` is non-null only those row indices are computed (each
+/// keeping its original task_seed), and the result holds them in selection
+/// order. When row_seconds is non-null it is resized to the computed row
+/// count and filled with each row's wall-clock (display only — never part
+/// of the CSV).
 std::vector<std::vector<std::string>> run_grid(
     const BenchGrid& grid, ThreadPool& pool, std::uint64_t base_seed,
-    std::vector<double>* row_seconds = nullptr);
+    std::vector<double>* row_seconds = nullptr,
+    const std::vector<std::int64_t>* selection = nullptr);
 
 /// CSV rendering (header + rows) of a computed grid.
 std::string grid_csv(const BenchGrid& grid,
@@ -158,6 +198,12 @@ BenchGrid matmul_grid(std::vector<core::MatmulComparison> rows);
 
 /// Figure 6 rows (Experiment C strong scaling).
 BenchGrid scaling_grid(std::vector<core::ScalingPoint> rows);
+
+/// ext_topologies rows: the machine-design comparison across network
+/// families (core::topology_design_cases). Cells compute lazily through
+/// `engine` — with --filter, unselected topologies are never built or
+/// routed. `engine` must outlive the grid.
+BenchGrid topology_design_grid(core::ExperimentEngine& engine, bool fast);
 
 // --------------------------------------------------------------------------
 // Runner
@@ -202,6 +248,9 @@ class Runner {
   static core::ExperimentEngine& process_engine();
 
  private:
+  /// Prints the grid's row labels when --list is set; true = skip the run.
+  bool handle_list(const BenchGrid& grid) const;
+
   std::string title_;
   RunnerConfig config_;
   SweepContext context_;

@@ -1,0 +1,90 @@
+// Topology descriptors — value-type handles for every network family the
+// library can materialize.
+//
+// A TopologySpec names one concrete topology (family + parameters) without
+// holding its Graph. It is cheap to copy, totally ordered, and renders to a
+// canonical id string, which makes it the key the sweep-engine memo caches
+// and the machine-design grids use: two sweep points over the same topology
+// share one routing/bisection computation regardless of which bench driver
+// asked first.
+//
+// The spec is the seam between the generator layer (torus, hypercube,
+// Hamming/HyperX, Dragonfly, fat-tree, mesh) and everything topology-
+// agnostic above it (simnet::GraphNetwork, core::topology_bisection,
+// bench/ext_topologies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/graph.hpp"
+#include "topo/torus.hpp"
+
+namespace npac::topo {
+
+class TopologySpec {
+ public:
+  /// Default-constructs an inert empty torus spec (build() throws); use the
+  /// named factories below for real topologies.
+  TopologySpec() = default;
+
+  enum class Kind {
+    kTorus,
+    kMesh,
+    kHypercube,
+    kHamming,
+    kDragonfly,
+    kFatTree,
+  };
+
+  /// D-dimensional torus with uniform link capacity.
+  static TopologySpec torus(Dims dims, double link_capacity = 1.0);
+  /// D-dimensional mesh (no wraparound).
+  static TopologySpec mesh(Dims dims, double link_capacity = 1.0);
+  /// Hypercube Q_n.
+  static TopologySpec hypercube(int n, double link_capacity = 1.0);
+  /// Hamming graph / HyperX with optional per-dimension capacities.
+  static TopologySpec hamming(Dims dims, std::vector<double> capacities = {});
+  /// Dragonfly per DragonflyConfig (group shape, arrangement, capacities).
+  static TopologySpec dragonfly(const DragonflyConfig& config);
+  /// Three-level k-ary fat-tree.
+  static TopologySpec fat_tree(std::int64_t k, double link_capacity = 1.0);
+
+  Kind kind() const { return kind_; }
+  const Dims& dims() const { return dims_; }
+  const std::vector<double>& capacities() const { return capacities_; }
+
+  /// Family name: "torus", "mesh", "hypercube", "hamming", "dragonfly",
+  /// "fattree".
+  std::string family() const;
+
+  /// Canonical id, e.g. "torus:4x4x3x2", "dragonfly:a8:h4:g16:p1:abs".
+  /// Equal specs have equal ids; this is the string the sweep caches key on.
+  std::string id() const;
+
+  /// Vertex count without materializing the graph.
+  std::int64_t num_vertices() const;
+
+  /// Traffic-injecting endpoints: equals num_vertices() for direct
+  /// networks; for the (indirect) fat-tree, only the hosts inject.
+  std::int64_t num_hosts() const;
+
+  /// Materializes the adjacency structure via the family's generator.
+  Graph build() const;
+
+  /// The DragonflyConfig a dragonfly spec encodes (throws for other kinds).
+  DragonflyConfig dragonfly_config() const;
+
+  auto operator<=>(const TopologySpec&) const = default;
+
+ private:
+  Kind kind_ = Kind::kTorus;
+  Dims dims_;                        // family-specific parameter list
+  std::vector<double> capacities_;   // family-specific capacity list
+  int arrangement_ = 0;              // dragonfly GlobalArrangement
+};
+
+}  // namespace npac::topo

@@ -70,6 +70,18 @@ std::span<const Arc> Graph::neighbors(VertexId v) const {
   return {arcs_.data() + begin, end - begin};
 }
 
+std::size_t Graph::arc_begin(VertexId v) const {
+  check_vertex(v);
+  return offsets_[static_cast<std::size_t>(v)];
+}
+
+const Arc& Graph::arc_at(std::size_t index) const {
+  if (index >= arcs_.size()) {
+    throw std::out_of_range("Graph: arc index out of range");
+  }
+  return arcs_[index];
+}
+
 std::size_t Graph::degree(VertexId v) const { return neighbors(v).size(); }
 
 double Graph::degree_capacity(VertexId v) const {

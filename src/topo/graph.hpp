@@ -60,6 +60,18 @@ class Graph {
   /// the other endpoint's list).
   std::span<const Arc> neighbors(VertexId v) const;
 
+  /// Number of directed arcs (2 * num_edges()). Arc indices are the dense
+  /// channel space the flow simulator's GraphNetwork accumulates loads in.
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// Index of the first arc leaving `v`; the k-th entry of neighbors(v) is
+  /// arc `arc_begin(v) + k`. Adjacency lists are sorted by neighbor id, so
+  /// arc indices are stable for a given edge list.
+  std::size_t arc_begin(VertexId v) const;
+
+  /// The arc at a dense arc index.
+  const Arc& arc_at(std::size_t index) const;
+
   /// Unweighted degree of `v` (number of incident undirected edges).
   std::size_t degree(VertexId v) const;
 

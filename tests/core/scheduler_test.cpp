@@ -63,6 +63,31 @@ TEST(MidplaneGridTest, WrapAroundPlacementsCount) {
   EXPECT_FALSE(grid.fits(blocked));  // cell (0,0,0,0) is taken via wrap
 }
 
+TEST(PlacementTest, WrappedExtentKeepsCountAndCanonicalGeometry) {
+  // An oriented extent that wraps a grid dimension describes the same
+  // cuboid as its unwrapped translate: Placement::geometry() canonicalizes
+  // the extent (never the wrapped cell coordinates), so the midplane count,
+  // the canonical geometry, and the occupancy accounting must all match
+  // those of the anchored-at-origin placement.
+  MidplaneGrid grid(bgq::mira());  // 4 x 4 x 3 x 2
+  Placement wrap;
+  wrap.origin = {2, 3, 1, 1};  // wraps dims 0 (cells {2,3,0,1}), 1, 2 and 3
+  wrap.extent = {4, 2, 3, 2};
+  EXPECT_EQ(wrap.midplanes(), 48);
+  EXPECT_EQ(wrap.geometry(), bgq::Geometry(4, 3, 2, 2));
+  Placement anchored;
+  anchored.extent = wrap.extent;
+  EXPECT_EQ(wrap.geometry(), anchored.geometry());
+
+  // Full-wrap dimensions visit each cell exactly once: occupying must
+  // remove exactly midplanes() cells, and a second overlapping placement
+  // must be rejected.
+  ASSERT_TRUE(grid.fits(wrap));
+  grid.occupy(wrap, 7);
+  EXPECT_EQ(grid.free_midplanes(), bgq::mira().midplanes() - 48);
+  EXPECT_EQ(grid.release(7), 48);
+}
+
 TEST(MidplaneGridTest, FitsRejectsBadExtents) {
   const MidplaneGrid grid(bgq::juqueen());  // 7 x 2 x 2 x 2
   Placement too_big;

@@ -173,6 +173,52 @@ TEST(RunnerDeterminismTest,
   EXPECT_EQ(serial, table5_driver_csv(7));
 }
 
+TEST(RunnerFlagsTest, ParsesListAndFilter) {
+  const char* argv[] = {"bench", "--list", "--filter=dragonfly"};
+  const RunnerConfig config = parse_runner_flags(3, const_cast<char**>(argv));
+  EXPECT_TRUE(config.list);
+  EXPECT_EQ(config.filter, "dragonfly");
+
+  const char* spaced[] = {"bench", "--filter", "mp8"};
+  EXPECT_EQ(parse_runner_flags(3, const_cast<char**>(spaced)).filter, "mp8");
+}
+
+TEST(RunnerGridTest, SelectRowsFiltersByLabel) {
+  BenchGrid grid;
+  grid.columns = {"X"};
+  grid.rows = 4;
+  grid.cells = [](std::int64_t i, std::uint64_t) {
+    return std::vector<std::string>{std::to_string(i)};
+  };
+  // Default labels are "row<i>".
+  EXPECT_EQ(row_label(grid, 2), "row2");
+  EXPECT_EQ(select_rows(grid, "row3"), (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(select_rows(grid, ""), (std::vector<std::int64_t>{0, 1, 2, 3}));
+
+  grid.label = [](std::int64_t i) {
+    return (i % 2 == 0 ? "even" : "odd") + std::to_string(i);
+  };
+  EXPECT_EQ(select_rows(grid, "even"), (std::vector<std::int64_t>{0, 2}));
+  EXPECT_EQ(select_rows(grid, "nope"), (std::vector<std::int64_t>{}));
+}
+
+TEST(RunnerGridTest, FilteredRowsKeepTheirOriginalSeeds) {
+  BenchGrid grid;
+  grid.columns = {"Row", "Seed"};
+  grid.rows = 8;
+  grid.cells = [](std::int64_t i, std::uint64_t seed) {
+    return std::vector<std::string>{std::to_string(i), std::to_string(seed)};
+  };
+  ThreadPool pool(2);
+  const std::vector<std::int64_t> selection = {1, 6};
+  const auto rows = run_grid(grid, pool, 99, nullptr, &selection);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "1");
+  EXPECT_EQ(rows[0][1], std::to_string(task_seed(99, 1)));
+  EXPECT_EQ(rows[1][0], "6");
+  EXPECT_EQ(rows[1][1], std::to_string(task_seed(99, 6)));
+}
+
 std::string table7_driver_csv(int threads) {
   SweepContext context;
   ThreadPool pool(threads);
@@ -183,6 +229,49 @@ std::string table7_driver_csv(int threads) {
 
 TEST(RunnerDeterminismTest, Table7BestWorstCsvByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(table7_driver_csv(1), table7_driver_csv(5));
+}
+
+std::string ext_topologies_driver_csv(int threads) {
+  SweepContext context;
+  ThreadPool pool(threads);
+  SweepEngine engine(context, pool);
+  const auto grid = topology_design_grid(engine, /*fast=*/true);
+  return grid_csv(grid, run_grid(grid, pool, 42));
+}
+
+TEST(RunnerDeterminismTest,
+     ExtTopologiesCsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = ext_topologies_driver_csv(1);
+  EXPECT_EQ(serial, ext_topologies_driver_csv(3));
+  EXPECT_EQ(serial, ext_topologies_driver_csv(7));
+  // One row per family in the fast (512-node) tier, labeled tier:family so
+  // --filter can isolate a single topology.
+  SweepContext context;
+  ThreadPool pool(2);
+  SweepEngine engine(context, pool);
+  const auto grid = topology_design_grid(engine, /*fast=*/true);
+  EXPECT_EQ(grid.rows, 5);
+  EXPECT_EQ(row_label(grid, 0), "512:torus");
+  EXPECT_EQ(select_rows(grid, "dragonfly").size(), 1u);
+}
+
+TEST(RunnerDeterminismTest, ExtTopologiesMatchesSerialEngine) {
+  SweepContext context;
+  ThreadPool pool(4);
+  SweepEngine engine(context, pool);
+  for (const auto& design_case : core::topology_design_cases(/*fast=*/true)) {
+    const auto pooled = core::topology_design_row(design_case, &engine);
+    const auto serial = core::topology_design_row(design_case);
+    EXPECT_EQ(pooled.bisection.method, serial.bisection.method);
+    EXPECT_EQ(pooled.bisection.value, serial.bisection.value);
+    EXPECT_EQ(pooled.pairing_seconds, serial.pairing_seconds);
+  }
+  // Second pass hits the descriptor-keyed caches.
+  for (const auto& design_case : core::topology_design_cases(/*fast=*/true)) {
+    core::topology_design_row(design_case, &engine);
+  }
+  EXPECT_EQ(context.topology_stats().hits, 5u);
+  EXPECT_EQ(context.topology_routing_stats().hits, 5u);
 }
 
 }  // namespace
