@@ -1,16 +1,23 @@
-// scheduler_lab — play with the bisection-aware scheduler simulation.
+// scheduler_lab — play with the bisection-aware scheduler simulation on
+// any allocator family.
 //
 // Usage:
 //   scheduler_lab [machine] [jobs]
-//     machine: mira | juqueen | sequoia   (default mira)
-//     jobs:    number of synthetic jobs   (default 24)
+//     machine: mira | juqueen | sequoia | dragonfly | fattree  (default mira)
+//     jobs:    number of synthetic jobs                        (default 24)
 //
 // Prints the per-job schedule under each policy so the head-of-line and
-// geometry decisions are visible, then the summary comparison.
+// layout decisions are visible, then the summary comparison. The dragonfly
+// machine (8 groups x 4 chassis) shows wait-for-best holding jobs for
+// compact group slices; the fat-tree machine (k = 8) shows the Section 5
+// claim that layout quality is flat on a non-blocking Clos, so the three
+// policies coincide.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "core/allocator.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 
@@ -18,14 +25,27 @@ namespace {
 
 using namespace npac;
 
-bgq::Machine pick_machine(const std::string& name) {
-  if (name == "juqueen") return bgq::juqueen();
-  if (name == "sequoia") return bgq::sequoia();
-  return bgq::mira();
+std::unique_ptr<core::PartitionAllocator> pick_allocator(
+    const std::string& name) {
+  if (name == "juqueen") return core::make_allocator(bgq::juqueen());
+  if (name == "sequoia") return core::make_allocator(bgq::sequoia());
+  if (name == "dragonfly") {
+    topo::DragonflyConfig config;  // 8 groups x 4 chassis of K_4 = 32 units
+    config.a = 4;
+    config.h = 4;
+    config.groups = 8;
+    config.global_ports = 1;
+    return core::make_allocator(topo::TopologySpec::dragonfly(config));
+  }
+  if (name == "fattree") {
+    return core::make_allocator(topo::TopologySpec::fat_tree(8));
+  }
+  return core::make_allocator(bgq::mira());
 }
 
-std::vector<core::Job> make_jobs(const bgq::Machine& machine, int count) {
-  // Cycle through sizes that are feasible on every supported machine.
+std::vector<core::Job> make_jobs(int count) {
+  // Cycle through sizes feasible on every supported machine (all have at
+  // least 32 allocation units).
   const std::int64_t sizes[] = {4, 8, 2, 16, 4, 8};
   std::vector<core::Job> jobs;
   for (int i = 0; i < count; ++i) {
@@ -37,37 +57,40 @@ std::vector<core::Job> make_jobs(const bgq::Machine& machine, int count) {
     job.arrival_seconds = 2.0 * i;
     jobs.push_back(job);
   }
-  (void)machine;
   return jobs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bgq::Machine machine = pick_machine(argc > 1 ? argv[1] : "mira");
+  const std::string machine = argc > 1 ? argv[1] : "mira";
   const int count = argc > 2 ? std::atoi(argv[2]) : 24;
-  const auto jobs = make_jobs(machine, count);
+  const auto jobs = make_jobs(count);
 
-  std::printf("Machine: %s (%lld midplanes), %d jobs\n\n",
-              machine.name.c_str(),
-              static_cast<long long>(machine.midplanes()), count);
+  {
+    const auto probe = pick_allocator(machine);
+    std::printf("Machine: %s (%lld allocation units), %d jobs\n\n",
+                probe->descriptor().c_str(),
+                static_cast<long long>(probe->total_units()), count);
+  }
 
   for (const auto policy :
        {core::SchedulerPolicy::kFirstFit,
         core::SchedulerPolicy::kBestBisection,
         core::SchedulerPolicy::kWaitForBest}) {
-    const auto result = core::simulate_schedule(machine, policy, jobs);
+    const auto allocator = pick_allocator(machine);
+    const auto result = core::simulate_schedule(*allocator, policy, jobs);
     std::printf("— policy %s: makespan %.1f s, mean slowdown x%.2f, mean "
                 "wait %.1f s —\n",
                 core::to_string(policy).c_str(), result.makespan_seconds,
                 result.mean_slowdown, result.mean_wait_seconds);
     core::TextTable table(
-        {"Job", "Size", "Kind", "Placement", "Start", "Finish", "Slowdown"});
+        {"Job", "Size", "Kind", "Partition", "Start", "Finish", "Slowdown"});
     for (const auto& record : result.jobs) {
       table.add_row({core::format_int(record.job.id),
                      core::format_int(record.job.midplanes),
                      record.job.contention_bound ? "network" : "compute",
-                     record.placement.to_string(),
+                     record.partition.label,
                      core::format_double(record.start_seconds, 1),
                      core::format_double(record.finish_seconds, 1),
                      "x" + core::format_double(record.slowdown, 2)});

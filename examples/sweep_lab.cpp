@@ -86,7 +86,7 @@ int main() {
   const auto trace = sweep::generate_trace(bgq::mira(), trace_config, 7);
   const std::string serialized = sweep::format_trace(trace);
   const auto replayed = sweep::parse_trace(serialized);
-  const sweep::CachedGeometryOracle oracle(&context_sequential);
+  const sweep::CachedPartitionOracle oracle(&context_sequential);
   const auto direct = sweep::replay_trace(
       bgq::mira(), core::SchedulerPolicy::kBestBisection, trace, oracle);
   const auto roundtrip = sweep::replay_trace(

@@ -4,11 +4,13 @@
 #include <sstream>
 #include <utility>
 
+#include "core/allocator.hpp"
 #include "iso/brute_force.hpp"
 #include "iso/harper.hpp"
 #include "iso/lindsey.hpp"
 #include "iso/spectral.hpp"
 #include "iso/torus_bound.hpp"
+#include "iso/weighted.hpp"
 #include "topo/hamming.hpp"
 
 namespace npac::core {
@@ -20,6 +22,17 @@ TopologyBisection topology_bisection(const topo::TopologySpec& spec) {
   if (half < 1) return {0.0, "trivial"};
   switch (spec.kind()) {
     case Kind::kTorus: {
+      if (spec.capacities().size() > 1) {
+        // Titan-style weighted torus (Section 5): the capacity-aware
+        // optimal-cuboid search, which may change shape to avoid cutting
+        // expensive dimensions.
+        if (const auto cuboid =
+                iso::weighted_min_cut_cuboid(spec.dims(), spec.capacities(),
+                                             half)) {
+          return {cuboid->cut, "weighted cuboid"};
+        }
+        break;  // no half-volume cuboid; fall through to the generic paths
+      }
       // Theorem 3.1 at t = N/2 (tight on the torus family; capacities are
       // uniform, so the unit-capacity bound scales linearly).
       const double bound =
@@ -52,6 +65,41 @@ TopologyBisection topology_bisection(const topo::TopologySpec& spec) {
             "brute force"};
   }
   return {iso::spectral_sweep_cut(graph, half).cut_capacity, "spectral sweep"};
+}
+
+std::string FamilyRecommendation::to_string() const {
+  std::ostringstream out;
+  out << units << " units: best bw " << best_quality << ", worst bw "
+      << worst_quality;
+  if (improvable) {
+    out << " (x" << predicted_speedup << " from waiting)";
+  } else {
+    out << " (layout-flat)";
+  }
+  return out.str();
+}
+
+std::vector<FamilyRecommendation> family_speedup_bounds(
+    const topo::TopologySpec& spec) {
+  return family_speedup_bounds(spec, default_partition_oracle());
+}
+
+std::vector<FamilyRecommendation> family_speedup_bounds(
+    const topo::TopologySpec& spec, const PartitionOracle& oracle) {
+  const auto allocator = make_allocator(spec, oracle);
+  std::vector<FamilyRecommendation> bounds;
+  for (const std::int64_t size : feasible_unit_sizes(*allocator)) {
+    const auto qualities = allocator->candidate_qualities(size);
+    FamilyRecommendation rec;
+    rec.units = size;
+    rec.best_quality = qualities.front();
+    rec.worst_quality = qualities.back();
+    rec.predicted_speedup =
+        rec.worst_quality > 0.0 ? rec.best_quality / rec.worst_quality : 1.0;
+    rec.improvable = rec.best_quality > rec.worst_quality;
+    bounds.push_back(rec);
+  }
+  return bounds;
 }
 
 std::string Recommendation::to_string() const {

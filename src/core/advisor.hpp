@@ -33,6 +33,34 @@ struct TopologyBisection {
 /// Graph-backed bisection of `spec` at half the vertex count.
 TopologyBisection topology_bisection(const topo::TopologySpec& spec);
 
+class PartitionOracle;  // core/allocator.hpp
+
+/// Wait-for-best trade-off bounds for one job size on a topology machine:
+/// what the family's allocator can hand out at best and at worst.
+struct FamilyRecommendation {
+  std::int64_t units = 0;          ///< job size in allocation units
+  double best_quality = 0.0;       ///< best candidate-layout bisection
+  double worst_quality = 0.0;      ///< worst candidate-layout bisection
+  /// best / worst (1.0 when the worst layout is degenerate, matching
+  /// Recommendation::predicted_speedup's zero-bisection convention).
+  double predicted_speedup = 1.0;
+  bool improvable = false;  ///< true when best strictly beats worst
+
+  std::string to_string() const;
+};
+
+/// Per-family wait-for-best speedup bounds: for every feasible job size of
+/// `spec`'s allocator family (core::make_allocator), the best vs worst
+/// candidate-layout quality — the advisor's answer where the cuboid search
+/// of Lemma 3.3 does not apply. On 4-D torus specs this reproduces the
+/// free-cuboid advise_all ratios; on fat-trees every row is flat
+/// (non-blocking Clos), the Section 5 claim. Layout scoring goes through
+/// `oracle` (sweeps pass their memoized one).
+std::vector<FamilyRecommendation> family_speedup_bounds(
+    const topo::TopologySpec& spec);
+std::vector<FamilyRecommendation> family_speedup_bounds(
+    const topo::TopologySpec& spec, const PartitionOracle& oracle);
+
 /// How a machine's scheduler assigns geometries.
 enum class AllocationPolicy {
   /// A fixed table of geometries, one per size (Mira).

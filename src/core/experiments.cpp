@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/allocator.hpp"
 #include "simmpi/communicator.hpp"
 #include "simnet/graph_network.hpp"
 #include "simnet/traffic.hpp"
@@ -60,6 +61,10 @@ TopologyBisection ExperimentEngine::topology_bisection(
 double ExperimentEngine::topology_pairing_seconds(
     const topo::TopologySpec& spec, double bytes_per_pair) {
   return core::topology_pairing_seconds(spec, bytes_per_pair);
+}
+
+const PartitionOracle& ExperimentEngine::partition_oracle() {
+  return default_partition_oracle();
 }
 
 void ExperimentEngine::parallel_for(

@@ -68,6 +68,11 @@ class ExperimentEngine {
   /// the topology's preferred Network backend.
   virtual double topology_pairing_seconds(const topo::TopologySpec& spec,
                                           double bytes_per_pair);
+  /// The PartitionOracle scheduler/advisor queries running through this
+  /// engine should use, so allocator layout scoring (geometry enumerations,
+  /// sub-network bisections) shares the engine's memoization. The base
+  /// engine returns the process-wide uncached oracle.
+  virtual const PartitionOracle& partition_oracle();
   /// Runs fn(i) for i in [0, n); the base class loops serially in index
   /// order, pooled engines fan out. Row writes must be index-addressed.
   virtual void parallel_for(std::int64_t n,

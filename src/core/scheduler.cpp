@@ -3,131 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 namespace npac::core {
-
-std::int64_t Placement::midplanes() const {
-  return extent[0] * extent[1] * extent[2] * extent[3];
-}
-
-bgq::Geometry Placement::geometry() const { return bgq::Geometry(extent); }
-
-std::string Placement::to_string() const {
-  std::ostringstream out;
-  out << extent[0] << "x" << extent[1] << "x" << extent[2] << "x" << extent[3]
-      << "@(" << origin[0] << "," << origin[1] << "," << origin[2] << ","
-      << origin[3] << ")";
-  return out.str();
-}
-
-MidplaneGrid::MidplaneGrid(bgq::Machine machine)
-    : machine_(std::move(machine)), dims_(machine_.shape.dims()) {
-  free_ = machine_.midplanes();
-  owner_.assign(static_cast<std::size_t>(free_), -1);
-}
-
-std::size_t MidplaneGrid::cell_index(
-    const std::array<std::int64_t, 4>& cell) const {
-  std::size_t index = 0;
-  for (int i = 0; i < 4; ++i) {
-    index = index * static_cast<std::size_t>(dims_[static_cast<std::size_t>(i)]) +
-            static_cast<std::size_t>(cell[static_cast<std::size_t>(i)]);
-  }
-  return index;
-}
-
-template <typename Fn>
-void MidplaneGrid::for_each_cell(const Placement& placement, Fn&& fn) const {
-  std::array<std::int64_t, 4> cell{};
-  for (std::int64_t a = 0; a < placement.extent[0]; ++a) {
-    cell[0] = (placement.origin[0] + a) % dims_[0];
-    for (std::int64_t b = 0; b < placement.extent[1]; ++b) {
-      cell[1] = (placement.origin[1] + b) % dims_[1];
-      for (std::int64_t c = 0; c < placement.extent[2]; ++c) {
-        cell[2] = (placement.origin[2] + c) % dims_[2];
-        for (std::int64_t d = 0; d < placement.extent[3]; ++d) {
-          cell[3] = (placement.origin[3] + d) % dims_[3];
-          fn(cell);
-        }
-      }
-    }
-  }
-}
-
-bool MidplaneGrid::fits(const Placement& placement) const {
-  for (int i = 0; i < 4; ++i) {
-    const auto extent = placement.extent[static_cast<std::size_t>(i)];
-    const auto origin = placement.origin[static_cast<std::size_t>(i)];
-    if (extent < 1 || extent > dims_[static_cast<std::size_t>(i)]) return false;
-    if (origin < 0 || origin >= dims_[static_cast<std::size_t>(i)]) return false;
-  }
-  bool free = true;
-  for_each_cell(placement, [&](const std::array<std::int64_t, 4>& cell) {
-    if (owner_[cell_index(cell)] != -1) free = false;
-  });
-  return free;
-}
-
-void MidplaneGrid::occupy(const Placement& placement, std::int64_t job_id) {
-  if (job_id < 0) {
-    throw std::invalid_argument("MidplaneGrid::occupy: job id must be >= 0");
-  }
-  if (!fits(placement)) {
-    throw std::invalid_argument(
-        "MidplaneGrid::occupy: placement overlaps or is out of range");
-  }
-  for_each_cell(placement, [&](const std::array<std::int64_t, 4>& cell) {
-    owner_[cell_index(cell)] = job_id;
-  });
-  free_ -= placement.midplanes();
-}
-
-std::int64_t MidplaneGrid::release(std::int64_t job_id) {
-  std::int64_t freed = 0;
-  for (auto& owner : owner_) {
-    if (owner == job_id) {
-      owner = -1;
-      ++freed;
-    }
-  }
-  free_ += freed;
-  return freed;
-}
-
-std::optional<Placement> MidplaneGrid::find_placement(
-    const bgq::Geometry& shape) const {
-  // Try every distinct axis assignment of the canonical shape, anchored at
-  // every origin. Hosts have at most 96 cells and 24 permutations, so the
-  // scan is trivial.
-  std::array<std::int64_t, 4> extent = shape.dims();
-  std::sort(extent.begin(), extent.end());
-  do {
-    Placement placement;
-    placement.extent = extent;
-    bool extent_fits = true;
-    for (int i = 0; i < 4; ++i) {
-      if (extent[static_cast<std::size_t>(i)] >
-          dims_[static_cast<std::size_t>(i)]) {
-        extent_fits = false;
-      }
-    }
-    if (!extent_fits) continue;
-    for (std::int64_t a = 0; a < dims_[0]; ++a) {
-      for (std::int64_t b = 0; b < dims_[1]; ++b) {
-        for (std::int64_t c = 0; c < dims_[2]; ++c) {
-          for (std::int64_t d = 0; d < dims_[3]; ++d) {
-            placement.origin = {a, b, c, d};
-            if (fits(placement)) return placement;
-          }
-        }
-      }
-    }
-  } while (std::next_permutation(extent.begin(), extent.end()));
-  return std::nullopt;
-}
 
 std::string to_string(SchedulerPolicy policy) {
   switch (policy) {
@@ -143,17 +22,17 @@ std::string to_string(SchedulerPolicy policy) {
 
 namespace {
 
-/// Contention-bound slowdown best_bw / assigned_bw. A partition with no
-/// internal bisection cannot carry contention-bound traffic at any finite
-/// rate; only accept it when the best same-size geometry is equally
-/// degenerate (then the ratio is defined as 1).
-double bisection_slowdown(std::int64_t best_bw, std::int64_t assigned_bw) {
-  if (assigned_bw == 0) {
-    if (best_bw == 0) return 1.0;
+/// Contention-bound slowdown best / assigned. A partition with no internal
+/// bisection cannot carry contention-bound traffic at any finite rate;
+/// only accept it when the best same-size layout is equally degenerate
+/// (then the ratio is defined as 1).
+double bisection_slowdown(double best, double assigned) {
+  if (assigned == 0.0) {
+    if (best == 0.0) return 1.0;
     throw std::invalid_argument(
         "bisection slowdown: assigned geometry has zero bisection");
   }
-  return static_cast<double>(best_bw) / static_cast<double>(assigned_bw);
+  return best / assigned;
 }
 
 }  // namespace
@@ -166,13 +45,10 @@ double contention_runtime_seconds(const bgq::Machine& machine,
     throw std::invalid_argument(
         "contention_runtime_seconds: size not allocatable on this machine");
   }
-  return base_seconds * bisection_slowdown(bgq::normalized_bisection(*best),
-                                           bgq::normalized_bisection(assigned));
-}
-
-std::vector<bgq::Geometry> GeometryOracle::geometries(
-    const bgq::Machine& machine, std::int64_t midplanes) const {
-  return bgq::enumerate_geometries(machine, midplanes);
+  return base_seconds *
+         bisection_slowdown(
+             static_cast<double>(bgq::normalized_bisection(*best)),
+             static_cast<double>(bgq::normalized_bisection(assigned)));
 }
 
 namespace {
@@ -182,44 +58,49 @@ struct RunningJob {
   double finish_seconds = 0.0;
 };
 
-/// Picks the placement `policy` prefers for `job` among the precomputed
-/// candidate `geometries` (best bisection first), or nullopt to wait.
-std::optional<Placement> choose_placement(
-    const MidplaneGrid& grid, SchedulerPolicy policy, const Job& job,
-    const std::vector<bgq::Geometry>& geometries) {
-  if (geometries.empty()) {
-    throw std::invalid_argument("simulate_schedule: infeasible job size " +
-                                std::to_string(job.midplanes));
-  }
+/// Picks the partition `policy` prefers for `job` among the allocator's
+/// candidate layout classes (`qualities`, best first), or nullopt to wait.
+std::optional<Partition> choose_placement(PartitionAllocator& allocator,
+                                          SchedulerPolicy policy,
+                                          const Job& job,
+                                          const std::vector<double>& qualities) {
   switch (policy) {
     case SchedulerPolicy::kFirstFit: {
-      // Quality-blind: scan shapes from the *worst* bisection up, modeling
+      // Quality-blind: scan layouts from the *worst* bisection up, modeling
       // a scheduler that fills convenient long boxes first.
-      for (auto it = geometries.rbegin(); it != geometries.rend(); ++it) {
-        if (auto placement = grid.find_placement(*it)) return placement;
+      for (std::size_t k = qualities.size(); k-- > 0;) {
+        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+          return partition;
+        }
       }
       return std::nullopt;
     }
     case SchedulerPolicy::kBestBisection: {
-      // enumerate_geometries is sorted best-first.
-      for (const auto& shape : geometries) {
-        if (auto placement = grid.find_placement(shape)) return placement;
+      // Candidate classes are sorted best-first.
+      for (std::size_t k = 0; k < qualities.size(); ++k) {
+        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+          return partition;
+        }
       }
       return std::nullopt;
     }
     case SchedulerPolicy::kWaitForBest: {
       if (!job.contention_bound) {
-        for (const auto& shape : geometries) {
-          if (auto placement = grid.find_placement(shape)) return placement;
+        for (std::size_t k = 0; k < qualities.size(); ++k) {
+          if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+            return partition;
+          }
         }
         return std::nullopt;
       }
-      const std::int64_t best_bw = bgq::normalized_bisection(geometries.front());
-      for (const auto& shape : geometries) {
-        if (bgq::normalized_bisection(shape) != best_bw) break;
-        if (auto placement = grid.find_placement(shape)) return placement;
+      const double best = qualities.front();
+      for (std::size_t k = 0; k < qualities.size(); ++k) {
+        if (qualities[k] != best) break;
+        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+          return partition;
+        }
       }
-      return std::nullopt;  // hold the job until an optimal box frees up
+      return std::nullopt;  // hold the job until an optimal layout frees up
     }
   }
   return std::nullopt;
@@ -230,12 +111,20 @@ std::optional<Placement> choose_placement(
 ScheduleResult simulate_schedule(const bgq::Machine& machine,
                                  SchedulerPolicy policy,
                                  std::vector<Job> jobs) {
-  return simulate_schedule(machine, policy, std::move(jobs), GeometryOracle{});
+  return simulate_schedule(machine, policy, std::move(jobs),
+                           default_partition_oracle());
 }
 
 ScheduleResult simulate_schedule(const bgq::Machine& machine,
                                  SchedulerPolicy policy, std::vector<Job> jobs,
-                                 const GeometryOracle& oracle) {
+                                 const PartitionOracle& oracle) {
+  CuboidAllocator allocator(machine, oracle);
+  return simulate_schedule(allocator, policy, std::move(jobs));
+}
+
+ScheduleResult simulate_schedule(PartitionAllocator& allocator,
+                                 SchedulerPolicy policy,
+                                 std::vector<Job> jobs) {
   for (std::size_t i = 1; i < jobs.size(); ++i) {
     if (jobs[i].arrival_seconds < jobs[i - 1].arrival_seconds) {
       throw std::invalid_argument(
@@ -243,7 +132,6 @@ ScheduleResult simulate_schedule(const bgq::Machine& machine,
     }
   }
 
-  MidplaneGrid grid(machine);
   std::vector<RunningJob> running;
   std::vector<ScheduledJob> done;
   done.reserve(jobs.size());
@@ -265,7 +153,7 @@ ScheduleResult simulate_schedule(const bgq::Machine& machine,
         }
       }
       if (earliest == running.end()) break;
-      grid.release(earliest->job_id);
+      allocator.release(earliest->job_id);
       running.erase(earliest);
     }
   };
@@ -283,25 +171,26 @@ ScheduleResult simulate_schedule(const bgq::Machine& machine,
     bool placed_any = false;
     while (!queue.empty()) {
       const Job job = queue.front();
-      const auto geometries = oracle.geometries(machine, job.midplanes);
-      const auto placement = choose_placement(grid, policy, job, geometries);
-      if (!placement) break;
-      grid.occupy(*placement, job.id);
+      const auto qualities = allocator.candidate_qualities(job.midplanes);
+      if (qualities.empty()) {
+        throw std::invalid_argument(
+            "simulate_schedule: job " + std::to_string(job.id) +
+            " requests infeasible size " + std::to_string(job.midplanes) +
+            " units on " + allocator.descriptor());
+      }
+      auto partition = choose_placement(allocator, policy, job, qualities);
+      if (!partition) break;
       ScheduledJob record;
       record.job = job;
-      record.placement = *placement;
       record.start_seconds = now;
-      // geometries is sorted best bisection first, so front() is the best
-      // same-size geometry contention_runtime_seconds would search for.
       record.slowdown =
           job.contention_bound
-              ? bisection_slowdown(
-                    bgq::normalized_bisection(geometries.front()),
-                    bgq::normalized_bisection(placement->geometry()))
+              ? bisection_slowdown(partition->best_quality, partition->quality)
               : 1.0;
       record.finish_seconds = now + job.base_seconds * record.slowdown;
+      record.partition = std::move(*partition);
       running.push_back({job.id, record.finish_seconds});
-      done.push_back(record);
+      done.push_back(std::move(record));
       queue.erase(queue.begin());
       placed_any = true;
     }
@@ -317,8 +206,11 @@ ScheduleResult simulate_schedule(const bgq::Machine& machine,
     }
     if (!std::isfinite(next_event)) {
       if (placed_any) continue;
+      const Job& head = queue.front();
       throw std::logic_error(
-          "simulate_schedule: deadlock — queued job cannot ever be placed");
+          "simulate_schedule: deadlock — job " + std::to_string(head.id) +
+          " (size " + std::to_string(head.midplanes) +
+          " units) can never be placed on " + allocator.descriptor());
     }
     now = std::max(now, next_event);
     complete_finished(now);

@@ -1,5 +1,5 @@
 // Bisection-aware job scheduling — the paper's Future Work proposal made
-// runnable.
+// runnable, on any machine family with an allocation model.
 //
 // "Processor allocation policy decisions of job schedulers can be improved
 //  if they are informed whether a given computation is expected to be
@@ -7,72 +7,27 @@
 //  [a sub-optimal partition] to a pending job, or to wait for a partition
 //  with better bisection bandwidth." (Section 5)
 //
-// This module simulates exactly that trade-off: a machine is a grid of
-// midplanes, jobs arrive in a queue, and an allocation policy chooses a
-// *placed* cuboid for each job. Contention-bound jobs run slower on
-// partitions with sub-optimal internal bisection (time scales with the
-// bisection ratio, the relationship Experiments A-C validated); compute-
-// bound jobs do not care. Policies differ in how they weigh utilization
-// against partition quality.
+// This module simulates exactly that trade-off: a machine is a
+// core::PartitionAllocator (midplane cuboids on a torus, group slices on a
+// dragonfly, pod blocks on a fat-tree), jobs arrive in a queue, and an
+// allocation policy chooses a placed partition for each job.
+// Contention-bound jobs run slower on partitions with sub-optimal internal
+// bisection (time scales with the bisection ratio, the relationship
+// Experiments A-C validated); compute-bound jobs do not care. Policies
+// differ in how they weigh utilization against partition quality.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "bgq/policy.hpp"
+#include "core/allocator.hpp"
 
 namespace npac::core {
 
-/// A cuboid of midplanes anchored at a grid position. `extent` is the
-/// oriented shape (not canonicalized); the cuboid may wrap around any
-/// dimension, as Blue Gene/Q partitions may.
-struct Placement {
-  std::array<std::int64_t, 4> origin{0, 0, 0, 0};
-  std::array<std::int64_t, 4> extent{1, 1, 1, 1};
-
-  std::int64_t midplanes() const;
-  bgq::Geometry geometry() const;  ///< canonical form of the extent
-  std::string to_string() const;
-};
-
-/// Occupancy tracker over a machine's midplane grid.
-class MidplaneGrid {
- public:
-  explicit MidplaneGrid(bgq::Machine machine);
-
-  const bgq::Machine& machine() const { return machine_; }
-  std::int64_t free_midplanes() const { return free_; }
-
-  /// True if every cell of the placement is inside the grid (modulo
-  /// wrap-around) and currently free.
-  bool fits(const Placement& placement) const;
-
-  /// Marks the placement's cells as owned by `job_id`. Throws if any cell
-  /// is occupied.
-  void occupy(const Placement& placement, std::int64_t job_id);
-
-  /// Frees every cell owned by `job_id`. Returns the number freed.
-  std::int64_t release(std::int64_t job_id);
-
-  /// Finds a free anchored placement whose canonical shape is `shape`,
-  /// trying all axis permutations and origins; nullopt when none fits.
-  std::optional<Placement> find_placement(const bgq::Geometry& shape) const;
-
- private:
-  std::size_t cell_index(const std::array<std::int64_t, 4>& cell) const;
-  template <typename Fn>
-  void for_each_cell(const Placement& placement, Fn&& fn) const;
-
-  bgq::Machine machine_;
-  std::array<std::int64_t, 4> dims_;
-  std::vector<std::int64_t> owner_;  // -1 = free
-  std::int64_t free_ = 0;
-};
-
-/// One job in the stream.
+/// One job in the stream. `midplanes` is the job size in the machine's
+/// allocation units — midplanes on tori, chassis on dragonflies, edge
+/// subtrees on fat-trees; the field keeps its historical torus name.
 struct Job {
   std::int64_t id = 0;
   std::int64_t midplanes = 1;
@@ -83,13 +38,13 @@ struct Job {
 
 /// How the scheduler picks partitions for queued jobs (FCFS order).
 enum class SchedulerPolicy {
-  /// Any fitting geometry, scanned in enumeration order — models a
+  /// Any fitting layout, scanned in enumeration order — models a
   /// utilization-only scheduler that is blind to partition quality.
   kFirstFit,
-  /// Prefer the free geometry with the largest internal bisection, but
+  /// Prefer the free layout with the largest internal bisection, but
   /// never leave the job waiting if something fits (greedy quality).
   kBestBisection,
-  /// For contention-bound jobs, wait until a best-bisection geometry is
+  /// For contention-bound jobs, wait until a best-bisection layout is
   /// free; compute-bound jobs place greedily. The paper's hint-driven
   /// policy.
   kWaitForBest,
@@ -100,10 +55,10 @@ std::string to_string(SchedulerPolicy policy);
 /// Outcome of one job.
 struct ScheduledJob {
   Job job;
-  Placement placement;
+  Partition partition;
   double start_seconds = 0.0;
   double finish_seconds = 0.0;
-  /// Achieved-runtime inflation vs the best geometry of the same size
+  /// Achieved-runtime inflation vs the best layout of the same size
   /// (1.0 = optimal partition; 2.0 = paper's worst case).
   double slowdown = 1.0;
 };
@@ -115,32 +70,24 @@ struct ScheduleResult {
   double mean_wait_seconds = 0.0;   ///< queue wait over all jobs
 };
 
-/// Source of candidate geometries for a job size. The default
-/// implementation calls bgq::enumerate_geometries on every query; callers
-/// running many simulations (e.g. the src/sweep engine) supply a memoized
-/// override so the exhaustive cuboid enumeration is paid once per
-/// (machine, size) instead of once per placement decision.
-class GeometryOracle {
- public:
-  virtual ~GeometryOracle() = default;
+/// Event-driven FCFS simulation of `jobs` on `allocator`'s machine under
+/// `policy`. Jobs must have non-decreasing arrival times and feasible
+/// sizes; the allocator must start empty and is left empty of these jobs'
+/// allocations only if every job finished (it is mutated in place).
+ScheduleResult simulate_schedule(PartitionAllocator& allocator,
+                                 SchedulerPolicy policy,
+                                 std::vector<Job> jobs);
 
-  /// Distinct geometries of exactly `midplanes` midplanes fitting
-  /// `machine`, sorted best bisection first — the contract of
-  /// bgq::enumerate_geometries, which the base class delegates to.
-  virtual std::vector<bgq::Geometry> geometries(const bgq::Machine& machine,
-                                                std::int64_t midplanes) const;
-};
-
-/// Event-driven FCFS simulation of `jobs` on `machine` under `policy`.
-/// Jobs must have non-decreasing arrival times and feasible sizes.
+/// Torus-family convenience: simulates on a fresh CuboidAllocator over
+/// `machine` — the pre-refactor entry point, bit-exact with it.
 ScheduleResult simulate_schedule(const bgq::Machine& machine,
                                  SchedulerPolicy policy,
                                  std::vector<Job> jobs);
 
-/// Same simulation with geometry lookups routed through `oracle`.
+/// Same with geometry/bisection lookups routed through `oracle`.
 ScheduleResult simulate_schedule(const bgq::Machine& machine,
                                  SchedulerPolicy policy, std::vector<Job> jobs,
-                                 const GeometryOracle& oracle);
+                                 const PartitionOracle& oracle);
 
 /// Runtime of a contention-bound job on `assigned` relative to the best
 /// same-size geometry: base * best_bw / assigned_bw.

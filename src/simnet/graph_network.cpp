@@ -214,11 +214,18 @@ double GraphNetwork::channel_seconds(const LinkLoads& loads) const {
 
 std::unique_ptr<Network> make_network(const topo::TopologySpec& spec,
                                       NetworkOptions options) {
-  // TorusNetwork prices channels at unit capacity; a weighted torus must go
-  // through the capacity-aware graph backend.
-  if (spec.kind() == topo::TopologySpec::Kind::kTorus &&
-      spec.capacities()[0] == 1.0) {
-    return std::make_unique<TorusNetwork>(topo::Torus(spec.dims()), options);
+  // Every torus spec — unit, uniform, or per-dimension (Titan-style
+  // weighted) capacities — keeps the specialized allocation-free routing
+  // path: minimal-path routing is capacity-blind, and TorusNetwork's
+  // completion model prices per-dimension capacities exactly like the
+  // graph backend (pinned in tests/simnet/graph_network_test.cpp).
+  if (spec.kind() == topo::TopologySpec::Kind::kTorus) {
+    std::vector<double> capacities = spec.capacities();
+    if (capacities.size() == 1) {
+      capacities.assign(spec.dims().size(), capacities[0]);
+    }
+    return std::make_unique<TorusNetwork>(topo::Torus(spec.dims()),
+                                          std::move(capacities), options);
   }
   return std::make_unique<GraphNetwork>(spec.build(), options);
 }

@@ -125,7 +125,37 @@ double Network::completion_seconds(std::span<const Flow> flows) const {
 // ---------------------------------------------------------------------------
 
 TorusNetwork::TorusNetwork(topo::Torus torus, NetworkOptions options)
-    : Network(options), torus_(std::move(torus)) {}
+    : TorusNetwork(
+          topo::Torus(torus),
+          std::vector<double>(torus.num_dims(), torus.link_capacity()),
+          options) {}
+
+TorusNetwork::TorusNetwork(topo::Torus torus,
+                           std::vector<double> dim_capacities,
+                           NetworkOptions options)
+    : Network(options),
+      torus_(std::move(torus)),
+      capacities_(std::move(dim_capacities)) {
+  if (capacities_.size() != torus_.num_dims()) {
+    throw std::invalid_argument(
+        "TorusNetwork: capacity count must match dimension count");
+  }
+  for (const double c : capacities_) {
+    if (c <= 0.0) {
+      throw std::invalid_argument("TorusNetwork: capacities must be positive");
+    }
+    if (c != 1.0) unit_capacities_ = false;
+  }
+}
+
+double TorusNetwork::channel_seconds(const LinkLoads& loads) const {
+  if (unit_capacities_) return Network::channel_seconds(loads);
+  double worst = 0.0;
+  for (std::size_t dim = 0; dim < torus_.num_dims(); ++dim) {
+    worst = std::max(worst, loads.max_load_in_dim(dim) / capacities_[dim]);
+  }
+  return worst / options().link_bytes_per_second;
+}
 
 std::size_t TorusNetwork::num_channels() const {
   return static_cast<std::size_t>(torus_.num_vertices()) * torus_.num_dims() *

@@ -147,12 +147,24 @@ class Network {
 };
 
 /// Torus backend: dimension-ordered minimal ring routing (see header
-/// comment for channel conventions).
+/// comment for channel conventions). Channels may carry per-dimension
+/// capacities (Titan-style weighted tori): routing is capacity-blind
+/// (minimal paths either way), but the completion model prices a channel's
+/// drain as load / (dimension capacity * link bandwidth), matching the
+/// capacity-aware GraphNetwork while keeping the allocation-free
+/// incremental-index routing path.
 class TorusNetwork final : public Network {
  public:
+  /// Uniform capacities: every channel at torus.link_capacity().
   explicit TorusNetwork(topo::Torus torus, NetworkOptions options = {});
 
+  /// Per-dimension capacities (dim_capacities.size() == torus.num_dims(),
+  /// all positive).
+  TorusNetwork(topo::Torus torus, std::vector<double> dim_capacities,
+               NetworkOptions options = {});
+
   const topo::Torus& torus() const { return torus_; }
+  const std::vector<double>& dim_capacities() const { return capacities_; }
 
   std::int64_t num_nodes() const override { return torus_.num_vertices(); }
   std::size_t num_channels() const override;
@@ -163,8 +175,15 @@ class TorusNetwork final : public Network {
   std::int64_t path_hops(const Flow& flow) const override;
   std::vector<Flow> halo_flows(double bytes) const override;
 
+ protected:
+  /// Capacity-aware drain time; falls back to the base (max_load / bw)
+  /// fast path when every dimension has unit capacity.
+  double channel_seconds(const LinkLoads& loads) const override;
+
  private:
   topo::Torus torus_;
+  std::vector<double> capacities_;  // one per dimension
+  bool unit_capacities_ = true;
 };
 
 }  // namespace npac::simnet

@@ -198,16 +198,22 @@ class SweepContext {
   MemoCache<std::pair<std::string, double>, double> topology_routing_;
 };
 
-/// core::GeometryOracle adapter: routes the scheduler simulation's geometry
-/// queries through a SweepContext, so a sweep's many simulate_schedule
-/// calls share one enumeration per (machine, size).
-class CachedGeometryOracle final : public core::GeometryOracle {
+/// core::PartitionOracle adapter: routes the allocator layer's layout
+/// queries through a SweepContext, so a sweep's many simulate_schedule /
+/// advisor calls share one cuboid enumeration per (machine, size) and one
+/// sub-network bisection per layout descriptor id.
+class CachedPartitionOracle final : public core::PartitionOracle {
  public:
-  explicit CachedGeometryOracle(SweepContext* context) : context_(context) {}
+  explicit CachedPartitionOracle(SweepContext* context) : context_(context) {}
 
   std::vector<bgq::Geometry> geometries(const bgq::Machine& machine,
                                         std::int64_t midplanes) const override {
     return context_->enumerate_geometries(machine, midplanes);
+  }
+
+  core::TopologyBisection bisection(
+      const topo::TopologySpec& spec) const override {
+    return context_->topology_bisection(spec);
   }
 
  private:

@@ -47,7 +47,7 @@ class SweepEngine final : public core::ExperimentEngine {
  public:
   /// Both referents must outlive the engine.
   SweepEngine(SweepContext& context, ThreadPool& pool)
-      : context_(&context), pool_(&pool) {}
+      : context_(&context), pool_(&pool), oracle_(&context) {}
 
   std::vector<std::int64_t> feasible_sizes(
       const bgq::Machine& machine) override {
@@ -90,6 +90,7 @@ class SweepEngine final : public core::ExperimentEngine {
                     const std::function<void(std::int64_t)>& fn) override {
     pool_->run_indexed(n, fn);
   }
+  const core::PartitionOracle& partition_oracle() override { return oracle_; }
 
   SweepContext& context() { return *context_; }
   ThreadPool& pool() { return *pool_; }
@@ -97,6 +98,7 @@ class SweepEngine final : public core::ExperimentEngine {
  private:
   SweepContext* context_;
   ThreadPool* pool_;
+  CachedPartitionOracle oracle_;
 };
 
 // --------------------------------------------------------------------------

@@ -76,6 +76,70 @@ core::TextTable scheduler_sweep_summary(
 std::string scheduler_sweep_csv(const std::vector<SchedulerSweepRow>& rows);
 
 // --------------------------------------------------------------------------
+// Cross-topology scheduler sweep: machine family x policy x contention mix.
+// The scheduler analogue of ext_topologies — every machine is a
+// core::PartitionAllocator family at equal allocation-unit count, so the
+// wait-for-best trade-off is comparable across torus / dragonfly /
+// fat-tree machines.
+// --------------------------------------------------------------------------
+
+struct TopologyMachineCase {
+  std::string label;        ///< e.g. "torus", "dragonfly", "fattree"
+  topo::TopologySpec spec;  ///< must have an allocator family
+  /// Job sizes (allocation units) traces draw from; equal-unit grids share
+  /// one pool so machine columns replay identical traces.
+  std::vector<std::int64_t> size_pool;
+};
+
+struct TopologySchedulerGrid {
+  std::vector<TopologyMachineCase> machines;
+  std::vector<core::SchedulerPolicy> policies;
+  std::vector<double> contention_fractions;
+  /// Trace template; contention_fraction and sizes come from the axes.
+  TraceConfig trace;
+  /// Independent traces per (machine, policy, fraction) point.
+  int replications = 1;
+};
+
+struct TopologySchedulerRow {
+  std::string machine;
+  core::SchedulerPolicy policy = core::SchedulerPolicy::kFirstFit;
+  double contention_fraction = 0.0;
+  int replication = 0;
+  std::uint64_t trace_seed = 0;
+  double makespan_seconds = 0.0;
+  double mean_slowdown = 1.0;
+  double mean_wait_seconds = 0.0;
+};
+
+/// Rows in grid order: machines (outer) x policies x fractions x
+/// replications (inner). The trace seed excludes the machine and policy
+/// axes, so every machine and every policy replays the identical trace of
+/// its (fraction, replication) cell — machine and policy columns are
+/// paired samples whenever the machines share a size pool.
+std::vector<TopologySchedulerRow> run_topology_scheduler_sweep(
+    const TopologySchedulerGrid& grid, const SweepOptions& options,
+    SweepContext& context);
+
+core::TextTable topology_scheduler_table(
+    const std::vector<TopologySchedulerRow>& rows);
+
+/// Replication means, one row per (machine, policy, fraction) in
+/// first-seen order.
+core::TextTable topology_scheduler_summary(
+    const std::vector<TopologySchedulerRow>& rows);
+
+/// Round-trip-exact CSV — the determinism artifact runner_test pins.
+std::string topology_scheduler_csv(
+    const std::vector<TopologySchedulerRow>& rows);
+
+/// The bench/ext_sched_topologies grid: all three policies on a torus, a
+/// dragonfly, and a fat-tree machine of 32 allocation units each, sharing
+/// one size pool. Shared with tests/sweep/runner_test.cpp so the
+/// byte-identity regression runs the exact bench grid.
+TopologySchedulerGrid ext_sched_topologies_grid(bool fast);
+
+// --------------------------------------------------------------------------
 // Routing sweep: geometry x tie-break ping-pong, with the Theorem 3.1
 // isoperimetric bound of each node torus alongside the measurement.
 // --------------------------------------------------------------------------

@@ -37,6 +37,28 @@ std::vector<std::int64_t> default_trace_sizes(const bgq::Machine& machine) {
 std::vector<core::Job> generate_trace(const bgq::Machine& machine,
                                       const TraceConfig& config,
                                       std::uint64_t seed) {
+  // Config validation lives in the size-pool overload this delegates to.
+  std::vector<std::int64_t> sizes;
+  if (config.sizes.empty()) {
+    sizes = default_trace_sizes(machine);  // already feasibility-filtered
+  } else {
+    sizes = config.sizes;
+    for (const std::int64_t size : sizes) {
+      if (!bgq::best_geometry(machine, size)) {
+        throw std::invalid_argument("generate_trace: size " +
+                                    std::to_string(size) +
+                                    " is not allocatable on " + machine.name);
+      }
+    }
+  }
+  TraceConfig pooled = config;
+  pooled.sizes = std::move(sizes);
+  return generate_trace(pooled.sizes, pooled, seed);
+}
+
+std::vector<core::Job> generate_trace(
+    const std::vector<std::int64_t>& size_pool, const TraceConfig& config,
+    std::uint64_t seed) {
   if (config.num_jobs < 0) {
     throw std::invalid_argument("generate_trace: num_jobs must be >= 0");
   }
@@ -53,19 +75,7 @@ std::vector<core::Job> generate_trace(const bgq::Machine& machine,
     throw std::invalid_argument(
         "generate_trace: need 0 < min_base_seconds <= max_base_seconds");
   }
-  std::vector<std::int64_t> sizes;
-  if (config.sizes.empty()) {
-    sizes = default_trace_sizes(machine);  // already feasibility-filtered
-  } else {
-    sizes = config.sizes;
-    for (const std::int64_t size : sizes) {
-      if (!bgq::best_geometry(machine, size)) {
-        throw std::invalid_argument("generate_trace: size " +
-                                    std::to_string(size) +
-                                    " is not allocatable on " + machine.name);
-      }
-    }
-  }
+  const std::vector<std::int64_t>& sizes = size_pool;
   if (sizes.empty()) {
     throw std::invalid_argument("generate_trace: no allocatable job sizes");
   }
@@ -199,8 +209,14 @@ std::vector<core::Job> parse_trace(const std::string& text) {
 core::ScheduleResult replay_trace(const bgq::Machine& machine,
                                   core::SchedulerPolicy policy,
                                   const std::vector<core::Job>& jobs,
-                                  const core::GeometryOracle& oracle) {
+                                  const core::PartitionOracle& oracle) {
   return core::simulate_schedule(machine, policy, jobs, oracle);
+}
+
+core::ScheduleResult replay_trace(core::PartitionAllocator& allocator,
+                                  core::SchedulerPolicy policy,
+                                  const std::vector<core::Job>& jobs) {
+  return core::simulate_schedule(allocator, policy, jobs);
 }
 
 }  // namespace npac::sweep

@@ -47,6 +47,15 @@ std::vector<core::Job> generate_trace(const bgq::Machine& machine,
                                       const TraceConfig& config,
                                       std::uint64_t seed);
 
+/// Machine-agnostic variant: job sizes are drawn from `size_pool` (in the
+/// target machine's allocation units — midplanes, chassis, or pod
+/// subtrees). The draw sequence is identical to the bgq overload with the
+/// same effective pool, so cross-family sweeps can replay one trace on
+/// every machine of an equal-unit-count tier.
+std::vector<core::Job> generate_trace(
+    const std::vector<std::int64_t>& size_pool, const TraceConfig& config,
+    std::uint64_t seed);
+
 /// Round-trip-exact decimal rendering ("%.17g") — the double format of
 /// every sweep CSV artifact, so byte-identity checks compare like with
 /// like.
@@ -65,7 +74,12 @@ std::vector<core::Job> parse_trace(const std::string& text);
 core::ScheduleResult replay_trace(const bgq::Machine& machine,
                                   core::SchedulerPolicy policy,
                                   const std::vector<core::Job>& jobs,
-                                  const core::GeometryOracle& oracle);
+                                  const core::PartitionOracle& oracle);
+
+/// Same on an arbitrary allocator family (the allocator must start empty).
+core::ScheduleResult replay_trace(core::PartitionAllocator& allocator,
+                                  core::SchedulerPolicy policy,
+                                  const std::vector<core::Job>& jobs);
 
 // --- deterministic inline RNG helpers (exposed for tests) ----------------
 

@@ -56,6 +56,30 @@ TopologySpec TopologySpec::torus(Dims dims, double link_capacity) {
   return spec;
 }
 
+TopologySpec TopologySpec::weighted_torus(Dims dims,
+                                          std::vector<double> capacities) {
+  if (dims.empty()) {
+    throw std::invalid_argument(
+        "TopologySpec::weighted_torus: empty dimension list");
+  }
+  if (capacities.size() != dims.size()) {
+    throw std::invalid_argument(
+        "TopologySpec::weighted_torus: capacity count must match dimension "
+        "count");
+  }
+  for (const double c : capacities) {
+    if (c <= 0.0) {
+      throw std::invalid_argument(
+          "TopologySpec::weighted_torus: capacities must be positive");
+    }
+  }
+  TopologySpec spec;
+  spec.kind_ = Kind::kTorus;
+  spec.dims_ = std::move(dims);
+  spec.capacities_ = std::move(capacities);
+  return spec;
+}
+
 TopologySpec TopologySpec::mesh(Dims dims, double link_capacity) {
   if (dims.empty()) {
     throw std::invalid_argument("TopologySpec::mesh: empty dimension list");
@@ -212,6 +236,9 @@ Graph TopologySpec::build() const {
   }
   switch (kind_) {
     case Kind::kTorus:
+      if (capacities_.size() > 1) {
+        return make_weighted_torus(dims_, capacities_);
+      }
       return Torus(dims_, capacities_[0]).build_graph();
     case Kind::kMesh:
       return make_mesh(dims_, capacities_[0]);

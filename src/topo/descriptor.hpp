@@ -42,6 +42,11 @@ class TopologySpec {
 
   /// D-dimensional torus with uniform link capacity.
   static TopologySpec torus(Dims dims, double link_capacity = 1.0);
+  /// Torus with per-dimension link capacities (capacities.size() must
+  /// equal dims.size()) — Titan-style weighted tori. Kept on the
+  /// specialized TorusNetwork routing path by simnet::make_network.
+  static TopologySpec weighted_torus(Dims dims,
+                                     std::vector<double> capacities);
   /// D-dimensional mesh (no wraparound).
   static TopologySpec mesh(Dims dims, double link_capacity = 1.0);
   /// Hypercube Q_n.

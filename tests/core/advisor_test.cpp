@@ -143,5 +143,68 @@ TEST(TopologyBisectionTest, LargeIrregularGraphsFallBackToSpectral) {
   EXPECT_GT(dragonfly.value, 0.0);
 }
 
+TEST(TopologyBisectionTest, WeightedTorusUsesTheCapacityAwareCuboidSearch) {
+  const auto weighted = topology_bisection(
+      topo::TopologySpec::weighted_torus({4, 4}, {2.0, 1.0}));
+  EXPECT_EQ(weighted.method, "weighted cuboid");
+  // Halving along the cheap dimension cuts 2 boundary links per fiber at
+  // capacity 1 across 4 fibers = 8; the expensive dimension would cost 16.
+  EXPECT_DOUBLE_EQ(weighted.value, 8.0);
+}
+
+TEST(FamilySpeedupBoundsTest, TorusSpecsReproduceTheFreeCuboidRatios) {
+  // On a 4-D torus spec the family bounds are exactly the free-cuboid
+  // advisor's best/worst bisection ratios.
+  const bgq::Machine machine = bgq::juqueen();
+  const auto bounds = family_speedup_bounds(
+      topo::TopologySpec::torus({7, 2, 2, 2}));
+  const auto sizes = bgq::feasible_sizes(machine);
+  ASSERT_EQ(bounds.size(), sizes.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i].units, sizes[i]);
+    const auto best = bgq::best_geometry(machine, sizes[i]);
+    const auto worst = bgq::worst_geometry(machine, sizes[i]);
+    ASSERT_TRUE(best && worst);
+    EXPECT_EQ(bounds[i].best_quality,
+              static_cast<double>(bgq::normalized_bisection(*best)));
+    EXPECT_EQ(bounds[i].worst_quality,
+              static_cast<double>(bgq::normalized_bisection(*worst)));
+    if (bounds[i].worst_quality > 0.0) {
+      EXPECT_DOUBLE_EQ(bounds[i].predicted_speedup,
+                       bgq::predicted_speedup(*worst, *best));
+    }
+  }
+}
+
+TEST(FamilySpeedupBoundsTest, FatTreeIsFlatAndDragonflyIsNot) {
+  // Fat-tree: every row layout-flat (non-blocking Clos) — waiting never
+  // pays, the Section 5 claim.
+  for (const auto& rec :
+       family_speedup_bounds(topo::TopologySpec::fat_tree(8))) {
+    EXPECT_FALSE(rec.improvable) << rec.units;
+    EXPECT_DOUBLE_EQ(rec.predicted_speedup, 1.0) << rec.units;
+    EXPECT_NE(rec.to_string().find("layout-flat"), std::string::npos);
+  }
+
+  // Dragonfly: spreadable sizes have a real wait-for-best gain.
+  topo::DragonflyConfig config;
+  config.a = 4;
+  config.h = 4;
+  config.groups = 8;
+  config.global_ports = 1;
+  const auto bounds =
+      family_speedup_bounds(topo::TopologySpec::dragonfly(config));
+  bool any_improvable = false;
+  for (const auto& rec : bounds) {
+    EXPECT_GE(rec.predicted_speedup, 1.0) << rec.units;
+    if (rec.improvable) {
+      any_improvable = true;
+      EXPECT_GT(rec.predicted_speedup, 1.0) << rec.units;
+      EXPECT_NE(rec.to_string().find("from waiting"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(any_improvable);
+}
+
 }  // namespace
 }  // namespace npac::core

@@ -1,0 +1,397 @@
+// PartitionAllocator tests: the zero-drift pin suite proving the
+// CuboidAllocator reproduces the pre-refactor MidplaneGrid schedules
+// bit-exactly on every paper machine, plus occupancy/fragmentation stress
+// for the dragonfly and fat-tree families.
+//
+// The golden hashes below were captured by running the pre-refactor
+// scheduler (commit 404344b, `core::simulate_schedule` directly over
+// MidplaneGrid + bgq::enumerate_geometries) on deterministic traces. The
+// digest covers every per-job decision — placement label, start, finish,
+// slowdown — so any drift in enumeration order, placement scan, or the
+// slowdown arithmetic shows up as a hash mismatch.
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/scheduler.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/trace.hpp"
+
+namespace npac::core {
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string schedule_digest(const ScheduleResult& result) {
+  std::ostringstream digest;
+  for (const auto& record : result.jobs) {
+    digest << record.job.id << "," << record.job.midplanes << ","
+           << record.partition.label << ","
+           << sweep::format_exact(record.start_seconds) << ","
+           << sweep::format_exact(record.finish_seconds) << ","
+           << sweep::format_exact(record.slowdown) << "\n";
+  }
+  digest << sweep::format_exact(result.makespan_seconds) << ","
+         << sweep::format_exact(result.mean_slowdown) << ","
+         << sweep::format_exact(result.mean_wait_seconds) << "\n";
+  return digest.str();
+}
+
+// -------------------------------------------------------------------------
+// The pin suite: pre-refactor schedule hashes for every paper machine
+// (Mira, JUQUEEN, Sequoia and the Table 5 hypothetical machines) under all
+// three policies, on a 24-job trace with seed 2020.
+// -------------------------------------------------------------------------
+
+struct GoldenSchedule {
+  const char* machine;
+  SchedulerPolicy policy;
+  std::uint64_t digest_hash;
+};
+
+constexpr GoldenSchedule kGoldenSchedules[] = {
+    {"Mira", SchedulerPolicy::kFirstFit, 0x145c82ff527f4618ULL},
+    {"Mira", SchedulerPolicy::kBestBisection, 0x85eed6518f437e21ULL},
+    {"Mira", SchedulerPolicy::kWaitForBest, 0xfe591baed161b21aULL},
+    {"JUQUEEN", SchedulerPolicy::kFirstFit, 0x37b3355d9ee8417cULL},
+    {"JUQUEEN", SchedulerPolicy::kBestBisection, 0x8b078660aa48f485ULL},
+    {"JUQUEEN", SchedulerPolicy::kWaitForBest, 0x8b078660aa48f485ULL},
+    {"Sequoia", SchedulerPolicy::kFirstFit, 0x4e2b3515417cdf30ULL},
+    {"Sequoia", SchedulerPolicy::kBestBisection, 0xd9de627d5f641a76ULL},
+    {"Sequoia", SchedulerPolicy::kWaitForBest, 0x8c486c5ab164f67dULL},
+    {"JUQUEEN-48", SchedulerPolicy::kFirstFit, 0xd24a1f1385c7b623ULL},
+    {"JUQUEEN-48", SchedulerPolicy::kBestBisection, 0xf20b7b5c005a6e3dULL},
+    {"JUQUEEN-48", SchedulerPolicy::kWaitForBest, 0x9fa0506617348638ULL},
+    {"JUQUEEN-54", SchedulerPolicy::kFirstFit, 0xffffb77c74389820ULL},
+    {"JUQUEEN-54", SchedulerPolicy::kBestBisection, 0xffffb77c74389820ULL},
+    {"JUQUEEN-54", SchedulerPolicy::kWaitForBest, 0xffffb77c74389820ULL},
+};
+
+bgq::Machine machine_by_name(const std::string& name) {
+  for (const bgq::Machine& machine : bgq::all_machines()) {
+    if (machine.name == name) return machine;
+  }
+  throw std::invalid_argument("unknown machine " + name);
+}
+
+TEST(CuboidAllocatorPinTest, ReproducesPreRefactorSchedulesBitExactly) {
+  for (const GoldenSchedule& golden : kGoldenSchedules) {
+    const bgq::Machine machine = machine_by_name(golden.machine);
+    sweep::TraceConfig config;
+    config.num_jobs = 24;
+    const auto jobs = sweep::generate_trace(machine, config, 2020);
+    const auto result = simulate_schedule(machine, golden.policy, jobs);
+    EXPECT_EQ(fnv1a(schedule_digest(result)), golden.digest_hash)
+        << golden.machine << " / " << to_string(golden.policy);
+  }
+}
+
+TEST(CuboidAllocatorPinTest, MemoizedOracleChangesNothing) {
+  // The same schedules through a CachedPartitionOracle: memoization may
+  // only change the cost, never a byte of the digest.
+  sweep::SweepContext context;
+  const sweep::CachedPartitionOracle oracle(&context);
+  for (const GoldenSchedule& golden : kGoldenSchedules) {
+    const bgq::Machine machine = machine_by_name(golden.machine);
+    sweep::TraceConfig config;
+    config.num_jobs = 24;
+    const auto jobs = sweep::generate_trace(machine, config, 2020);
+    const auto result = simulate_schedule(machine, golden.policy, jobs, oracle);
+    EXPECT_EQ(fnv1a(schedule_digest(result)), golden.digest_hash)
+        << golden.machine << " / " << to_string(golden.policy);
+  }
+  EXPECT_GT(context.geometry_stats().hits, 0u);
+}
+
+TEST(CuboidAllocatorPinTest, SchedulerSweepCsvMatchesPreRefactorHash) {
+  // The full scheduler-sweep pipeline (traces, memoized oracle, CSV
+  // rendering) pinned against the pre-refactor artifact.
+  sweep::SchedulerSweepGrid grid;
+  grid.machine = bgq::mira();
+  grid.policies = {SchedulerPolicy::kFirstFit, SchedulerPolicy::kBestBisection,
+                   SchedulerPolicy::kWaitForBest};
+  grid.contention_fractions = {1.0 / 3.0, 1.0};
+  grid.trace.num_jobs = 16;
+  grid.replications = 2;
+  sweep::SweepContext context;
+  const auto rows = sweep::run_scheduler_sweep(
+      grid, {.threads = 1, .base_seed = 42}, context);
+  EXPECT_EQ(fnv1a(sweep::scheduler_sweep_csv(rows)), 0x7366ae221ac02b9fULL);
+}
+
+// -------------------------------------------------------------------------
+// CuboidAllocator interface semantics.
+// -------------------------------------------------------------------------
+
+TEST(CuboidAllocatorTest, QualitiesMatchEnumerationAndDescriptorNamesMachine) {
+  CuboidAllocator allocator(bgq::mira());
+  EXPECT_EQ(allocator.total_units(), 96);
+  EXPECT_EQ(allocator.free_units(), 96);
+  EXPECT_EQ(allocator.descriptor(), "Mira (torus:4x4x3x2)");
+
+  const auto qualities = allocator.candidate_qualities(4);
+  const auto geometries = bgq::enumerate_geometries(bgq::mira(), 4);
+  ASSERT_EQ(qualities.size(), geometries.size());
+  for (std::size_t i = 0; i < qualities.size(); ++i) {
+    EXPECT_EQ(qualities[i],
+              static_cast<double>(bgq::normalized_bisection(geometries[i])));
+  }
+  EXPECT_TRUE(std::is_sorted(qualities.rbegin(), qualities.rend()));
+  EXPECT_TRUE(allocator.candidate_qualities(97).empty());
+  EXPECT_TRUE(allocator.candidate_qualities(17).empty());  // no 17-cuboid
+}
+
+TEST(CuboidAllocatorTest, PlaceAndReleaseTrackUnits) {
+  CuboidAllocator allocator(bgq::mira());
+  const auto partition = allocator.try_place(8, 0, /*job_id=*/3);
+  ASSERT_TRUE(partition.has_value());
+  EXPECT_EQ(partition->units, 8);
+  ASSERT_TRUE(partition->cuboid.has_value());
+  EXPECT_EQ(partition->cuboid->midplanes(), 8);
+  EXPECT_EQ(partition->quality, partition->best_quality);  // class 0 = best
+  EXPECT_EQ(allocator.free_units(), 88);
+  EXPECT_EQ(allocator.release(3), 8);
+  EXPECT_EQ(allocator.free_units(), 96);
+}
+
+// -------------------------------------------------------------------------
+// DragonflyAllocator: layout classes and fragmentation behavior.
+// -------------------------------------------------------------------------
+
+topo::DragonflyConfig small_dragonfly() {
+  topo::DragonflyConfig config;  // 8 groups x 4 chassis of K_4 = 32 units
+  config.a = 4;
+  config.h = 4;
+  config.groups = 8;
+  config.global_ports = 1;
+  return config;
+}
+
+TEST(DragonflyAllocatorTest, LayoutClassesAreQualityOrderedAndCompactWins) {
+  DragonflyAllocator allocator(small_dragonfly());
+  EXPECT_EQ(allocator.total_units(), 32);
+
+  // Size 4 admits 1x4, 2x2 and 4x1 (groups x chassis). Qualities are
+  // non-increasing with the compact single-group slice (Hamming K_4 x K_4
+  // with 3x green links) first — the 2x2 layout legitimately ties it (the
+  // fat 4x blue links carry the 2-group bisection), while the fully spread
+  // 4x1 layout scores strictly worse.
+  const auto& layouts = allocator.layouts_for(4);
+  ASSERT_EQ(layouts.size(), 3u);
+  EXPECT_EQ(layouts.front().groups, 1);
+  EXPECT_EQ(layouts.front().chassis_per_group, 4);
+  for (std::size_t i = 1; i < layouts.size(); ++i) {
+    EXPECT_GE(layouts[i - 1].quality, layouts[i].quality);
+  }
+  EXPECT_EQ(layouts.back().groups, 4);
+  EXPECT_LT(layouts.back().quality, layouts.front().quality);
+
+  // Sizes beyond one group must spread; beyond the machine are infeasible.
+  for (const auto& layout : allocator.layouts_for(8)) {
+    EXPECT_GT(layout.groups, 1);
+  }
+  EXPECT_TRUE(allocator.candidate_qualities(33).empty());
+  EXPECT_TRUE(allocator.candidate_qualities(0).empty());
+}
+
+TEST(DragonflyAllocatorTest, FragmentationForcesSpreadThenRecovers) {
+  DragonflyAllocator allocator(small_dragonfly());
+  // Occupy 3 of 4 chassis in every group: 8 free chassis remain, one per
+  // group, so a compact 4-chassis slice (class 0 = 1 group x 4) cannot
+  // fit but the fully spread 4 x 1 class can.
+  for (std::int64_t g = 0; g < 8; ++g) {
+    ASSERT_TRUE(allocator.try_place(3, 0, /*job_id=*/g).has_value());
+  }
+  EXPECT_EQ(allocator.free_units(), 8);
+
+  const auto& layouts = allocator.layouts_for(4);
+  std::size_t spread_class = layouts.size();
+  for (std::size_t k = 0; k < layouts.size(); ++k) {
+    if (layouts[k].groups == 4) spread_class = k;
+    if (layouts[k].groups == 1) {
+      EXPECT_FALSE(allocator.try_place(4, k, 100).has_value());
+    }
+  }
+  ASSERT_LT(spread_class, layouts.size());
+  const auto spread = allocator.try_place(4, spread_class, 100);
+  ASSERT_TRUE(spread.has_value());
+  EXPECT_LT(spread->quality, spread->best_quality);
+  EXPECT_EQ(allocator.free_units(), 4);
+
+  // Releasing one 3-chassis job reopens a compact placement in its group.
+  EXPECT_EQ(allocator.release(2), 3);
+  std::size_t compact_class = layouts.size();
+  for (std::size_t k = 0; k < layouts.size(); ++k) {
+    if (layouts[k].groups == 1) compact_class = k;
+  }
+  ASSERT_LT(compact_class, layouts.size());
+  EXPECT_FALSE(allocator.try_place(4, compact_class, 101).has_value())
+      << "group 2 has only 3 free chassis";
+  const auto small = allocator.try_place(3, 0, 102);
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->label.find("3ch x 1gr"), 0u) << small->label;
+
+  // Full drain restores a clean machine.
+  for (std::int64_t job = 0; job < 8; ++job) allocator.release(job);
+  allocator.release(100);
+  allocator.release(101);
+  allocator.release(102);
+  EXPECT_EQ(allocator.free_units(), 32);
+  EXPECT_TRUE(allocator.try_place(4, compact_class, 200).has_value());
+}
+
+TEST(DragonflyAllocatorTest, InterleavedOccupyReleaseKeepsAccountingExact) {
+  DragonflyAllocator allocator(small_dragonfly());
+  std::int64_t expected_free = allocator.total_units();
+  // Deterministic churn: place sizes cycling {2, 4, 8}, release every
+  // third job immediately, and check the unit ledger at every step.
+  std::vector<std::int64_t> live;
+  const std::int64_t sizes[] = {2, 4, 8};
+  for (std::int64_t job = 0; job < 12; ++job) {
+    const std::int64_t size = sizes[job % 3];
+    const auto qualities = allocator.candidate_qualities(size);
+    bool placed = false;
+    for (std::size_t k = 0; k < qualities.size() && !placed; ++k) {
+      if (allocator.try_place(size, k, job).has_value()) {
+        placed = true;
+        expected_free -= size;
+        live.push_back(job);
+      }
+    }
+    if (!placed) {
+      // Machine saturated: drain the oldest live job and retry class 0.
+      ASSERT_FALSE(live.empty());
+      const std::int64_t oldest = live.front();
+      live.erase(live.begin());
+      const std::int64_t freed = allocator.release(oldest);
+      EXPECT_EQ(freed, sizes[oldest % 3]);
+      expected_free += freed;
+    } else if (job % 3 == 2) {
+      expected_free += allocator.release(job);
+      live.pop_back();
+    }
+    EXPECT_EQ(allocator.free_units(), expected_free) << "after job " << job;
+  }
+  for (const std::int64_t job : live) allocator.release(job);
+  EXPECT_EQ(allocator.free_units(), allocator.total_units());
+  EXPECT_EQ(allocator.release(999), 0);  // unknown job frees nothing
+}
+
+// -------------------------------------------------------------------------
+// FatTreeAllocator: flat quality and pod-block fragmentation.
+// -------------------------------------------------------------------------
+
+TEST(FatTreeAllocatorTest, QualityIsFlatAcrossLayouts) {
+  FatTreeAllocator allocator({8, 1.0});  // 8 pods x 4 edge subtrees
+  EXPECT_EQ(allocator.total_units(), 32);
+  EXPECT_EQ(allocator.descriptor(), "fattree:k8");
+
+  for (const std::int64_t size : {1, 2, 4, 8, 16, 32}) {
+    const auto qualities = allocator.candidate_qualities(size);
+    ASSERT_FALSE(qualities.empty()) << size;
+    // Non-blocking Clos: hosts / 2 * capacity for every layout.
+    const double expected = static_cast<double>(size * 4) / 2.0;
+    for (const double q : qualities) EXPECT_EQ(q, expected) << size;
+  }
+  EXPECT_TRUE(allocator.candidate_qualities(33).empty());
+
+  // Layouts are pods ascending (compact first).
+  const auto pods = allocator.pods_for(8);
+  EXPECT_EQ(pods, (std::vector<std::int64_t>{2, 4, 8}));
+}
+
+TEST(FatTreeAllocatorTest, FragmentationForcesMultiPodBlocks) {
+  FatTreeAllocator allocator({8, 1.0});
+  // Take 3 of 4 subtrees in every pod (8 compact 3-subtree jobs fill pods
+  // sequentially): one subtree stays free per pod, so a 4-subtree job fits
+  // neither 1 pod x 4 nor 2 pods x 2 — only the fully spread 4 pods x 1.
+  for (std::int64_t p = 0; p < 8; ++p) {
+    const auto block = allocator.try_place(3, 0, p);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->label.find("3st x 1pod"), 0u) << block->label;
+  }
+  EXPECT_EQ(allocator.free_units(), 8);
+  const auto pods = allocator.pods_for(4);
+  ASSERT_EQ(pods, (std::vector<std::int64_t>{1, 2, 4}));
+  EXPECT_FALSE(allocator.try_place(4, 0, 50).has_value());
+  EXPECT_FALSE(allocator.try_place(4, 1, 50).has_value());
+  const auto spread = allocator.try_place(4, 2, 50);
+  ASSERT_TRUE(spread.has_value());
+  EXPECT_EQ(spread->label.find("1st x 4pod"), 0u) << spread->label;
+  // Flat quality: the forced spread causes no slowdown.
+  EXPECT_EQ(spread->quality, spread->best_quality);
+  allocator.release(50);
+  for (std::int64_t p = 0; p < 8; ++p) allocator.release(p);
+  EXPECT_EQ(allocator.free_units(), 32);
+}
+
+// -------------------------------------------------------------------------
+// Factories and generic helpers.
+// -------------------------------------------------------------------------
+
+TEST(MakeAllocatorTest, DispatchesPerFamilyAndRejectsUnmodeledOnes) {
+  const auto torus =
+      make_allocator(topo::TopologySpec::torus({4, 2, 2, 2}));
+  EXPECT_EQ(torus->total_units(), 32);
+  EXPECT_NE(dynamic_cast<CuboidAllocator*>(torus.get()), nullptr);
+
+  const auto dragonfly = make_allocator(
+      topo::TopologySpec::dragonfly(small_dragonfly()));
+  EXPECT_NE(dynamic_cast<DragonflyAllocator*>(dragonfly.get()), nullptr);
+
+  const auto fat_tree = make_allocator(topo::TopologySpec::fat_tree(8));
+  EXPECT_NE(dynamic_cast<FatTreeAllocator*>(fat_tree.get()), nullptr);
+
+  EXPECT_THROW(make_allocator(topo::TopologySpec::hypercube(5)),
+               std::invalid_argument);
+  EXPECT_THROW(make_allocator(topo::TopologySpec::torus({4, 2})),
+               std::invalid_argument);  // not a 4-D midplane grid
+  // Weighted tori must be rejected, not silently scored at unit capacity.
+  EXPECT_THROW(make_allocator(topo::TopologySpec::weighted_torus(
+                   {4, 2, 2, 2}, {4.0, 1.0, 1.0, 1.0})),
+               std::invalid_argument);
+}
+
+TEST(MakeAllocatorTest, FeasibleUnitSizesMatchFamilies) {
+  const auto torus = make_allocator(bgq::juqueen());
+  EXPECT_EQ(feasible_unit_sizes(*torus), bgq::feasible_sizes(bgq::juqueen()));
+
+  FatTreeAllocator fat_tree({4, 1.0});  // 4 pods x 2 subtrees = 8 units
+  const auto sizes = feasible_unit_sizes(fat_tree);
+  // p | s with s / p <= 2, p <= 4: sizes 1, 2, 3 (3 pods x 1), 4, 6, 8.
+  EXPECT_EQ(sizes, (std::vector<std::int64_t>{1, 2, 3, 4, 6, 8}));
+}
+
+TEST(SimulateScheduleTest, RunsOnDragonflyAndFatTreeFamilies) {
+  std::vector<Job> jobs;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    jobs.push_back({i, (i % 3 == 0) ? 8 : 4, 20.0, true, 2.0 * i});
+  }
+  DragonflyAllocator dragonfly(small_dragonfly());
+  const auto df_first =
+      simulate_schedule(dragonfly, SchedulerPolicy::kFirstFit, jobs);
+  DragonflyAllocator dragonfly2(small_dragonfly());
+  const auto df_wait =
+      simulate_schedule(dragonfly2, SchedulerPolicy::kWaitForBest, jobs);
+  EXPECT_GT(df_first.mean_slowdown, 1.0);
+  EXPECT_NEAR(df_wait.mean_slowdown, 1.0, 1e-12);
+
+  FatTreeAllocator fat_tree({8, 1.0});
+  const auto ft =
+      simulate_schedule(fat_tree, SchedulerPolicy::kFirstFit, jobs);
+  EXPECT_NEAR(ft.mean_slowdown, 1.0, 1e-12);  // layout-flat Clos
+}
+
+}  // namespace
+}  // namespace npac::core

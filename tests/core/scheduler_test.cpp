@@ -132,7 +132,9 @@ TEST(SchedulerTest, SingleJobRunsImmediately) {
   EXPECT_DOUBLE_EQ(result.jobs[0].start_seconds, 0.0);
   EXPECT_DOUBLE_EQ(result.jobs[0].slowdown, 1.0);
   EXPECT_DOUBLE_EQ(result.makespan_seconds, 100.0);
-  EXPECT_EQ(result.jobs[0].placement.geometry(), bgq::Geometry(2, 2, 1, 1));
+  ASSERT_TRUE(result.jobs[0].partition.cuboid.has_value());
+  EXPECT_EQ(result.jobs[0].partition.cuboid->geometry(),
+            bgq::Geometry(2, 2, 1, 1));
 }
 
 TEST(SchedulerTest, FirstFitPicksWorseGeometry) {
@@ -140,7 +142,9 @@ TEST(SchedulerTest, FirstFitPicksWorseGeometry) {
                                         SchedulerPolicy::kFirstFit,
                                         {make_job(0, 4, 100.0)});
   ASSERT_EQ(result.jobs.size(), 1u);
-  EXPECT_EQ(result.jobs[0].placement.geometry(), bgq::Geometry(4, 1, 1, 1));
+  ASSERT_TRUE(result.jobs[0].partition.cuboid.has_value());
+  EXPECT_EQ(result.jobs[0].partition.cuboid->geometry(),
+            bgq::Geometry(4, 1, 1, 1));
   EXPECT_DOUBLE_EQ(result.jobs[0].slowdown, 2.0);
   EXPECT_DOUBLE_EQ(result.makespan_seconds, 200.0);
 }
@@ -220,6 +224,42 @@ TEST(SchedulerTest, RejectsInfeasibleSizeAndBadArrivals) {
                         {make_job(0, 1, 1.0, true, 5.0),
                          make_job(1, 1, 1.0, true, 0.0)}),
       std::invalid_argument);
+}
+
+TEST(SchedulerTest, InfeasibleSizeThrowNamesJobSizeAndMachine) {
+  // The infeasible-size diagnostic must identify which job of the stream
+  // asked for what, on which machine — a trace of 48 jobs is otherwise
+  // undebuggable from "infeasible job size" alone.
+  try {
+    simulate_schedule(bgq::juqueen(), SchedulerPolicy::kBestBisection,
+                      {make_job(0, 2, 1.0), make_job(17, 9, 1.0, true, 1.0)});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("job 17"), std::string::npos) << message;
+    EXPECT_NE(message.find("size 9"), std::string::npos) << message;
+    EXPECT_NE(message.find("JUQUEEN"), std::string::npos) << message;
+    EXPECT_NE(message.find("torus:7x2x2x2"), std::string::npos) << message;
+  }
+}
+
+TEST(SchedulerTest, DeadlockThrowNamesBlockedJobAndMachine) {
+  // A true deadlock needs a job whose every layout stays blocked with no
+  // completion event pending; seed the allocator with a foreign allocation
+  // that the simulated stream never releases.
+  CuboidAllocator allocator(bgq::mira());
+  ASSERT_TRUE(allocator.try_place(96, 0, /*job_id=*/999).has_value());
+  try {
+    simulate_schedule(allocator, SchedulerPolicy::kBestBisection,
+                      {make_job(3, 4, 1.0)});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("deadlock"), std::string::npos) << message;
+    EXPECT_NE(message.find("job 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("size 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("Mira"), std::string::npos) << message;
+  }
 }
 
 TEST(SchedulerTest, PolicyNames) {

@@ -53,7 +53,9 @@ TEST_P(SchedulerSweep, ConservationAndCapacity) {
     EXPECT_GT(record.finish_seconds, record.start_seconds);
     EXPECT_GE(record.slowdown, 1.0);
     EXPECT_LE(record.slowdown, 2.0 + 1e-12);
-    EXPECT_EQ(record.placement.midplanes(), record.job.midplanes);
+    ASSERT_TRUE(record.partition.cuboid.has_value());
+    EXPECT_EQ(record.partition.cuboid->midplanes(), record.job.midplanes);
+    EXPECT_EQ(record.partition.units, record.job.midplanes);
     EXPECT_LE(record.finish_seconds, result.makespan_seconds + 1e-9);
   }
 
@@ -66,10 +68,10 @@ TEST_P(SchedulerSweep, ConservationAndCapacity) {
       const bool active = record.start_seconds <= instant + 1e-9 &&
                           record.finish_seconds > instant + 1e-9;
       if (!active) continue;
-      ASSERT_TRUE(grid.fits(record.placement))
+      ASSERT_TRUE(grid.fits(*record.partition.cuboid))
           << "job " << record.job.id << " overlaps another at t = "
           << instant;
-      grid.occupy(record.placement, record.job.id);
+      grid.occupy(*record.partition.cuboid, record.job.id);
     }
   }
 }

@@ -229,6 +229,83 @@ INSTANTIATE_TEST_SUITE_P(
         topo::Dims{2, 2, 2},        // all-C_2 (hypercube Q3)
         topo::Dims{5, 3}));         // odd dimensions (no antipodal ties)
 
+// Weighted-torus backend parity (ROADMAP item): TorusNetwork with
+// per-dimension capacities must agree with GraphNetwork over
+// make_weighted_torus to 1e-9 — same per-channel loads (routing is
+// capacity-blind on both backends) and same capacity-aware completion.
+// This is what lets make_network keep Titan-style weighted tori on the
+// allocation-free specialized path.
+
+struct WeightedCase {
+  topo::Dims dims;
+  std::vector<double> capacities;
+};
+
+class WeightedEquivalenceTest
+    : public ::testing::TestWithParam<WeightedCase> {};
+
+TEST_P(WeightedEquivalenceTest, LoadsAndCompletionMatchToTheNinth) {
+  const auto& [dims, capacities] = GetParam();
+  const topo::Torus torus(dims);
+  const TorusNetwork torus_net(torus, capacities, unit_bandwidth());
+  const GraphNetwork graph_net(topo::make_weighted_torus(dims, capacities),
+                               unit_bandwidth());
+  for (const auto& flows :
+       {furthest_node_pairing(torus, 32.0), uniform_all_to_all(torus, 24.0)}) {
+    const LinkLoads torus_loads = torus_net.route_all(flows);
+    const LinkLoads graph_loads = graph_net.route_all(flows);
+    for (topo::VertexId v = 0; v < torus.num_vertices(); ++v) {
+      for (std::size_t dim = 0; dim < torus.num_dims(); ++dim) {
+        const std::int64_t a = torus.dims()[dim];
+        if (a == 1) continue;
+        const int directions = a == 2 ? 1 : 2;
+        for (int direction = 0; direction < directions; ++direction) {
+          const topo::VertexId peer = ring_neighbor(torus, v, dim, direction);
+          EXPECT_NEAR(torus_loads.at(v, dim, direction),
+                      graph_loads[graph_net.channel_of(v, peer)], 1e-9)
+              << "node " << v << " dim " << dim << " dir " << direction;
+        }
+      }
+    }
+    EXPECT_NEAR(torus_net.completion_seconds(torus_loads, flows),
+                graph_net.completion_seconds(graph_loads, flows), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TitanStyleTori, WeightedEquivalenceTest,
+    ::testing::Values(
+        // Titan-style 3-D torus with a fast dimension and a slow one.
+        WeightedCase{{4, 3, 2}, {2.0, 1.0, 0.5}},
+        // JUQUEEN shape with Aries-like 1x/3x/4x class capacities.
+        WeightedCase{{7, 2, 2, 2}, {1.0, 3.0, 4.0, 1.0}},
+        // Mira shape, mixed capacities including a degenerate-free case.
+        WeightedCase{{4, 4, 3, 2}, {2.5, 1.0, 1.0, 2.0}},
+        // Degenerate dims: length-1 (no channels) and length-2 (C_2 edge).
+        WeightedCase{{1, 2, 3}, {5.0, 2.0, 1.0}}));
+
+TEST(WeightedEquivalenceTest, MakeNetworkKeepsWeightedToriOnTheTorusBackend) {
+  const auto spec =
+      topo::TopologySpec::weighted_torus({4, 3, 2}, {2.0, 1.0, 0.5});
+  const auto network = make_network(spec, unit_bandwidth());
+  const auto* torus_backend = dynamic_cast<const TorusNetwork*>(network.get());
+  ASSERT_NE(torus_backend, nullptr)
+      << "weighted tori must stay on the specialized path";
+  EXPECT_EQ(torus_backend->dim_capacities(),
+            (std::vector<double>{2.0, 1.0, 0.5}));
+
+  // Uniform non-unit capacity also stays specialized and prices the links.
+  const auto uniform = make_network(topo::TopologySpec::torus({4, 4}, 2.0),
+                                    unit_bandwidth());
+  ASSERT_NE(dynamic_cast<const TorusNetwork*>(uniform.get()), nullptr);
+  const GraphNetwork graph_uniform(
+      topo::Torus({4, 4}, 2.0).build_graph(), unit_bandwidth());
+  const auto flows =
+      furthest_node_pairing(topo::Torus({4, 4}), 16.0);
+  EXPECT_NEAR(uniform->completion_seconds(flows),
+              graph_uniform.completion_seconds(flows), 1e-9);
+}
+
 TEST(EquivalenceTest, PositiveTieBreakConservesByteHopsAndMinimality) {
   // Under kPositive the two backends pick different (but equally minimal)
   // single paths, so per-channel equality is not expected; byte-hop totals

@@ -113,16 +113,23 @@ TEST(SweepContextTest, PingpongMatchesDirectPerTieBreak) {
   EXPECT_EQ(context.routing_stats().hits, 1u);
 }
 
-TEST(CachedGeometryOracleTest, MatchesDefaultOracle) {
+TEST(CachedPartitionOracleTest, MatchesDefaultOracle) {
   SweepContext context;
-  const CachedGeometryOracle cached(&context);
-  const core::GeometryOracle plain;
+  const CachedPartitionOracle cached(&context);
+  const core::PartitionOracle& plain = core::default_partition_oracle();
   const bgq::Machine machine = bgq::mira();
   for (const std::int64_t size : {1, 2, 4, 8, 16}) {
     EXPECT_EQ(cached.geometries(machine, size),
               plain.geometries(machine, size));
   }
   EXPECT_GT(context.geometry_stats().lookups(), 0u);
+
+  // The layout-bisection side shares the descriptor-keyed topology cache.
+  const auto spec = topo::TopologySpec::hamming({4, 2});
+  EXPECT_EQ(cached.bisection(spec).value, plain.bisection(spec).value);
+  EXPECT_EQ(cached.bisection(spec).method, plain.bisection(spec).method);
+  EXPECT_EQ(context.topology_stats().misses, 1u);
+  EXPECT_GE(context.topology_stats().hits, 1u);
 }
 
 TEST(SweepContextTest, ConcurrentLookupsAgree) {

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace npac::sweep {
 namespace {
@@ -253,6 +255,51 @@ TEST(RunnerDeterminismTest,
   EXPECT_EQ(grid.rows, 5);
   EXPECT_EQ(row_label(grid, 0), "512:torus");
   EXPECT_EQ(select_rows(grid, "dragonfly").size(), 1u);
+}
+
+std::string ext_sched_topologies_csv(int threads) {
+  SweepContext context;
+  const auto rows = run_topology_scheduler_sweep(
+      ext_sched_topologies_grid(/*fast=*/true),
+      {.threads = threads, .base_seed = 42}, context);
+  return topology_scheduler_csv(rows);
+}
+
+TEST(RunnerDeterminismTest,
+     ExtSchedTopologiesCsvByteIdenticalAcrossThreadCounts) {
+  // The ISSUE 4 acceptance regression: the cross-family scheduler grid
+  // (all three policies on torus, dragonfly and fat-tree machines at equal
+  // unit count) must be byte-identical for any --threads value.
+  const std::string serial = ext_sched_topologies_csv(1);
+  EXPECT_EQ(serial, ext_sched_topologies_csv(3));
+  EXPECT_EQ(serial, ext_sched_topologies_csv(7));
+
+  // Layout-flat Clos: every fat-tree row has slowdown 1.0 under every
+  // policy, and waiting never pays — wait-for-best degenerates to
+  // best-bisection row-for-row. (First-fit keeps slowdown 1.0 too but may
+  // *pack* differently: it scans the most-spread layout first, so its
+  // makespans can legitimately differ.)
+  SweepContext context;
+  const auto rows = run_topology_scheduler_sweep(
+      ext_sched_topologies_grid(/*fast=*/true), {.threads = 2, .base_seed = 42},
+      context);
+  std::map<std::pair<double, int>, double> fattree_wait_makespans;
+  for (const auto& row : rows) {
+    if (row.machine == "fattree" &&
+        row.policy == core::SchedulerPolicy::kWaitForBest) {
+      fattree_wait_makespans[{row.contention_fraction, row.replication}] =
+          row.makespan_seconds;
+    }
+  }
+  for (const auto& row : rows) {
+    if (row.machine != "fattree") continue;
+    EXPECT_NEAR(row.mean_slowdown, 1.0, 1e-12) << "fat-tree is layout-flat";
+    if (row.policy == core::SchedulerPolicy::kBestBisection) {
+      EXPECT_EQ(row.makespan_seconds,
+                fattree_wait_makespans.at(
+                    {row.contention_fraction, row.replication}));
+    }
+  }
 }
 
 TEST(RunnerDeterminismTest, ExtTopologiesMatchesSerialEngine) {

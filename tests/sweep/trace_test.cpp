@@ -147,12 +147,45 @@ TEST(TraceTest, ParseRejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(TraceTest, PoolOverloadMatchesMachineOverloadDrawForDraw) {
+  // The machine-agnostic overload with the machine's effective pool must
+  // produce the identical stream — that is what lets the cross-family
+  // sweeps replay one trace on every machine of an equal-unit tier.
+  TraceConfig config;
+  config.num_jobs = 20;
+  const auto via_machine = generate_trace(bgq::mira(), config, 11);
+  const auto via_pool =
+      generate_trace(default_trace_sizes(bgq::mira()), config, 11);
+  ASSERT_EQ(via_machine.size(), via_pool.size());
+  for (std::size_t i = 0; i < via_machine.size(); ++i) {
+    EXPECT_EQ(via_machine[i].midplanes, via_pool[i].midplanes);
+    EXPECT_EQ(via_machine[i].base_seconds, via_pool[i].base_seconds);
+    EXPECT_EQ(via_machine[i].contention_bound, via_pool[i].contention_bound);
+    EXPECT_EQ(via_machine[i].arrival_seconds, via_pool[i].arrival_seconds);
+  }
+
+  EXPECT_THROW(generate_trace(std::vector<std::int64_t>{}, config, 11),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, ReplayRunsOnNonTorusAllocators) {
+  TraceConfig config;
+  config.num_jobs = 8;
+  const auto jobs = generate_trace({2, 4, 8}, config, 3);
+  const auto allocator =
+      core::make_allocator(topo::TopologySpec::fat_tree(8));
+  const auto result =
+      replay_trace(*allocator, core::SchedulerPolicy::kBestBisection, jobs);
+  ASSERT_EQ(result.jobs.size(), jobs.size());
+  EXPECT_NEAR(result.mean_slowdown, 1.0, 1e-12);  // layout-flat Clos
+}
+
 TEST(TraceTest, ReplayMatchesDirectSimulation) {
   TraceConfig config;
   config.num_jobs = 16;
   const auto jobs = generate_trace(bgq::mira(), config, 5);
   SweepContext context;
-  const CachedGeometryOracle oracle(&context);
+  const CachedPartitionOracle oracle(&context);
   const auto replayed = replay_trace(
       bgq::mira(), core::SchedulerPolicy::kBestBisection, jobs, oracle);
   const auto direct = core::simulate_schedule(
@@ -162,8 +195,10 @@ TEST(TraceTest, ReplayMatchesDirectSimulation) {
   EXPECT_DOUBLE_EQ(replayed.mean_wait_seconds, direct.mean_wait_seconds);
   ASSERT_EQ(replayed.jobs.size(), direct.jobs.size());
   for (std::size_t i = 0; i < replayed.jobs.size(); ++i) {
-    EXPECT_EQ(replayed.jobs[i].placement.geometry(),
-              direct.jobs[i].placement.geometry());
+    ASSERT_TRUE(replayed.jobs[i].partition.cuboid.has_value());
+    ASSERT_TRUE(direct.jobs[i].partition.cuboid.has_value());
+    EXPECT_EQ(replayed.jobs[i].partition.cuboid->geometry(),
+              direct.jobs[i].partition.cuboid->geometry());
     EXPECT_DOUBLE_EQ(replayed.jobs[i].slowdown, direct.jobs[i].slowdown);
   }
 }

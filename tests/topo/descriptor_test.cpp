@@ -92,6 +92,29 @@ TEST(TopologySpecTest, FactoriesValidateParameters) {
   EXPECT_THROW(TopologySpec().build(), std::invalid_argument);
 }
 
+TEST(TopologySpecTest, WeightedTorusSpecBuildsAndRendersDistinctIds) {
+  const auto weighted =
+      TopologySpec::weighted_torus({4, 3, 2}, {2.0, 1.0, 0.5});
+  EXPECT_EQ(weighted.kind(), TopologySpec::Kind::kTorus);
+  EXPECT_EQ(weighted.family(), "torus");
+  EXPECT_EQ(weighted.id(), "torus:4x3x2:c2,1,0.5");
+  EXPECT_NE(weighted.id(), TopologySpec::torus({4, 3, 2}).id());
+  EXPECT_EQ(weighted.num_vertices(), 24);
+
+  // build() must produce exactly make_weighted_torus's edge set.
+  const Graph built = weighted.build();
+  const Graph reference = make_weighted_torus({4, 3, 2}, {2.0, 1.0, 0.5});
+  ASSERT_EQ(built.num_vertices(), reference.num_vertices());
+  ASSERT_EQ(built.num_edges(), reference.num_edges());
+  EXPECT_DOUBLE_EQ(built.total_capacity(), reference.total_capacity());
+
+  EXPECT_THROW(TopologySpec::weighted_torus({4, 3}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(TopologySpec::weighted_torus({4, 3}, {1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(TopologySpec::weighted_torus({}, {}), std::invalid_argument);
+}
+
 TEST(TopologySpecTest, ArcAccessorsExposeSortedAdjacency) {
   const Graph g = TopologySpec::torus({4}).build();
   ASSERT_EQ(g.num_arcs(), 8u);
