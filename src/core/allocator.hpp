@@ -156,6 +156,10 @@ class PartitionAllocator {
   /// "Mira (torus:4x4x3x2)" or "dragonfly:a4:h4:g8:p1:abs".
   virtual std::string descriptor() const = 0;
 
+  /// Short family tag ("cuboid", "dragonfly", "fattree") used as the
+  /// per-family key of scheduler metrics (`sched.alloc.<family>.*`).
+  virtual std::string family() const = 0;
+
   virtual std::int64_t total_units() const = 0;
   virtual std::int64_t free_units() const = 0;
 
@@ -198,6 +202,7 @@ class CuboidAllocator final : public PartitionAllocator {
   const MidplaneGrid& grid() const { return grid_; }
 
   std::string descriptor() const override;
+  std::string family() const override { return "cuboid"; }
   std::int64_t total_units() const override;
   std::int64_t free_units() const override { return grid_.free_midplanes(); }
   std::vector<double> candidate_qualities(std::int64_t size) const override;
@@ -231,6 +236,7 @@ class DragonflyAllocator final : public PartitionAllocator {
   const topo::DragonflyConfig& config() const { return config_; }
 
   std::string descriptor() const override;
+  std::string family() const override { return "dragonfly"; }
   std::int64_t total_units() const override;
   std::int64_t free_units() const override { return free_; }
   std::vector<double> candidate_qualities(std::int64_t size) const override;
@@ -268,6 +274,7 @@ class FatTreeAllocator final : public PartitionAllocator {
   const topo::FatTreeConfig& config() const { return config_; }
 
   std::string descriptor() const override;
+  std::string family() const override { return "fattree"; }
   std::int64_t total_units() const override;
   std::int64_t free_units() const override { return free_; }
   std::vector<double> candidate_qualities(std::int64_t size) const override;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace npac::core {
 
@@ -58,52 +61,91 @@ struct RunningJob {
   double finish_seconds = 0.0;
 };
 
+/// Placement-attempt tally of one simulation, flushed into the installed
+/// obs::Registry once at the end (per-family counters, not per-event
+/// lookups). An attempt is one try_place call; a failure is one that
+/// found no free node set of its layout class.
+struct AllocationTally {
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+};
+
 /// Picks the partition `policy` prefers for `job` among the allocator's
 /// candidate layout classes (`qualities`, best first), or nullopt to wait.
 std::optional<Partition> choose_placement(PartitionAllocator& allocator,
                                           SchedulerPolicy policy,
                                           const Job& job,
-                                          const std::vector<double>& qualities) {
+                                          const std::vector<double>& qualities,
+                                          AllocationTally& tally) {
+  const auto attempt = [&](std::size_t k) {
+    ++tally.attempts;
+    auto partition = allocator.try_place(job.midplanes, k, job.id);
+    if (!partition) ++tally.failures;
+    return partition;
+  };
   switch (policy) {
     case SchedulerPolicy::kFirstFit: {
       // Quality-blind: scan layouts from the *worst* bisection up, modeling
       // a scheduler that fills convenient long boxes first.
       for (std::size_t k = qualities.size(); k-- > 0;) {
-        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
-          return partition;
-        }
+        if (auto partition = attempt(k)) return partition;
       }
       return std::nullopt;
     }
     case SchedulerPolicy::kBestBisection: {
       // Candidate classes are sorted best-first.
       for (std::size_t k = 0; k < qualities.size(); ++k) {
-        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
-          return partition;
-        }
+        if (auto partition = attempt(k)) return partition;
       }
       return std::nullopt;
     }
     case SchedulerPolicy::kWaitForBest: {
       if (!job.contention_bound) {
         for (std::size_t k = 0; k < qualities.size(); ++k) {
-          if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
-            return partition;
-          }
+          if (auto partition = attempt(k)) return partition;
         }
         return std::nullopt;
       }
       const double best = qualities.front();
       for (std::size_t k = 0; k < qualities.size(); ++k) {
         if (qualities[k] != best) break;
-        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
-          return partition;
-        }
+        if (auto partition = attempt(k)) return partition;
       }
       return std::nullopt;  // hold the job until an optimal layout frees up
     }
   }
   return std::nullopt;
+}
+
+/// Emits the finished schedule onto the trace's simulated-timeline lane
+/// (obs::kSimPid): per job one "wait" span (arrival -> start, when it
+/// queued) and one "run" span (start -> finish), with simulated seconds
+/// scaled to microseconds as timestamps and the job id as the lane.
+void trace_simulated_schedule(const PartitionAllocator& allocator,
+                              SchedulerPolicy policy,
+                              const std::vector<ScheduledJob>& jobs) {
+  obs::Registry* const registry = obs::Registry::current();
+  if (registry == nullptr || !registry->tracing()) return;
+  obs::TraceBuffer& trace = registry->trace();
+  const std::string suffix =
+      " [" + to_string(policy) + " on " + allocator.family() + "]";
+  for (const ScheduledJob& record : jobs) {
+    const auto us = [](double seconds) {
+      return static_cast<std::int64_t>(seconds * 1e6);
+    };
+    const int lane = static_cast<int>(record.job.id);
+    const std::string label =
+        "job" + std::to_string(record.job.id) + " size " +
+        std::to_string(record.job.midplanes) + suffix;
+    if (record.start_seconds > record.job.arrival_seconds) {
+      trace.add_span("wait " + label, "sched.sim", obs::kSimPid, lane,
+                     us(record.job.arrival_seconds),
+                     us(record.start_seconds - record.job.arrival_seconds));
+    }
+    trace.add_span("run " + label, "sched.sim", obs::kSimPid, lane,
+                   us(record.start_seconds),
+                   us(record.finish_seconds - record.start_seconds));
+  }
 }
 
 }  // namespace
@@ -132,6 +174,26 @@ ScheduleResult simulate_schedule(PartitionAllocator& allocator,
     }
   }
 
+  // Instruments are resolved once per simulation; disabled observability is
+  // one null check here and per placement/release below.
+  obs::Registry* const registry = obs::Registry::current();
+  AllocationTally tally;
+  obs::Histogram* frag_histogram = nullptr;
+  if (registry != nullptr) {
+    // Free-fraction distribution sampled at every allocation state change —
+    // "fragmentation over time" without feeding any clock into the result.
+    static const std::vector<double> kFractionBounds = {
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+    frag_histogram = &registry->histogram(
+        "sched.frag." + allocator.family(), kFractionBounds);
+  }
+  const double total_units = static_cast<double>(allocator.total_units());
+  const auto observe_fragmentation = [&] {
+    if (frag_histogram == nullptr || total_units <= 0.0) return;
+    frag_histogram->observe(static_cast<double>(allocator.free_units()) /
+                            total_units);
+  };
+
   std::vector<RunningJob> running;
   std::vector<ScheduledJob> done;
   done.reserve(jobs.size());
@@ -155,6 +217,7 @@ ScheduleResult simulate_schedule(PartitionAllocator& allocator,
       if (earliest == running.end()) break;
       allocator.release(earliest->job_id);
       running.erase(earliest);
+      observe_fragmentation();
     }
   };
 
@@ -178,7 +241,8 @@ ScheduleResult simulate_schedule(PartitionAllocator& allocator,
             " requests infeasible size " + std::to_string(job.midplanes) +
             " units on " + allocator.descriptor());
       }
-      auto partition = choose_placement(allocator, policy, job, qualities);
+      auto partition =
+          choose_placement(allocator, policy, job, qualities, tally);
       if (!partition) break;
       ScheduledJob record;
       record.job = job;
@@ -193,6 +257,7 @@ ScheduleResult simulate_schedule(PartitionAllocator& allocator,
       done.push_back(std::move(record));
       queue.erase(queue.begin());
       placed_any = true;
+      observe_fragmentation();
     }
     if (done.size() == jobs.size()) break;
 
@@ -241,6 +306,13 @@ ScheduleResult simulate_schedule(PartitionAllocator& allocator,
             [](const ScheduledJob& a, const ScheduledJob& b) {
               return a.job.id < b.job.id;
             });
+  if (registry != nullptr) {
+    const std::string prefix = "sched.alloc." + allocator.family();
+    registry->counter(prefix + ".attempts").add(tally.attempts);
+    registry->counter(prefix + ".failures").add(tally.failures);
+    registry->counter("sched.jobs").add(result.jobs.size());
+    trace_simulated_schedule(allocator, policy, result.jobs);
+  }
   return result;
 }
 

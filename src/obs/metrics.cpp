@@ -1,0 +1,194 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace npac::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument(
+        "Histogram: at least one upper bound required");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: upper bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered yet;
+  // a CAS loop keeps the sum portable.
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<double> duration_bounds_us(int decades) {
+  std::vector<double> bounds;
+  double decade = 1.0;
+  for (int d = 0; d < decades; ++d) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+    decade *= 10.0;
+  }
+  return bounds;
+}
+
+Registry::Registry(Options options)
+    : options_(options), trace_(options.trace_capacity) {}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::logic_error("Registry: '" + name +
+                           "' already names a different instrument kind");
+  }
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::logic_error("Registry: '" + name +
+                           "' already names a different instrument kind");
+  }
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::logic_error("Registry: '" + name +
+                           "' already names a different instrument kind");
+  }
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(name, std::move(upper_bounds)).first->second;
+}
+
+namespace {
+
+/// Round-trip-exact double rendering, matching the repo's CSV convention.
+std::string format_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void append_quoted(std::ostringstream& out, const std::string& name) {
+  out << '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string Registry::metrics_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    append_quoted(out, name);
+    out << ":" << counter.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    append_quoted(out, name);
+    out << ":" << format_number(gauge.value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    append_quoted(out, name);
+    out << ":{\"bounds\":[";
+    const auto& bounds = histogram.upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << (i > 0 ? "," : "") << format_number(bounds[i]);
+    }
+    out << "],\"counts\":[";
+    const auto counts = histogram.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out << (i > 0 ? "," : "") << counts[i];
+    }
+    out << "],\"count\":" << histogram.count()
+        << ",\"sum\":" << format_number(histogram.sum()) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+std::atomic<Registry*>& current_registry() {
+  static std::atomic<Registry*> current{nullptr};
+  return current;
+}
+
+}  // namespace
+
+Registry* Registry::current() {
+  return current_registry().load(std::memory_order_acquire);
+}
+
+Registry* Registry::install(Registry* registry) {
+  return current_registry().exchange(registry, std::memory_order_acq_rel);
+}
+
+}  // namespace npac::obs

@@ -1,0 +1,154 @@
+// Process-wide but explicitly-scoped metrics: counters, gauges, and
+// fixed-bucket histograms behind one Registry.
+//
+// Design (DESIGN.md decision #12):
+//  * Off by default. Instrumentation sites read Registry::current(), an
+//    atomic pointer that is null until a registry is installed, so a
+//    disabled program pays one relaxed load and one branch per site —
+//    no locks, no allocation, no clock reads.
+//  * Explicitly scoped. A registry is installed with ScopedRegistry
+//    (stack discipline, restores the previous registry), so tests and
+//    drivers control exactly which work is measured and two sweeps never
+//    share instruments by accident.
+//  * Never in outputs. Instruments only ever receive data; nothing read
+//    from a clock or a counter flows back into computed results, so the
+//    byte-identical-CSV guarantee is untouched whether instrumentation is
+//    on or off (pinned by tests/obs/determinism_test.cpp).
+//
+// Instruments are named ("pool.worker0.busy_ns", "cache.routing.hits", …),
+// created on first use, and live as long as the registry; name lookup
+// takes a mutex, so hot paths fetch an instrument once per batch and add
+// locally-accumulated values rather than looking up per event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace npac::obs {
+
+/// Monotonic event count. add() is lock-free and thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (pool sizes, published cache snapshots).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts of observations <= each upper bound,
+/// plus an overflow bucket, a total count and a sum. Buckets are fixed at
+/// construction so observe() is a binary search plus one atomic increment.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf bucket
+  /// is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds_.size() + 1 entries, last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential-ish bounds 1, 2, 5, 10, 20, 50, ... covering [1, 10^decades)
+/// — the default shape for duration histograms in microseconds.
+std::vector<double> duration_bounds_us(int decades = 7);
+
+/// One scope's instruments plus (optionally) its trace buffer.
+class Registry {
+ public:
+  struct Options {
+    bool tracing = false;               ///< record ScopedTimer spans
+    std::size_t trace_capacity = 1 << 20;
+  };
+
+  Registry() : Registry(Options{}) {}
+  explicit Registry(Options options);
+
+  bool tracing() const { return options_.tracing; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  /// The named instrument, created on first use. References stay valid for
+  /// the registry's lifetime. A name must keep one instrument kind;
+  /// re-requesting it as another kind throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is used on first creation only.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Snapshot of every instrument, sorted by name:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string metrics_json() const;
+
+  /// Counter value by name; 0 when absent (for tests and reports).
+  std::uint64_t counter_value(const std::string& name) const;
+  /// Gauge value by name; 0.0 when absent.
+  double gauge_value(const std::string& name) const;
+  /// Names of all counters, sorted (for report aggregation).
+  std::vector<std::string> counter_names() const;
+
+  /// The installed registry, or nullptr when observability is off — the
+  /// single branch every instrumentation site pays.
+  static Registry* current();
+
+ private:
+  friend class ScopedRegistry;
+  /// Installs `registry` (nullptr uninstalls) and returns the previous one.
+  static Registry* install(Registry* registry);
+
+  Options options_;
+  TraceBuffer trace_;
+  mutable std::mutex mutex_;
+  // node-based maps: instrument addresses are stable as the maps grow.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Stack-disciplined installation: the registry is current() for the
+/// scope's lifetime; the previously installed registry is restored on
+/// destruction.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& registry)
+      : previous_(Registry::install(&registry)) {}
+  ~ScopedRegistry() { Registry::install(previous_); }
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
+}  // namespace npac::obs

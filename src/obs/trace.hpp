@@ -1,0 +1,109 @@
+// Scoped tracing in Chrome trace_event format.
+//
+// A TraceBuffer collects complete ("ph":"X") events — name, category,
+// microsecond timestamp + duration, process and thread lane — and renders
+// them as the JSON object format chrome://tracing and Perfetto load
+// directly. obs::ScopedTimer is the RAII producer: it snapshots
+// steady_clock at construction and appends one event at destruction, so
+// nesting falls out of timestamp containment on the same thread lane and
+// a span's cost is two clock reads plus one short mutex hold at scope
+// exit. When no registry is installed (or tracing is disabled on it) a
+// ScopedTimer costs one atomic load and one branch.
+//
+// Two process lanes are used by convention:
+//  * kWallPid — real wall-clock spans (pool runs, grid rows, routing);
+//  * kSimPid  — the scheduler's *simulated* timeline: job wait/run spans
+//    whose timestamps are simulated seconds, not clock readings.
+// Keeping them on separate pids stops the viewer from interleaving
+// simulated time with wall time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace npac::obs {
+
+/// Process lane for wall-clock spans.
+inline constexpr int kWallPid = 1;
+/// Process lane for simulated-schedule spans (timestamps are simulated
+/// seconds scaled to microseconds, not clock readings).
+inline constexpr int kSimPid = 2;
+
+/// Small dense id for the calling thread (0 = first thread observed).
+/// Stable for the thread's lifetime and across registries.
+int trace_thread_id();
+
+/// One complete event ("ph":"X").
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;   ///< start, microseconds from the buffer origin
+  std::int64_t dur_us = 0;  ///< duration, microseconds
+  int pid = kWallPid;
+  int tid = 0;
+};
+
+/// Thread-safe bounded event sink. Appends beyond `capacity` are counted
+/// and dropped so a hot loop cannot grow the trace without bound.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 20);
+
+  /// Microsecond offset of `when` from the buffer's construction instant
+  /// (the ts origin of every wall-clock event).
+  std::int64_t to_ts_us(std::chrono::steady_clock::time_point when) const;
+
+  void add(TraceEvent event);
+
+  /// Convenience for non-RAII producers (e.g. the scheduler's simulated
+  /// timeline).
+  void add_span(std::string name, std::string category, int pid, int tid,
+                std::int64_t ts_us, std::int64_t dur_us);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event object format: {"traceEvents":[...]} with
+  /// process_name metadata for the wall and simulated lanes.
+  std::string json() const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII wall-clock span recorded into the installed registry's trace
+/// buffer. Constructing one while tracing is disabled costs one atomic
+/// load and one branch; the name is not copied in that case. Use
+/// emplacement into a std::optional to avoid even building a dynamic name
+/// when tracing is off:
+///
+///   std::optional<obs::ScopedTimer> span;
+///   if (obs::tracing_enabled()) span.emplace("route " + label);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, std::string category = "npac");
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TraceBuffer* buffer_;  // nullptr when tracing was disabled at construction
+  std::string name_;
+  std::string category_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// True when a registry with tracing enabled is installed — the guard for
+/// building dynamic span names.
+bool tracing_enabled();
+
+}  // namespace npac::obs

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simnet/traffic.hpp"
 
 #ifdef _OPENMP
@@ -122,6 +125,16 @@ LinkLoads GraphNetwork::route_all(std::span<const Flow> flows) const {
     i = j;
   }
 
+  // One BFS per destination group; the BFS scans the whole arc list, so
+  // arcs touched scales as groups x num_arcs. Flushed once per call.
+  if (obs::Registry* const registry = obs::Registry::current()) {
+    registry->counter("net.graph.route_all").add(1);
+    registry->counter("net.graph.flows").add(flows.size());
+    registry->counter("net.graph.bfs_invocations").add(groups.size());
+    registry->counter("net.graph.arcs_touched")
+        .add(static_cast<std::uint64_t>(groups.size()) * graph_.num_arcs());
+  }
+
   // Chunks of destination groups are accumulated independently and merged
   // in chunk order: the chunking depends only on the input, so the result
   // is byte-identical for any thread count.
@@ -129,6 +142,12 @@ LinkLoads GraphNetwork::route_all(std::span<const Flow> flows) const {
   const std::size_t num_chunks =
       (groups.size() + kGroupsPerChunk - 1) / kGroupsPerChunk;
   if (num_chunks == 1) {
+    std::optional<obs::ScopedTimer> span;
+    if (obs::tracing_enabled()) {
+      span.emplace("graph.route_all dsts=" + std::to_string(groups.size()) +
+                       " flows=" + std::to_string(sorted.size()),
+                   "net");
+    }
     for (const Group& group : groups) {
       route_group(sorted[group.first].dst,
                   {sorted.data() + group.first, group.count},
@@ -154,6 +173,14 @@ LinkLoads GraphNetwork::route_all(std::span<const Flow> flows) const {
           static_cast<std::size_t>(chunk) * kGroupsPerChunk;
       const std::size_t last_group =
           std::min(first_group + kGroupsPerChunk, groups.size());
+      // One span per destination-batch chunk, on the worker's own thread
+      // lane, so the trace shows how routing work spread across threads.
+      std::optional<obs::ScopedTimer> span;
+      if (obs::tracing_enabled()) {
+        span.emplace("graph.route_chunk dsts=" +
+                         std::to_string(last_group - first_group),
+                     "net");
+      }
       for (std::size_t g = first_group; g < last_group; ++g) {
         route_group(sorted[groups[g].first].dst,
                     {sorted.data() + groups[g].first, groups[g].count},

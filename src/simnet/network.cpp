@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "obs/metrics.hpp"
 #include "simnet/traffic.hpp"
 
 namespace npac::simnet {
@@ -290,6 +293,16 @@ LinkLoads TorusNetwork::route_all(std::span<const Flow> flows) const {
   const std::int64_t n = torus_.num_vertices();
   const std::size_t d = torus_.num_dims();
   LinkLoads total(n, d);
+
+  if (obs::Registry* const registry = obs::Registry::current()) {
+    registry->counter("net.torus.route_all").add(1);
+    registry->counter("net.torus.flows").add(flows.size());
+  }
+  std::optional<obs::ScopedTimer> span;
+  if (obs::tracing_enabled()) {
+    span.emplace("torus.route_all flows=" + std::to_string(flows.size()),
+                 "net");
+  }
 
 #ifdef _OPENMP
   const int max_threads = omp_get_max_threads();

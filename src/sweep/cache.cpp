@@ -1,6 +1,7 @@
 #include "sweep/cache.hpp"
 
 #include "bgq/policy.hpp"
+#include "obs/metrics.hpp"
 
 namespace npac::sweep {
 
@@ -103,6 +104,32 @@ double SweepContext::topology_pairing_seconds(const topo::TopologySpec& spec,
   return topology_routing_.get_or_compute(
       std::make_pair(spec.id(), bytes_per_pair),
       [&] { return core::topology_pairing_seconds(spec, bytes_per_pair); });
+}
+
+std::vector<SweepContext::NamedStats> SweepContext::all_stats() const {
+  return {
+      {"geometries", geometries_.stats(), geometries_.size()},
+      {"bounds", bounds_.stats(), bounds_.size()},
+      {"routing", routing_.stats(), routing_.size()},
+      {"feasible", feasible_.stats(), feasible_.size()},
+      {"pairings", pairings_.stats(), pairings_.size()},
+      {"caps", caps_.stats(), caps_.size()},
+      {"topologies", topologies_.stats(), topologies_.size()},
+      {"topology_routing", topology_routing_.stats(),
+       topology_routing_.size()},
+  };
+}
+
+void SweepContext::publish_metrics(obs::Registry& registry) const {
+  for (const NamedStats& cache : all_stats()) {
+    const std::string prefix = std::string("cache.") + cache.name;
+    registry.gauge(prefix + ".hits")
+        .set(static_cast<double>(cache.stats.hits));
+    registry.gauge(prefix + ".misses")
+        .set(static_cast<double>(cache.stats.misses));
+    registry.gauge(prefix + ".entries")
+        .set(static_cast<double>(cache.entries));
+  }
 }
 
 void SweepContext::clear() {

@@ -31,6 +31,10 @@
 #include "strassen/caps.hpp"
 #include "topo/descriptor.hpp"
 
+namespace npac::obs {
+class Registry;
+}
+
 namespace npac::sweep {
 
 struct CacheStats {
@@ -183,6 +187,22 @@ class SweepContext {
   CacheStats topology_routing_stats() const {
     return topology_routing_.stats();
   }
+
+  /// Every cache's stats in display order: (name, stats, entries). The
+  /// single source of truth for the runner footer, publish_metrics, and
+  /// the perf_report snapshot — adding a cache here surfaces it in all
+  /// three.
+  struct NamedStats {
+    const char* name;
+    CacheStats stats;
+    std::size_t entries = 0;
+  };
+  std::vector<NamedStats> all_stats() const;
+
+  /// Publishes a snapshot of every cache into `registry` as gauges
+  /// (`cache.<name>.hits` / `.misses` / `.entries`). Pull-based: caches
+  /// pay nothing per lookup; callers publish once per report.
+  void publish_metrics(obs::Registry& registry) const;
 
   void clear();
 

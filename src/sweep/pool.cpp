@@ -1,7 +1,11 @@
 #include "sweep/pool.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace npac::sweep {
 
@@ -24,12 +28,26 @@ int resolved_thread_count(int threads) {
   return count;
 }
 
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+std::string worker_metric(int worker_index, const char* suffix) {
+  return "pool.worker" + std::to_string(worker_index) + suffix;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   const int count = resolved_thread_count(threads);
   workers_.reserve(static_cast<std::size_t>(count - 1));
   // The calling thread is worker #0; spawn the rest.
   for (int i = 1; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -42,18 +60,40 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::work_through_run() {
+void ThreadPool::work_through_run(int worker_index) {
+  // Instruments are resolved once per run, not per task; with no registry
+  // installed the whole block below reduces to null checks.
+  obs::Registry* const registry = obs::Registry::current();
+  obs::Histogram* queue_wait =
+      registry == nullptr
+          ? nullptr
+          : &registry->histogram("pool.queue_wait_us",
+                                 obs::duration_bounds_us());
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t busy_ns = 0;
+
   std::unique_lock<std::mutex> lock(mutex_);
   while (fn_ != nullptr && next_task_ < num_tasks_ && !first_error_) {
     const std::int64_t index = next_task_++;
     ++in_flight_;
     const auto* fn = fn_;
+    const auto run_start = run_start_;
     lock.unlock();
+    std::chrono::steady_clock::time_point task_start;
+    if (registry != nullptr) {
+      task_start = std::chrono::steady_clock::now();
+      queue_wait->observe(
+          static_cast<double>(elapsed_ns(run_start, task_start)) / 1000.0);
+    }
     std::exception_ptr error;
     try {
       (*fn)(index);
     } catch (...) {
       error = std::current_exception();
+    }
+    if (registry != nullptr) {
+      busy_ns += elapsed_ns(task_start, std::chrono::steady_clock::now());
+      ++tasks_executed;
     }
     lock.lock();
     --in_flight_;
@@ -64,18 +104,34 @@ void ThreadPool::work_through_run() {
       next_task_ = num_tasks_;
     }
   }
+  if (registry != nullptr && tasks_executed > 0) {
+    registry->counter(worker_metric(worker_index, ".tasks"))
+        .add(tasks_executed);
+    registry->counter(worker_metric(worker_index, ".busy_ns")).add(busy_ns);
+    registry->counter("pool.tasks").add(tasks_executed);
+    registry->counter("pool.busy_ns").add(busy_ns);
+  }
   if (next_task_ >= num_tasks_ && in_flight_ == 0) run_done_.notify_all();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
+    // Idle time is the wait between runs; recorded per wake-up so the
+    // final pre-shutdown wait is charged too.
+    obs::Registry* const registry = obs::Registry::current();
+    std::chrono::steady_clock::time_point idle_start;
+    if (registry != nullptr) idle_start = std::chrono::steady_clock::now();
     work_ready_.wait(lock, [&] {
       return stopping_ || (fn_ != nullptr && next_task_ < num_tasks_);
     });
+    if (registry != nullptr) {
+      registry->counter(worker_metric(worker_index, ".idle_ns"))
+          .add(elapsed_ns(idle_start, std::chrono::steady_clock::now()));
+    }
     if (stopping_) return;
     lock.unlock();
-    work_through_run();
+    work_through_run(worker_index);
     lock.lock();
   }
 }
@@ -83,6 +139,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_indexed(std::int64_t num_tasks,
                              const std::function<void(std::int64_t)>& fn) {
   if (num_tasks <= 0) return;
+  obs::Registry* const registry = obs::Registry::current();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (fn_ != nullptr) {
@@ -94,9 +151,20 @@ void ThreadPool::run_indexed(std::int64_t num_tasks,
     next_task_ = 0;
     in_flight_ = 0;
     first_error_ = nullptr;
+    // Unconditional: a registry installed mid-run must never observe an
+    // epoch-default run start.
+    run_start_ = std::chrono::steady_clock::now();
+  }
+  std::optional<obs::ScopedTimer> span;
+  if (obs::tracing_enabled()) {
+    span.emplace("pool.run_indexed n=" + std::to_string(num_tasks), "pool");
+  }
+  if (registry != nullptr) {
+    registry->counter("pool.runs").add(1);
+    registry->gauge("pool.workers").set(static_cast<double>(num_threads()));
   }
   work_ready_.notify_all();
-  work_through_run();
+  work_through_run(/*worker_index=*/0);
 
   std::unique_lock<std::mutex> lock(mutex_);
   run_done_.wait(lock,

@@ -1,10 +1,12 @@
 #include "sweep/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -17,7 +19,7 @@ namespace {
 
 constexpr const char* kUsage =
     "flags: [--threads N] [--seed S] [--csv PATH] [--fast] [--list] "
-    "[--filter=SUBSTR]";
+    "[--filter=SUBSTR] [--metrics-out=PATH] [--trace-out=PATH] [--progress]";
 
 std::int64_t parse_integer(const std::string& flag, const char* text) {
   char* end = nullptr;
@@ -83,6 +85,16 @@ RunnerConfig parse_runner_flags(int argc, char** argv) {
       config.filter = value();
     } else if (flag.rfind("--filter=", 0) == 0) {
       config.filter = flag.substr(std::string("--filter=").size());
+    } else if (flag == "--metrics-out") {
+      config.metrics_path = value();
+    } else if (flag.rfind("--metrics-out=", 0) == 0) {
+      config.metrics_path = flag.substr(std::string("--metrics-out=").size());
+    } else if (flag == "--trace-out") {
+      config.trace_path = value();
+    } else if (flag.rfind("--trace-out=", 0) == 0) {
+      config.trace_path = flag.substr(std::string("--trace-out=").size());
+    } else if (flag == "--progress") {
+      config.progress = true;
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" + kUsage);
     }
@@ -130,8 +142,15 @@ std::vector<std::vector<std::string>> run_grid(
                    [&](std::int64_t k) {
     const std::int64_t i = indices[static_cast<std::size_t>(k)];
     const auto row_start = std::chrono::steady_clock::now();
-    rows[static_cast<std::size_t>(k)] =
-        grid.cells(i, task_seed(base_seed, i));
+    try {
+      rows[static_cast<std::size_t>(k)] =
+          grid.cells(i, task_seed(base_seed, i));
+    } catch (const std::exception& error) {
+      // Fail fast with the failing row named: the pool surfaces the first
+      // task error, and "grid row 7 ('mp128')" beats a bare what().
+      throw std::runtime_error("grid row " + std::to_string(i) + " ('" +
+                               row_label(grid, i) + "'): " + error.what());
+    }
     if (row_seconds != nullptr) {
       (*row_seconds)[static_cast<std::size_t>(k)] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -365,9 +384,30 @@ BenchGrid topology_design_grid(core::ExperimentEngine& engine, bool fast) {
 // Runner
 // --------------------------------------------------------------------------
 
+namespace {
+
+/// A registry only exists when an artifact was requested — without
+/// --metrics-out/--trace-out every instrumentation site stays on its
+/// null-check fast path.
+std::unique_ptr<obs::Registry> make_runner_registry(
+    const RunnerConfig& config) {
+  if (config.metrics_path.empty() && config.trace_path.empty()) {
+    return nullptr;
+  }
+  obs::Registry::Options options;
+  options.tracing = !config.trace_path.empty();
+  return std::make_unique<obs::Registry>(options);
+}
+
+}  // namespace
+
 Runner::Runner(std::string title, int argc, char** argv)
     : title_(std::move(title)),
       config_(parse_runner_flags(argc, argv)),
+      registry_(make_runner_registry(config_)),
+      scoped_registry_(registry_ == nullptr
+                           ? nullptr
+                           : std::make_unique<obs::ScopedRegistry>(*registry_)),
       pool_(config_.threads),
       engine_(context_, pool_),
       start_(std::chrono::steady_clock::now()) {
@@ -391,10 +431,51 @@ bool Runner::handle_list(const BenchGrid& grid) const {
   return true;
 }
 
+void Runner::note_selection(const BenchGrid& grid,
+                            const std::vector<std::int64_t>& selection) {
+  if (config_.filter.empty()) return;
+  filter_matches_ += selection.size();
+  // Collected across every grid of the run: a driver with several grids
+  // only fails when the filter misses *all* of them, and the error can
+  // then list every label the user could have matched.
+  for (std::int64_t i = 0; i < grid.rows; ++i) {
+    filter_labels_.push_back(row_label(grid, i));
+  }
+}
+
+BenchGrid Runner::with_progress(const BenchGrid& grid,
+                                std::int64_t total) const {
+  if (!config_.progress) return grid;
+  BenchGrid wrapped = grid;
+  auto inner = grid.cells;
+  auto label = grid.label;
+  auto completed = std::make_shared<std::atomic<std::int64_t>>(0);
+  // stderr only: progress never touches stdout tables or CSV artifacts,
+  // so it cannot perturb the determinism contract.
+  wrapped.cells = [inner = std::move(inner), label = std::move(label),
+                   completed, total](std::int64_t i, std::uint64_t seed) {
+    const auto row_start = std::chrono::steady_clock::now();
+    auto cells = inner(i, seed);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      row_start)
+            .count();
+    const long long k = completed->fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::string name = label ? label(i) : "row" + std::to_string(i);
+    std::fprintf(stderr, "[%lld/%lld] %s (%.3f s)\n", k,
+                 static_cast<long long>(total), name.c_str(), seconds);
+    return cells;
+  };
+  return wrapped;
+}
+
 void Runner::run(const BenchGrid& grid) {
   if (handle_list(grid)) return;
   const std::vector<std::int64_t> selection =
       select_rows(grid, config_.filter);
+  note_selection(grid, selection);
+  const BenchGrid computed =
+      with_progress(grid, static_cast<std::int64_t>(selection.size()));
 
   std::vector<double> row_seconds;
   std::vector<std::vector<std::string>> rows;
@@ -403,9 +484,9 @@ void Runner::run(const BenchGrid& grid) {
     // contention with the other rows; results are unchanged (cells are
     // pure in (row, seed)), only the wall-clock column is affected.
     ThreadPool serial(1);
-    rows = run_grid(grid, serial, config_.seed, &row_seconds, &selection);
+    rows = run_grid(computed, serial, config_.seed, &row_seconds, &selection);
   } else {
-    rows = run_grid(grid, pool_, config_.seed, nullptr, &selection);
+    rows = run_grid(computed, pool_, config_.seed, nullptr, &selection);
   }
 
   std::vector<std::string> headers = grid.columns;
@@ -429,7 +510,11 @@ void Runner::run_csv_only(const BenchGrid& grid) {
   if (handle_list(grid)) return;
   const std::vector<std::int64_t> selection =
       select_rows(grid, config_.filter);
-  const auto rows = run_grid(grid, pool_, config_.seed, nullptr, &selection);
+  note_selection(grid, selection);
+  const BenchGrid computed =
+      with_progress(grid, static_cast<std::int64_t>(selection.size()));
+  const auto rows =
+      run_grid(computed, pool_, config_.seed, nullptr, &selection);
   if (!csv_.empty()) csv_ += "\n";
   csv_ += grid_csv(grid, rows);
 }
@@ -438,7 +523,41 @@ void Runner::note(const std::string& text) {
   std::printf("\n%s\n", text.c_str());
 }
 
+int Runner::write_observability_artifacts() {
+  if (registry_ == nullptr) return 0;
+  context_.publish_metrics(*registry_);
+  const auto write_file = [](const std::string& path,
+                             const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write artifact '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    return 0;
+  };
+  if (!config_.metrics_path.empty() &&
+      write_file(config_.metrics_path, registry_->metrics_json()) != 0) {
+    return 1;
+  }
+  if (!config_.trace_path.empty() &&
+      write_file(config_.trace_path, registry_->trace().json()) != 0) {
+    return 1;
+  }
+  return 0;
+}
+
 int Runner::finish() {
+  if (!config_.filter.empty() && !config_.list && filter_matches_ == 0) {
+    std::fprintf(stderr,
+                 "error: --filter='%s' matched no row; available labels:\n",
+                 config_.filter.c_str());
+    for (const std::string& label : filter_labels_) {
+      std::fprintf(stderr, "  %s\n", label.c_str());
+    }
+    return 1;
+  }
   if (!config_.csv_path.empty()) {
     std::ofstream out(config_.csv_path, std::ios::binary);
     out << csv_;
@@ -467,7 +586,7 @@ int Runner::finish() {
   print_stats("pairings", context_.pairing_stats());
   print_stats("caps", context_.caps_stats());
   std::printf("\n");
-  return 0;
+  return write_observability_artifacts();
 }
 
 core::ExperimentEngine& Runner::process_engine() {

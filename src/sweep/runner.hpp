@@ -14,7 +14,19 @@
 //                      can be rerun in isolation; filtered-out rows are
 //                      never computed, and surviving rows keep their
 //                      original per-row seeds, so their cells are
-//                      byte-identical to a full run
+//                      byte-identical to a full run; a filter matching no
+//                      row in any grid is an error (the available labels
+//                      are printed and the driver exits nonzero)
+//   --metrics-out=PATH write an obs::Registry metrics snapshot (counters,
+//                      gauges, histograms, cache stats) as JSON at exit
+//   --trace-out=PATH   write a Chrome trace_event JSON trace (load it in
+//                      chrome://tracing or Perfetto) at exit
+//   --progress         print one stderr line per completed grid row
+//
+// --metrics-out / --trace-out install a process-wide obs registry for the
+// duration of the run. Instrumentation only *observes* the run — results
+// and CSV artifacts are byte-identical with and without these flags, which
+// tests/obs/determinism_test.cpp pins at several thread counts.
 //
 // Contract: a BenchGrid's cell function must be a pure function of
 // (row index, row seed) — never of thread ids or execution order — so a
@@ -26,11 +38,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/pool.hpp"
 #include "sweep/sweep.hpp"
@@ -118,6 +132,12 @@ struct RunnerConfig {
   bool list = false;
   /// --filter=SUBSTR; run only rows whose label contains the substring.
   std::string filter;
+  /// --metrics-out=PATH; empty = no metrics snapshot.
+  std::string metrics_path;
+  /// --trace-out=PATH; empty = no trace artifact (and tracing stays off).
+  std::string trace_path;
+  /// --progress; one stderr line per completed grid row.
+  bool progress = false;
 };
 
 /// Parses the shared bench flags. Throws std::invalid_argument (with a
@@ -252,13 +272,28 @@ class Runner {
  private:
   /// Prints the grid's row labels when --list is set; true = skip the run.
   bool handle_list(const BenchGrid& grid) const;
+  /// Records how many rows the --filter matched (and the labels it could
+  /// have matched) so finish() can fail a run that selected nothing.
+  void note_selection(const BenchGrid& grid,
+                      const std::vector<std::int64_t>& selection);
+  /// Wraps the grid's cell function with a stderr progress line per
+  /// completed row when --progress is set; otherwise returns `grid` as-is.
+  BenchGrid with_progress(const BenchGrid& grid, std::int64_t total) const;
+  /// Writes metrics/trace artifacts; nonzero on a write failure.
+  int write_observability_artifacts();
 
   std::string title_;
   RunnerConfig config_;
+  // Declared (and therefore installed) before the pool so spawned workers
+  // observe the registry from their first wait onward.
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::ScopedRegistry> scoped_registry_;
   SweepContext context_;
   ThreadPool pool_;
   SweepEngine engine_;
   std::string csv_;
+  std::uint64_t filter_matches_ = 0;
+  std::vector<std::string> filter_labels_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,71 @@
+// The observability acceptance regression: enabling metrics AND tracing
+// must not change a single byte of computed output, at any thread count.
+//
+// The pinned workload is the ext_sched_topologies fast grid — the
+// cross-family scheduler sweep whose CSV runner_test already holds
+// byte-identical across thread counts. Here the same CSV is produced with
+// a fully-enabled obs::Registry installed (tracing on), at --threads 1 and
+// --threads 8, and compared byte-for-byte against the instrumentation-off
+// run. Instrumentation only *receives* data — nothing read from a clock or
+// counter may flow back into results (DESIGN.md decision #12).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/sweep.hpp"
+
+namespace npac::sweep {
+namespace {
+
+std::string sched_topologies_csv(int threads) {
+  SweepContext context;
+  const auto rows = run_topology_scheduler_sweep(
+      ext_sched_topologies_grid(/*fast=*/true),
+      {.threads = threads, .base_seed = 42}, context);
+  return topology_scheduler_csv(rows);
+}
+
+std::string instrumented_csv(int threads, obs::Registry& registry) {
+  obs::ScopedRegistry scoped(registry);
+  return sched_topologies_csv(threads);
+}
+
+TEST(ObsDeterminismTest, InstrumentationNeverChangesCsvBytes) {
+  ASSERT_EQ(obs::Registry::current(), nullptr);
+  const std::string reference = sched_topologies_csv(1);
+
+  obs::Registry::Options options;
+  options.tracing = true;
+  obs::Registry serial_registry(options);
+  EXPECT_EQ(instrumented_csv(1, serial_registry), reference);
+
+  obs::Registry pooled_registry(options);
+  EXPECT_EQ(instrumented_csv(8, pooled_registry), reference);
+
+  // The instrumentation actually observed the runs (this is not a test of
+  // a disabled registry): the scheduler tallied placement attempts on all
+  // three allocator families, the pool counted its tasks, and the trace
+  // recorded wall spans plus the simulated job timeline.
+  for (obs::Registry* registry : {&serial_registry, &pooled_registry}) {
+    EXPECT_GT(registry->counter_value("sched.alloc.cuboid.attempts"), 0u);
+    EXPECT_GT(registry->counter_value("sched.alloc.dragonfly.attempts"), 0u);
+    EXPECT_GT(registry->counter_value("sched.alloc.fattree.attempts"), 0u);
+    EXPECT_GT(registry->counter_value("sched.jobs"), 0u);
+    EXPECT_GT(registry->counter_value("pool.tasks"), 0u);
+    EXPECT_GT(registry->trace().size(), 0u);
+  }
+}
+
+TEST(ObsDeterminismTest, MetricsOnlyRegistryAlsoLeavesBytesUntouched) {
+  ASSERT_EQ(obs::Registry::current(), nullptr);
+  const std::string reference = sched_topologies_csv(3);
+  obs::Registry registry;  // metrics without tracing — the --metrics-out path
+  EXPECT_EQ(instrumented_csv(3, registry), reference);
+  EXPECT_EQ(registry.trace().size(), 0u);
+  EXPECT_GT(registry.counter_value("pool.tasks"), 0u);
+}
+
+}  // namespace
+}  // namespace npac::sweep

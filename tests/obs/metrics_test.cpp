@@ -1,0 +1,136 @@
+// obs::Registry semantics: instrument identity, thread-safety of the
+// primitives, the scoped install/restore discipline, and the JSON snapshot
+// (validated with the in-repo parser, so the artifact the tests pin is the
+// artifact tools read).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace npac::obs {
+namespace {
+
+TEST(CounterTest, AddsAtomically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 4000u);
+  counter.add(58);
+  EXPECT_EQ(counter.value(), 4058u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketsObservationsAgainstUpperBounds) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.observe(0.5);    // <= 1
+  histogram.observe(1.0);    // <= 1 (bounds are inclusive upper)
+  histogram.observe(7.0);    // <= 10
+  histogram.observe(100.0);  // <= 100
+  histogram.observe(1e6);    // overflow
+  EXPECT_EQ(histogram.bucket_counts(),
+            (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e6);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+}
+
+TEST(HistogramTest, DurationBoundsAre125PerDecade) {
+  const auto bounds = duration_bounds_us(2);
+  EXPECT_EQ(bounds, (std::vector<double>{1, 2, 5, 10, 20, 50}));
+}
+
+TEST(RegistryTest, InstrumentsAreCreatedOnceAndKeepIdentity) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  a.add(3);
+  EXPECT_EQ(&registry.counter("x"), &a);
+  EXPECT_EQ(registry.counter_value("x"), 3u);
+  EXPECT_EQ(registry.counter_value("absent"), 0u);
+
+  registry.gauge("g").set(2.0);
+  EXPECT_EQ(registry.gauge_value("g"), 2.0);
+  EXPECT_EQ(registry.gauge_value("absent"), 0.0);
+
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  // Bounds of an existing histogram are fixed by the first creation.
+  EXPECT_EQ(&registry.histogram("h", {9.0}), &h);
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, CrossKindNameReuseThrows) {
+  Registry registry;
+  registry.counter("name");
+  EXPECT_THROW(registry.gauge("name"), std::logic_error);
+  EXPECT_THROW(registry.histogram("name", {1.0}), std::logic_error);
+  registry.gauge("other");
+  EXPECT_THROW(registry.counter("other"), std::logic_error);
+}
+
+TEST(RegistryTest, ScopedInstallIsStackDisciplined) {
+  EXPECT_EQ(Registry::current(), nullptr);
+  Registry outer;
+  {
+    ScopedRegistry outer_scope(outer);
+    EXPECT_EQ(Registry::current(), &outer);
+    Registry inner;
+    {
+      ScopedRegistry inner_scope(inner);
+      EXPECT_EQ(Registry::current(), &inner);
+    }
+    EXPECT_EQ(Registry::current(), &outer);
+  }
+  EXPECT_EQ(Registry::current(), nullptr);
+}
+
+TEST(RegistryTest, MetricsJsonIsWellFormedAndComplete) {
+  Registry registry;
+  registry.counter("c.tasks").add(7);
+  registry.gauge("g.workers").set(4.0);
+  registry.histogram("h.wait", {1.0, 10.0}).observe(3.0);
+
+  const JsonValue snapshot = JsonValue::parse(registry.metrics_json());
+  EXPECT_EQ(snapshot.at("counters").at("c.tasks").number(), 7.0);
+  EXPECT_EQ(snapshot.at("gauges").at("g.workers").number(), 4.0);
+  const JsonValue& histogram = snapshot.at("histograms").at("h.wait");
+  EXPECT_EQ(histogram.at("count").number(), 1.0);
+  EXPECT_EQ(histogram.at("sum").number(), 3.0);
+  ASSERT_EQ(histogram.at("bounds").array().size(), 2u);
+  // counts has one overflow bucket beyond the bounds.
+  ASSERT_EQ(histogram.at("counts").array().size(), 3u);
+  EXPECT_EQ(histogram.at("counts").array()[1].number(), 1.0);
+}
+
+TEST(RegistryTest, CounterNamesAreSorted) {
+  Registry registry;
+  registry.counter("b");
+  registry.counter("a");
+  registry.counter("c");
+  EXPECT_EQ(registry.counter_names(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace npac::obs

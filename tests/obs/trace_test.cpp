@@ -1,0 +1,113 @@
+// Tracing tests: TraceBuffer bounds and ordering, ScopedTimer's
+// null-when-disabled contract, and the Chrome trace_event JSON shape
+// (parsed with the in-repo parser — the same artifact chrome://tracing and
+// Perfetto load).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace npac::obs {
+namespace {
+
+TEST(TraceBufferTest, RecordsSpansInInsertionOrder) {
+  TraceBuffer buffer;
+  buffer.add_span("a", "cat", kWallPid, 0, 10, 5);
+  buffer.add_span("b", "cat", kSimPid, 3, 0, 100);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[0].pid, kWallPid);
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[1].pid, kSimPid);
+  EXPECT_EQ(events[1].tid, 3);
+  EXPECT_EQ(events[1].dur_us, 100);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, CapacityBoundsTheBufferAndCountsDrops) {
+  TraceBuffer buffer(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    buffer.add_span("e" + std::to_string(i), "cat", kWallPid, 0, i, 1);
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  // The *first* events are kept — a hot tail cannot evict the run's
+  // structure-defining early spans.
+  EXPECT_EQ(buffer.snapshot()[0].name, "e0");
+}
+
+TEST(TraceBufferTest, JsonIsChromeTraceEventFormat) {
+  TraceBuffer buffer;
+  buffer.add_span("span \"quoted\"", "npac", kWallPid, 1, 100, 50);
+  const JsonValue trace = JsonValue::parse(buffer.json());
+  const auto& events = trace.at("traceEvents").array();
+  // Two process_name metadata records precede the span.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("ph").string(), "M");
+  EXPECT_EQ(events[0].at("name").string(), "process_name");
+  const JsonValue& span = events[2];
+  EXPECT_EQ(span.at("ph").string(), "X");
+  EXPECT_EQ(span.at("name").string(), "span \"quoted\"");
+  EXPECT_EQ(span.at("cat").string(), "npac");
+  EXPECT_EQ(span.at("ts").number(), 100.0);
+  EXPECT_EQ(span.at("dur").number(), 50.0);
+  EXPECT_EQ(span.at("pid").number(), 1.0);
+  EXPECT_EQ(span.at("tid").number(), 1.0);
+}
+
+TEST(ScopedTimerTest, NoRegistryMeansNoEffect) {
+  ASSERT_EQ(Registry::current(), nullptr);
+  EXPECT_FALSE(tracing_enabled());
+  { ScopedTimer timer("unrecorded"); }
+  // Nothing to assert against — the contract is simply that this is legal
+  // and cheap with no registry installed.
+}
+
+TEST(ScopedTimerTest, RegistryWithoutTracingRecordsNothing) {
+  Registry registry;  // tracing defaults off
+  ScopedRegistry scoped(registry);
+  EXPECT_FALSE(tracing_enabled());
+  { ScopedTimer timer("unrecorded"); }
+  EXPECT_EQ(registry.trace().size(), 0u);
+}
+
+TEST(ScopedTimerTest, RecordsNestedSpansOnTheSameThreadLane) {
+  Registry::Options options;
+  options.tracing = true;
+  Registry registry(options);
+  ScopedRegistry scoped(registry);
+  EXPECT_TRUE(tracing_enabled());
+  {
+    ScopedTimer outer("outer");
+    { ScopedTimer inner("inner", "detail"); }
+  }
+  const auto events = registry.trace().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner scopes close first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].category, "detail");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Containment: the outer span starts no later and ends no earlier.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST(TraceThreadIdTest, DenseAndStablePerThread) {
+  const int here = trace_thread_id();
+  EXPECT_EQ(trace_thread_id(), here);  // stable on the same thread
+  int other = -1;
+  std::thread worker([&] { other = trace_thread_id(); });
+  worker.join();
+  EXPECT_NE(other, here);
+  EXPECT_GE(other, 0);
+}
+
+}  // namespace
+}  // namespace npac::obs

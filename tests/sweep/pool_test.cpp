@@ -6,9 +6,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace npac::sweep {
 namespace {
@@ -140,6 +144,33 @@ TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
     pool.run_indexed(run, [&](std::int64_t) { ran.fetch_add(1); });
     EXPECT_EQ(ran.load(), run);
   }
+}
+
+TEST(ThreadPoolTest, CountsTasksWhenARegistryIsInstalled) {
+  obs::Registry registry;
+  obs::ScopedRegistry scoped(registry);
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.run_indexed(32, [&](std::int64_t) { ran.fetch_add(1); });
+  pool.run_indexed(16, [&](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 48);
+  EXPECT_EQ(registry.counter_value("pool.tasks"), 48u);
+  EXPECT_EQ(registry.counter_value("pool.runs"), 2u);
+  EXPECT_EQ(registry.gauge_value("pool.workers"),
+            static_cast<double>(pool.num_threads()));
+  // Every task's queue wait lands in the shared histogram, whichever
+  // worker (including the calling thread, worker #0) dequeued it.
+  EXPECT_EQ(
+      registry.histogram("pool.queue_wait_us", obs::duration_bounds_us())
+          .count(),
+      48u);
+  // The per-worker task counters partition the total.
+  std::uint64_t per_worker = 0;
+  for (int worker = 0; worker < pool.num_threads(); ++worker) {
+    per_worker += registry.counter_value(
+        "pool.worker" + std::to_string(worker) + ".tasks");
+  }
+  EXPECT_EQ(per_worker, 48u);
 }
 
 }  // namespace

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/json.hpp"
 
 namespace npac::sweep {
 namespace {
@@ -319,6 +324,97 @@ TEST(RunnerDeterminismTest, ExtTopologiesMatchesSerialEngine) {
   }
   EXPECT_EQ(context.topology_stats().hits, 5u);
   EXPECT_EQ(context.topology_routing_stats().hits, 5u);
+}
+
+TEST(RunnerFlagsTest, ParsesObservabilityFlags) {
+  const char* argv[] = {"bench", "--metrics-out=m.json", "--trace-out",
+                        "t.json", "--progress"};
+  const RunnerConfig config = parse_runner_flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(config.metrics_path, "m.json");
+  EXPECT_EQ(config.trace_path, "t.json");
+  EXPECT_TRUE(config.progress);
+
+  const char* spaced[] = {"bench", "--metrics-out", "a", "--trace-out=b"};
+  const RunnerConfig other = parse_runner_flags(4, const_cast<char**>(spaced));
+  EXPECT_EQ(other.metrics_path, "a");
+  EXPECT_EQ(other.trace_path, "b");
+  EXPECT_FALSE(other.progress);
+
+  const char* missing[] = {"bench", "--metrics-out"};
+  EXPECT_THROW(parse_runner_flags(2, const_cast<char**>(missing)),
+               std::invalid_argument);
+}
+
+TEST(RunnerGridTest, FailingRowErrorNamesGridRowAndLabel) {
+  BenchGrid grid;
+  grid.columns = {"X"};
+  grid.rows = 4;
+  grid.label = [](std::int64_t i) { return "case" + std::to_string(i); };
+  grid.cells = [](std::int64_t i, std::uint64_t) -> std::vector<std::string> {
+    if (i == 2) throw std::runtime_error("boom");
+    return {std::to_string(i)};
+  };
+  ThreadPool pool(2);
+  try {
+    run_grid(grid, pool, 42);
+    FAIL() << "expected the failing row's exception to propagate";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("grid row 2 ('case2')"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+}
+
+namespace {
+
+BenchGrid labeled_demo_grid() {
+  BenchGrid grid;
+  grid.columns = {"X"};
+  grid.rows = 3;
+  grid.label = [](std::int64_t i) { return "present" + std::to_string(i); };
+  grid.cells = [](std::int64_t i, std::uint64_t) {
+    return std::vector<std::string>{std::to_string(i)};
+  };
+  return grid;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+TEST(RunnerMainTest, FilterMatchingNoRowExitsNonzero) {
+  const auto body = [](Runner& runner) { runner.run(labeled_demo_grid()); };
+  const char* none[] = {"bench", "--threads", "1", "--filter=absent"};
+  EXPECT_NE(Runner::main("filter test", 4, const_cast<char**>(none), body), 0);
+  const char* some[] = {"bench", "--threads", "1", "--filter=present1"};
+  EXPECT_EQ(Runner::main("filter test", 4, const_cast<char**>(some), body), 0);
+}
+
+TEST(RunnerMainTest, WritesMetricsAndTraceArtifacts) {
+  const std::string metrics_path =
+      ::testing::TempDir() + "runner_test_metrics.json";
+  const std::string trace_path = ::testing::TempDir() + "runner_test_trace.json";
+  const std::string metrics_flag = "--metrics-out=" + metrics_path;
+  const std::string trace_flag = "--trace-out=" + trace_path;
+  const char* argv[] = {"bench", "--threads", "2", metrics_flag.c_str(),
+                        trace_flag.c_str()};
+  const int code =
+      Runner::main("artifact test", 5, const_cast<char**>(argv),
+                   [](Runner& runner) { runner.run(labeled_demo_grid()); });
+  EXPECT_EQ(code, 0);
+
+  const obs::JsonValue metrics = obs::JsonValue::parse(slurp(metrics_path));
+  EXPECT_EQ(metrics.at("counters").at("pool.tasks").number(), 3.0);
+  EXPECT_TRUE(metrics.contains("histograms"));
+
+  const obs::JsonValue trace = obs::JsonValue::parse(slurp(trace_path));
+  // Two process_name metadata records plus at least the run_indexed span.
+  EXPECT_GT(trace.at("traceEvents").array().size(), 2u);
 }
 
 }  // namespace
