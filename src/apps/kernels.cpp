@@ -7,19 +7,6 @@
 
 namespace npac::apps {
 
-namespace {
-
-void run_phases(const simmpi::Communicator& comm, const std::string& label,
-                const std::vector<std::vector<simnet::Flow>>& phases,
-                simmpi::Timeline& sink, double& total) {
-  int index = 0;
-  for (const auto& phase : phases) {
-    total += comm.run_phase(label + ":" + std::to_string(index++), phase, sink);
-  }
-}
-
-}  // namespace
-
 double simulate_nbody_communication(const simmpi::Communicator& comm,
                                     const NBodyParams& params,
                                     simmpi::Timeline* timeline) {

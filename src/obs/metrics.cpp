@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/hot.hpp"
+
 namespace npac::obs {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -23,7 +25,10 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   }
 }
 
-void Histogram::observe(double value) {
+// NPAC_HOT: observe() sits inside instrumented hot loops (pool queue
+// waits, scheduler fragmentation); a binary search plus three relaxed
+// atomics, never an allocation (enforced by npaclint rule H1).
+NPAC_HOT void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t bucket =
       static_cast<std::size_t>(it - bounds_.begin());

@@ -129,7 +129,11 @@ class Registry {
   Options options_;
   TraceBuffer trace_;
   mutable std::mutex mutex_;
-  // node-based maps: instrument addresses are stable as the maps grow.
+  // Ordered node-based maps, deliberately: addresses of instruments stay
+  // stable as the maps grow, and metrics_json() emits keys in lexicographic
+  // order so --metrics-out artifacts are comparable across runs — an
+  // unordered_map here would leak hash order into emitted JSON (npaclint
+  // rule D1).
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

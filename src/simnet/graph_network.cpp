@@ -9,12 +9,60 @@
 
 #include "obs/metrics.hpp"
 #include "simnet/traffic.hpp"
+#include "support/hot.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
 namespace npac::simnet {
+
+namespace {
+
+/// The ECMP weight-propagation inner loop: walks the BFS levels from the
+/// far fringe toward dst, splitting each vertex's accumulated bytes over
+/// its advancing arcs. The order — descending distance, ascending vertex
+/// id within a level — is a pure function of (graph, dst), so the
+/// floating-point accumulation is deterministic for any thread count.
+/// NPAC_HOT: allocation-free by contract; dist/levels/weight/loads are all
+/// caller-owned scratch (enforced by npaclint rule H1).
+NPAC_HOT void propagate_levels(
+    const topo::Graph& graph, TieBreak tie_break,
+    const std::vector<std::int64_t>& dist,
+    const std::vector<std::vector<topo::VertexId>>& levels,
+    std::int64_t max_dist, std::vector<double>& weight, double* loads) {
+  for (std::int64_t d = max_dist; d >= 1; --d) {
+    for (const topo::VertexId v : levels[static_cast<std::size_t>(d)]) {
+      const double w = weight[static_cast<std::size_t>(v)];
+      if (w == 0.0) continue;
+      const auto adjacency = graph.neighbors(v);
+      const std::size_t base = graph.arc_begin(v);
+      if (tie_break == TieBreak::kPositive) {
+        for (std::size_t k = 0; k < adjacency.size(); ++k) {
+          if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
+            loads[base + k] += w;
+            weight[static_cast<std::size_t>(adjacency[k].to)] += w;
+            break;
+          }
+        }
+        continue;
+      }
+      std::size_t advancing = 0;
+      for (const topo::Arc& arc : adjacency) {
+        if (dist[static_cast<std::size_t>(arc.to)] == d - 1) ++advancing;
+      }
+      const double share = w / static_cast<double>(advancing);
+      for (std::size_t k = 0; k < adjacency.size(); ++k) {
+        if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
+          loads[base + k] += share;
+          weight[static_cast<std::size_t>(adjacency[k].to)] += share;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 GraphNetwork::GraphNetwork(topo::Graph graph, NetworkOptions options)
     : Network(options), graph_(std::move(graph)) {
@@ -65,35 +113,8 @@ void GraphNetwork::route_group(topo::VertexId dst, std::span<const Flow> flows,
     }
   }
 
-  for (std::int64_t d = max_dist; d >= 1; --d) {
-    for (const topo::VertexId v : levels[static_cast<std::size_t>(d)]) {
-      const double w = weight[static_cast<std::size_t>(v)];
-      if (w == 0.0) continue;
-      const auto adjacency = graph_.neighbors(v);
-      const std::size_t base = graph_.arc_begin(v);
-      if (options().tie_break == TieBreak::kPositive) {
-        for (std::size_t k = 0; k < adjacency.size(); ++k) {
-          if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
-            loads[base + k] += w;
-            weight[static_cast<std::size_t>(adjacency[k].to)] += w;
-            break;
-          }
-        }
-        continue;
-      }
-      std::size_t advancing = 0;
-      for (const topo::Arc& arc : adjacency) {
-        if (dist[static_cast<std::size_t>(arc.to)] == d - 1) ++advancing;
-      }
-      const double share = w / static_cast<double>(advancing);
-      for (std::size_t k = 0; k < adjacency.size(); ++k) {
-        if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
-          loads[base + k] += share;
-          weight[static_cast<std::size_t>(adjacency[k].to)] += share;
-        }
-      }
-    }
-  }
+  propagate_levels(graph_, options().tie_break, dist, levels, max_dist,
+                   weight, loads);
 }
 
 void GraphNetwork::route_flow(const Flow& flow, LinkLoads& loads) const {

@@ -12,6 +12,7 @@
 
 #include "obs/metrics.hpp"
 #include "simnet/traffic.hpp"
+#include "support/hot.hpp"
 
 namespace npac::simnet {
 
@@ -200,8 +201,10 @@ struct RouteScratch {
 /// Routes one flow with incremental vertex indexing. Visits the same
 /// channels in the same order with the same weights as the original
 /// per-hop index_of walk, so accumulated loads are bit-identical.
-void route_flow_fast(const RouteScratch& scratch, TieBreak tie_break,
-                     const Flow& flow, double* loads) {
+/// NPAC_HOT: allocation-free by contract; all scratch is caller-owned
+/// (enforced by npaclint rule H1).
+NPAC_HOT void route_flow_fast(const RouteScratch& scratch, TieBreak tie_break,
+                              const Flow& flow, double* loads) {
   if (flow.bytes < 0.0) {
     throw std::invalid_argument("route_flow: negative byte count");
   }

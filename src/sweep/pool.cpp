@@ -6,10 +6,12 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "support/hot.hpp"
 
 namespace npac::sweep {
 
-std::uint64_t task_seed(std::uint64_t base_seed, std::int64_t task_index) {
+NPAC_HOT std::uint64_t task_seed(std::uint64_t base_seed,
+                                 std::int64_t task_index) {
   // SplitMix64: advance a golden-ratio-stride counter stream to the task's
   // position, then finalize. Full 64-bit avalanche, so adjacent task
   // indices (and adjacent base seeds) yield uncorrelated streams.
@@ -30,6 +32,10 @@ int resolved_thread_count(int threads) {
 
 namespace {
 
+// The pool's clock reads are all npaclint:allow(D3)-suppressed: they feed
+// worker busy/idle metrics and the queue-wait histogram only, are guarded
+// by a null registry check, and never reach computed results (pinned by
+// tests/obs/determinism_test.cpp).
 std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
                          std::chrono::steady_clock::time_point to) {
   return static_cast<std::uint64_t>(
@@ -81,6 +87,7 @@ void ThreadPool::work_through_run(int worker_index) {
     lock.unlock();
     std::chrono::steady_clock::time_point task_start;
     if (registry != nullptr) {
+      // npaclint:allow(D3) queue-wait metric only; never feeds output
       task_start = std::chrono::steady_clock::now();
       queue_wait->observe(
           static_cast<double>(elapsed_ns(run_start, task_start)) / 1000.0);
@@ -92,6 +99,7 @@ void ThreadPool::work_through_run(int worker_index) {
       error = std::current_exception();
     }
     if (registry != nullptr) {
+      // npaclint:allow(D3) worker busy_ns metric only; never feeds output
       busy_ns += elapsed_ns(task_start, std::chrono::steady_clock::now());
       ++tasks_executed;
     }
@@ -121,12 +129,14 @@ void ThreadPool::worker_loop(int worker_index) {
     // final pre-shutdown wait is charged too.
     obs::Registry* const registry = obs::Registry::current();
     std::chrono::steady_clock::time_point idle_start;
+    // npaclint:allow(D3) worker idle_ns metric only; never feeds output
     if (registry != nullptr) idle_start = std::chrono::steady_clock::now();
     work_ready_.wait(lock, [&] {
       return stopping_ || (fn_ != nullptr && next_task_ < num_tasks_);
     });
     if (registry != nullptr) {
       registry->counter(worker_metric(worker_index, ".idle_ns"))
+          // npaclint:allow(D3) worker idle_ns metric only; never feeds output
           .add(elapsed_ns(idle_start, std::chrono::steady_clock::now()));
     }
     if (stopping_) return;
@@ -153,6 +163,7 @@ void ThreadPool::run_indexed(std::int64_t num_tasks,
     first_error_ = nullptr;
     // Unconditional: a registry installed mid-run must never observe an
     // epoch-default run start.
+    // npaclint:allow(D3) queue-wait origin metric only; never feeds output
     run_start_ = std::chrono::steady_clock::now();
   }
   std::optional<obs::ScopedTimer> span;

@@ -1,0 +1,123 @@
+// TSan-targeted hammer: sweep::ThreadPool + the SweepContext memo caches
+// driven hard from 8 workers with metrics AND tracing fully on — the exact
+// surface the future work-stealing executor will replace. The CI `tsan`
+// job runs this binary (and the rest of `ctest -L concurrency`) under
+// -fsanitize=thread; unsynchronized access to the caches, the pool
+// bookkeeping, or the obs instruments shows up as a hard failure here
+// instead of a once-a-month flaky digest.
+//
+// The assertions double as a determinism pin: every task's value must
+// equal the serial recomputation, regardless of which worker won which
+// cache miss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bgq/machine.hpp"
+#include "iso/torus_bound.hpp"
+#include "obs/metrics.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/pool.hpp"
+
+namespace npac::sweep {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr std::int64_t kTasks = 400;
+
+TEST(PoolCacheHammerTest, EightThreadsShareCachesUnderInstrumentation) {
+  obs::Registry registry({/*tracing=*/true, /*trace_capacity=*/1 << 14});
+  obs::ScopedRegistry installed(registry);
+
+  SweepContext context;
+  const topo::Dims dims = {8, 4, 4};
+  const bgq::Machine machine = bgq::mira();
+
+  // Serial reference, computed through a fresh context so the parallel run
+  // below cannot "agree with itself" via the shared cache.
+  std::vector<double> expected(static_cast<std::size_t>(kTasks));
+  {
+    SweepContext reference;
+    for (std::int64_t i = 0; i < kTasks; ++i) {
+      const std::int64_t t = 1 + (i % 50);
+      expected[static_cast<std::size_t>(i)] =
+          reference.torus_bound(dims, t).value;
+    }
+  }
+
+  std::vector<double> got(static_cast<std::size_t>(kTasks), -1.0);
+  std::atomic<std::uint64_t> geometry_rows{0};
+
+  ThreadPool pool(kThreads);
+  ASSERT_EQ(pool.num_threads(), kThreads);
+  // Three rounds through the same caches: round 1 is mostly misses (every
+  // worker racing to insert), rounds 2-3 are mostly hits — both paths of
+  // MemoCache::get_or_compute get contended coverage.
+  for (int round = 0; round < 3; ++round) {
+    pool.run_indexed(kTasks, [&](std::int64_t i) {
+      const std::int64_t t = 1 + (i % 50);
+      got[static_cast<std::size_t>(i)] = context.torus_bound(dims, t).value;
+      // A second cache with heavier values: the cuboid enumeration for a
+      // rotating job size, same key set across all workers.
+      const std::int64_t midplanes = 1 + (i % 8);
+      geometry_rows.fetch_add(
+          context.enumerate_geometries(machine, midplanes).size(),
+          std::memory_order_relaxed);
+      // Seeded per-task randomness, the sanctioned D2 pattern.
+      (void)task_seed(1234, i);
+    });
+    for (std::int64_t i = 0; i < kTasks; ++i) {
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)])
+          << "task " << i << " round " << round;
+    }
+  }
+
+  // Cache accounting adds up: every lookup was either a hit or a miss, and
+  // the distinct-key count bounds the stored entries. (Concurrent misses
+  // on one key may both compute — first insert wins — so misses can exceed
+  // entries but lookups are conserved.)
+  const CacheStats bounds = context.bound_stats();
+  EXPECT_EQ(bounds.lookups(), static_cast<std::uint64_t>(3 * kTasks));
+  EXPECT_GE(bounds.misses, 50u);
+  const CacheStats geometries = context.geometry_stats();
+  EXPECT_EQ(geometries.lookups(), static_cast<std::uint64_t>(3 * kTasks));
+  EXPECT_GT(geometry_rows.load(), 0u);
+
+  // The instrumentation saw the work: pool counters sum across workers,
+  // and publishing the cache snapshot is itself thread-safe.
+  EXPECT_EQ(registry.counter_value("pool.tasks"),
+            static_cast<std::uint64_t>(3 * kTasks));
+  EXPECT_EQ(registry.counter_value("pool.runs"), 3u);
+  context.publish_metrics(registry);
+  EXPECT_EQ(registry.gauge_value("cache.bounds.hits"),
+            static_cast<double>(bounds.hits));
+  // Snapshotting concurrently-written instruments must be race-free too.
+  EXPECT_FALSE(registry.metrics_json().empty());
+  EXPECT_GT(registry.trace().size(), 0u);
+}
+
+TEST(PoolCacheHammerTest, ExceptionsUnderContentionFailFastCleanly) {
+  ThreadPool pool(kThreads);
+  std::atomic<int> started{0};
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        pool.run_indexed(256,
+                         [&](std::int64_t i) {
+                           started.fetch_add(1, std::memory_order_relaxed);
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool must be reusable after a failed run.
+    pool.run_indexed(8, [&](std::int64_t) {
+      started.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_GT(started.load(), 0);
+}
+
+}  // namespace
+}  // namespace npac::sweep

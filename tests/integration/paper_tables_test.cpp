@@ -119,9 +119,15 @@ TEST(PaperTablesTest, TableFiveMachineDesign) {
     EXPECT_EQ(it->juqueen.has_value(), want.juqueen_bw != 0);
     EXPECT_EQ(it->j54.has_value(), want.j54_bw != 0);
     EXPECT_EQ(it->j48.has_value(), want.j48_bw != 0);
-    if (want.juqueen_bw != 0) EXPECT_EQ(it->juqueen_bw, want.juqueen_bw);
-    if (want.j54_bw != 0) EXPECT_EQ(it->j54_bw, want.j54_bw);
-    if (want.j48_bw != 0) EXPECT_EQ(it->j48_bw, want.j48_bw);
+    if (want.juqueen_bw != 0) {
+      EXPECT_EQ(it->juqueen_bw, want.juqueen_bw);
+    }
+    if (want.j54_bw != 0) {
+      EXPECT_EQ(it->j54_bw, want.j54_bw);
+    }
+    if (want.j48_bw != 0) {
+      EXPECT_EQ(it->j48_bw, want.j48_bw);
+    }
   }
 }
 

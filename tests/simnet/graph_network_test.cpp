@@ -181,7 +181,9 @@ void expect_equivalent_loads(const topo::Torus& torus,
         continue;
       }
       const int directions = a == 2 ? 1 : 2;  // C_2: one sender-side channel
-      if (a == 2) EXPECT_EQ(torus_loads.at(v, dim, 1), 0.0) << context;
+      if (a == 2) {
+        EXPECT_EQ(torus_loads.at(v, dim, 1), 0.0) << context;
+      }
       for (int direction = 0; direction < directions; ++direction) {
         const topo::VertexId peer = ring_neighbor(torus, v, dim, direction);
         const double graph_load =

@@ -1,0 +1,25 @@
+// npaclint fixture: rule D1 (unordered containers).
+// Seeded violations — this file is linted by tests/tools/npaclint_test.cpp
+// only; the fixtures/ directory is skipped by collect_files and CI.
+#include <map>
+#include <string>
+
+void d1_fires() {
+  std::unordered_map<std::string, int> counts;  // line 8: fires
+  std::unordered_set<int> seen;                 // line 9: fires
+  (void)counts;
+  (void)seen;
+}
+
+void d1_suppressed() {
+  // npaclint:allow(D1) keys are sorted into a vector before emission
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> seen;  // npaclint:allow(D1) membership test only
+  (void)counts;
+  (void)seen;
+}
+
+void d1_clean() {
+  std::map<std::string, int> counts;  // ordered: no finding
+  (void)counts;
+}

@@ -1,0 +1,26 @@
+// npaclint fixture: rule D2 (randomness outside the task_seed plumbing).
+#include <cstdlib>
+#include <random>
+
+unsigned d2_fires() {
+  unsigned total = 0;
+  total += static_cast<unsigned>(std::rand());  // line 7: fires (std::rand)
+  std::srand(42);                               // line 8: fires (srand)
+  std::random_device entropy;                   // line 9: fires
+  std::mt19937 unseeded;                        // line 10: fires (default seed)
+  std::mt19937_64 temp{};                       // line 11: fires (default seed)
+  total += entropy() + unseeded() + static_cast<unsigned>(temp());
+  return total;
+}
+
+unsigned d2_suppressed() {
+  // npaclint:allow(D2) fixture demonstrating the suppression marker
+  std::random_device entropy;
+  std::mt19937 unseeded;  // npaclint:allow(D2) stream value never emitted
+  return entropy() + unseeded();
+}
+
+unsigned d2_clean(unsigned long long seed) {
+  std::mt19937_64 rng(seed);  // seeded from task_seed: no finding
+  return static_cast<unsigned>(rng());
+}

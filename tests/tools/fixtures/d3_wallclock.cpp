@@ -1,0 +1,26 @@
+// npaclint fixture: rule D3 (wall-clock reads outside the timing layers).
+// The test lints this file under the display path "src/core/d3_fixture.cpp"
+// (D3 applies) and again under "src/obs/d3_fixture.cpp" (exempt).
+#include <chrono>
+#include <ctime>
+
+long d3_fires() {
+  const auto a = std::chrono::steady_clock::now();           // line 8: fires
+  const auto b = std::chrono::system_clock::now();           // line 9: fires
+  using bad = std::chrono::high_resolution_clock;            // line 10: fires
+  std::timespec spec{};
+  std::timespec_get(&spec, TIME_UTC);                        // line 12: fires
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         bad::period::den + spec.tv_sec;
+}
+
+long d3_suppressed() {
+  // npaclint:allow(D3) progress display only; value never reaches output
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long d3_clean() {
+  const std::chrono::milliseconds wait(5);  // a duration is not a clock read
+  return wait.count();
+}

@@ -1,0 +1,38 @@
+// npaclint fixture: rule H1 (no heap allocation inside NPAC_HOT bodies).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/hot.hpp"
+
+NPAC_HOT void h1_fires(std::vector<int>& out) {
+  out.push_back(1);                       // line 9: fires
+  int* leak = new int(7);                 // line 10: fires
+  auto owned = std::make_unique<int>(9);  // line 11: fires
+  std::vector<double> scratch(4, 0.0);    // line 12: fires
+  std::string label = std::to_string(3);  // lines 13: fires twice
+  out.resize(8);                          // line 14: fires
+  delete leak;
+  (void)owned;
+  (void)scratch;
+  (void)label;
+}
+
+NPAC_HOT void h1_suppressed(std::vector<int>& out) {
+  // npaclint:allow(H1) first-call warmup; amortized over the whole sweep
+  out.push_back(1);
+}
+
+NPAC_HOT double h1_clean(const double* values, int count) {
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) total += values[i];
+  return total;
+}
+
+// Outside any NPAC_HOT body: allocation is fine.
+void h1_not_hot(std::vector<int>& out) { out.push_back(1); }
+
+// A declaration-only annotation must not arm the body scan on whatever
+// code follows it.
+NPAC_HOT void h1_declared_elsewhere(std::vector<int>& out);
+void h1_after_declaration(std::vector<int>& out) { out.push_back(2); }

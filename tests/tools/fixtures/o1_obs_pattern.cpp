@@ -1,0 +1,27 @@
+// npaclint fixture: rule O1 (obs:: calls behind one branch when disabled).
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace obs = npac::obs;
+
+void o1_fires(int rows) {
+  obs::ScopedTimer span("row " + std::to_string(rows));  // line 10: fires
+  obs::Registry::current()->counter("rows").add(1);      // line 11: fires
+}
+
+void o1_suppressed(int rows) {
+  // npaclint:allow(O1) fixture demonstrating the suppression marker
+  obs::ScopedTimer span("row " + std::to_string(rows));
+}
+
+void o1_clean(int rows) {
+  if (obs::Registry* const registry = obs::Registry::current()) {
+    registry->counter("rows").add(static_cast<unsigned long long>(rows));
+  }
+  std::optional<obs::ScopedTimer> span;
+  if (obs::tracing_enabled()) {
+    span.emplace("rows " + std::to_string(rows), "fixture");
+  }
+}

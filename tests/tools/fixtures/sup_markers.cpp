@@ -1,0 +1,16 @@
+// npaclint fixture: rule SUP (suppression markers must be well-formed).
+#include <map>
+
+void sup_fires() {
+  // npaclint:allow(D1)
+  std::unordered_map<int, int> reasonless;  // marker above lacks a rationale
+  std::unordered_map<int, int> wrong;  // npaclint:allow(D9) unknown rule id
+  (void)reasonless;
+  (void)wrong;
+}
+
+void sup_clean() {
+  // npaclint:allow(D1) well-formed marker with a rationale
+  std::unordered_map<int, int> fine;
+  (void)fine;
+}

@@ -1,0 +1,535 @@
+#include "npaclint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace npac::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass 1: strip comments and string/character literals.
+//
+// Produces a same-length copy of the source with comment and literal bodies
+// blanked to spaces (newlines preserved, so line numbers survive), plus the
+// comment text gathered per line for suppression-marker parsing. Handles
+// //, /* */, "...", '...', and raw strings R"delim(...)delim" — fixture
+// snippets and the lint's own keyword tables live inside literals, so the
+// stripper is what keeps npaclint from flagging itself.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+  std::string code;                        // literals/comments blanked
+  std::map<int, std::string> comment_on;   // line -> comment text
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Stripped strip(std::string_view src) {
+  Stripped out;
+  out.code.assign(src.size(), ' ');
+  int line = 1;
+  std::size_t i = 0;
+  const auto keep = [&](std::size_t at) { out.code[at] = src[at]; };
+  const auto note_comment = [&](char c) {
+    if (c != '\n' && c != '\r') out.comment_on[line] += c;
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') note_comment(src[i]), ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        } else {
+          note_comment(src[i]);
+        }
+        ++i;
+      }
+      i = (i + 1 < src.size()) ? i + 2 : src.size();
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"' &&
+        (i == 0 || !is_ident_char(src[i - 1]))) {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < src.size() && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, j);
+      if (end == std::string_view::npos) end = src.size();
+      for (std::size_t k = i; k < std::min(end + closer.size(), src.size());
+           ++k) {
+        if (src[k] == '\n') {
+          out.code[k] = '\n';
+          ++line;
+        }
+      }
+      i = std::min(end + closer.size(), src.size());
+      continue;
+    }
+    // String / character literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      if (i < src.size()) ++i;  // closing quote
+      continue;
+    }
+    keep(i);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: tokenize the stripped code.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;  // identifier text, or one punctuation character
+  int line = 1;
+  bool ident = false;
+};
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      tokens.push_back({code.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression markers: // npaclint:allow(D1,D3) <mandatory reason>
+// ---------------------------------------------------------------------------
+
+struct Markers {
+  std::map<int, std::set<std::string>> allowed_on;  // line -> rule ids
+  std::vector<Finding> defects;                     // SUP findings
+};
+
+Markers parse_markers(const std::string& file,
+                      const std::map<int, std::string>& comment_on) {
+  static const std::string kTag = "npaclint:allow(";
+  Markers markers;
+  for (const auto& [line, text] : comment_on) {
+    std::size_t at = 0;
+    while ((at = text.find(kTag, at)) != std::string::npos) {
+      const std::size_t open = at + kTag.size();
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) {
+        markers.defects.push_back(
+            {file, line, "SUP", "malformed suppression: missing ')'"});
+        break;
+      }
+      // Parse the comma-separated rule list.
+      std::string id;
+      std::vector<std::string> ids;
+      for (std::size_t k = open; k <= close; ++k) {
+        const char c = (k < close) ? text[k] : ',';
+        if (c == ',' || c == ' ') {
+          if (!id.empty()) ids.push_back(std::exchange(id, ""));
+        } else {
+          id += c;
+        }
+      }
+      for (const std::string& rule : ids) {
+        if (rule_description(rule).empty()) {
+          markers.defects.push_back(
+              {file, line, "SUP", "suppression names unknown rule '" + rule +
+                                      "'"});
+        } else {
+          markers.allowed_on[line].insert(rule);
+        }
+      }
+      // The rationale after ')' is mandatory: every exception stays
+      // visible and reviewed, never silently waved through.
+      std::string reason = text.substr(close + 1);
+      const auto is_space = [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+      };
+      while (!reason.empty() && is_space(reason.front())) reason.erase(0, 1);
+      while (!reason.empty() && is_space(reason.back())) reason.pop_back();
+      if (reason.size() < 3) {
+        markers.defects.push_back(
+            {file, line, "SUP",
+             "suppression requires a rationale after the ')'"});
+      }
+      at = close + 1;
+    }
+  }
+  return markers;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+bool path_in(const std::string& path, std::string_view prefix) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (p.rfind("./", 0) == 0) p.erase(0, 2);
+  if (p.rfind(prefix, 0) == 0) return true;
+  return p.find("/" + std::string(prefix)) != std::string::npos;
+}
+
+bool d3_exempt(const std::string& path) {
+  // Wall-clock reads are the *job* of the obs layer, the runner's per-row
+  // timing, and the bench drivers; everywhere else they are suspect.
+  return path_in(path, "src/obs/") || path_in(path, "src/sweep/runner") ||
+         path_in(path, "bench/");
+}
+
+bool o1_exempt(const std::string& path) {
+  // The obs layer itself and its direct tests construct instruments
+  // unconditionally by design.
+  return path_in(path, "src/obs/") || path_in(path, "tests/obs/");
+}
+
+// ---------------------------------------------------------------------------
+// Rule evaluation
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& unordered_containers() {
+  static const std::set<std::string> kSet = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kSet;
+}
+
+const std::set<std::string>& random_engines() {
+  static const std::set<std::string> kSet = {
+      "mt19937",      "mt19937_64", "default_random_engine",
+      "minstd_rand",  "minstd_rand0", "ranlux24",
+      "ranlux48",     "knuth_b"};
+  return kSet;
+}
+
+const std::set<std::string>& hot_banned() {
+  static const std::set<std::string> kSet = {
+      "new",       "make_unique", "make_shared",  "push_back",
+      "emplace_back", "resize",   "reserve",      "insert",
+      "emplace",   "to_string"};
+  return kSet;
+}
+
+const std::set<std::string>& hot_banned_templates() {
+  static const std::set<std::string> kSet = {"vector", "deque", "list",
+                                             "map",    "set",   "multimap",
+                                             "multiset", "function"};
+  return kSet;
+}
+
+bool is_pp_keyword(const std::string& text) {
+  return text == "define" || text == "ifdef" || text == "ifndef" ||
+         text == "undef" || text == "defined";
+}
+
+void check_tokens(const std::string& file, const std::vector<Token>& tokens,
+                  std::vector<Finding>& findings) {
+  const bool d3_allowed = d3_exempt(file);
+  const bool o1_allowed = o1_exempt(file);
+
+  const auto text_at = [&](std::size_t i) -> const std::string& {
+    static const std::string kEmpty;
+    return i < tokens.size() ? tokens[i].text : kEmpty;
+  };
+
+  // H1 body tracking: brace depth of the innermost NPAC_HOT function, or
+  // -1 when outside one. Hot bodies do not nest in practice; if they did,
+  // the outer body's tracking covers the inner one too.
+  int hot_depth = -1;
+  int brace_depth = 0;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    const int line = tok.line;
+
+    if (!tok.ident) {
+      if (tok.text == "{") ++brace_depth;
+      if (tok.text == "}") {
+        --brace_depth;
+        if (hot_depth >= 0 && brace_depth < hot_depth) hot_depth = -1;
+      }
+      continue;
+    }
+
+    // --- H1: arm on the NPAC_HOT annotation (not its #define). ----------
+    if (tok.text == "NPAC_HOT" &&
+        (i == 0 || !is_pp_keyword(tokens[i - 1].text))) {
+      // Find the body's opening brace: first '{' at paren depth 0. A ';'
+      // first means this was only a declaration.
+      int parens = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        const std::string& t = tokens[j].text;
+        if (t == "(") ++parens;
+        if (t == ")") --parens;
+        if (parens == 0 && t == ";") break;
+        if (parens == 0 && t == "{") {
+          hot_depth = brace_depth + 1;
+          break;
+        }
+      }
+      continue;
+    }
+    const bool in_hot = hot_depth >= 0 && brace_depth >= hot_depth;
+    if (in_hot) {
+      if (hot_banned().count(tok.text) != 0) {
+        findings.push_back(
+            {file, line, "H1",
+             "'" + tok.text +
+                 "' allocates inside an NPAC_HOT function; hoist the "
+                 "allocation into caller-owned scratch"});
+      } else if (hot_banned_templates().count(tok.text) != 0 &&
+                 text_at(i + 1) == "<") {
+        findings.push_back(
+            {file, line, "H1",
+             "constructing std::" + tok.text +
+                 " inside an NPAC_HOT function allocates; pass scratch in"});
+      } else if (tok.text == "string" && tokens.size() > i + 1 &&
+                 tokens[i + 1].ident) {
+        findings.push_back(
+            {file, line, "H1",
+             "local std::string inside an NPAC_HOT function allocates"});
+      }
+    }
+
+    // --- D1: unordered containers anywhere. ------------------------------
+    if (unordered_containers().count(tok.text) != 0) {
+      findings.push_back(
+          {file, line, "D1",
+           "std::" + tok.text +
+               " iterates in hash order, which must never feed emitted "
+               "output or a parallel reduction; use the ordered container "
+               "or sort before emitting"});
+    }
+
+    // --- D2: randomness outside the task_seed plumbing. ------------------
+    if ((tok.text == "rand" || tok.text == "srand") &&
+        text_at(i + 1) == "(") {
+      findings.push_back({file, line, "D2",
+                          "std::" + tok.text +
+                              "() draws from hidden global state; derive "
+                              "streams from sweep::task_seed instead"});
+    }
+    if (tok.text == "random_device") {
+      findings.push_back(
+          {file, line, "D2",
+           "std::random_device is nondeterministic by definition; seeds "
+           "must come from the sweep::task_seed plumbing"});
+    }
+    if (random_engines().count(tok.text) != 0) {
+      // ENGINE ident ;  |  ENGINE ident ()  |  ENGINE ident {}  |
+      // ENGINE () / ENGINE {} temporaries — all default-seeded.
+      std::size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].ident) ++j;
+      const bool empty_parens =
+          (text_at(j) == "(" && text_at(j + 1) == ")") ||
+          (text_at(j) == "{" && text_at(j + 1) == "}");
+      if (text_at(j) == ";" || empty_parens) {
+        findings.push_back({file, line, "D2",
+                            "default-seeded std::" + tok.text +
+                                "; seed it from sweep::task_seed so the "
+                                "stream is reproducible"});
+      }
+    }
+
+    // --- D3: wall-clock reads outside the timing layers. ------------------
+    if (!d3_allowed) {
+      if ((tok.text == "steady_clock" || tok.text == "system_clock") &&
+          text_at(i + 1) == ":" && text_at(i + 2) == ":" &&
+          text_at(i + 3) == "now") {
+        findings.push_back(
+            {file, line, "D3",
+             "wall-clock read (std::chrono::" + tok.text +
+                 "::now) outside src/obs/, src/sweep/runner, bench/; "
+                 "clock values must never feed computed output"});
+      }
+      if (tok.text == "high_resolution_clock") {
+        findings.push_back(
+            {file, line, "D3",
+             "high_resolution_clock is an unspecified alias (may not be "
+             "steady); use steady_clock in a timing layer instead"});
+      }
+      if ((tok.text == "gettimeofday" || tok.text == "clock_gettime" ||
+           tok.text == "timespec_get") &&
+          text_at(i + 1) == "(") {
+        findings.push_back({file, line, "D3",
+                            tok.text + " is a wall-clock read outside the "
+                                       "timing layers"});
+      }
+    }
+
+    // --- O1: obs calls must be one-branch-when-disabled. ------------------
+    if (!o1_allowed) {
+      if (tok.text == "ScopedTimer") {
+        // std::optional<obs::ScopedTimer> is six tokens of lookback
+        // (optional < obs : : ScopedTimer).
+        bool inside_optional = false;
+        for (std::size_t back = 1; back <= 6 && back <= i; ++back) {
+          if (tokens[i - back].text == "optional") inside_optional = true;
+        }
+        if (!inside_optional) {
+          findings.push_back(
+              {file, line, "O1",
+               "obs::ScopedTimer constructed unconditionally; use "
+               "std::optional<obs::ScopedTimer> emplaced behind "
+               "obs::tracing_enabled()"});
+        }
+      }
+      if (tok.text == "current" && text_at(i + 1) == "(" &&
+          text_at(i + 2) == ")" && text_at(i + 3) == "-" &&
+          text_at(i + 4) == ">") {
+        findings.push_back(
+            {file, line, "O1",
+             "obs::Registry::current() dereferenced inline; store the "
+             "pointer and null-check it (one branch when disabled)"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {"D1", "D2", "D3",
+                                                "H1", "O1", "SUP"};
+  return kIds;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == "D1")
+    return "no unordered containers (hash-order iteration feeds output)";
+  if (rule == "D2")
+    return "no std::rand / random_device / unseeded engines (task_seed only)";
+  if (rule == "D3")
+    return "no wall-clock reads outside src/obs/, src/sweep/runner, bench/";
+  if (rule == "H1") return "no heap allocation inside NPAC_HOT functions";
+  if (rule == "O1")
+    return "obs:: calls must be one-branch-when-disabled";
+  if (rule == "SUP") return "suppression markers must be well-formed";
+  return "";
+}
+
+FileReport lint_source(const std::string& display_path,
+                       std::string_view source) {
+  const Stripped stripped = strip(source);
+  const std::vector<Token> tokens = tokenize(stripped.code);
+  Markers markers = parse_markers(display_path, stripped.comment_on);
+
+  std::vector<Finding> raw;
+  check_tokens(display_path, tokens, raw);
+
+  FileReport report;
+  for (Finding& finding : raw) {
+    bool allowed = false;
+    // A marker covers its own line and the line directly below it, so both
+    // trailing and preceding-line comments work.
+    for (const int at : {finding.line, finding.line - 1}) {
+      const auto it = markers.allowed_on.find(at);
+      if (it != markers.allowed_on.end() &&
+          it->second.count(finding.rule) != 0) {
+        allowed = true;
+      }
+    }
+    if (allowed) {
+      ++report.suppressed;
+    } else {
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  // Defective markers are findings in their own right and cannot be
+  // suppressed.
+  for (Finding& defect : markers.defects) {
+    report.findings.push_back(std::move(defect));
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return report;
+}
+
+std::vector<std::string> collect_files(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExtensions = {
+      ".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".hxx", ".ipp"};
+  const auto skip_dir = [](const std::string& name) {
+    return name == "fixtures" || name == "third_party" ||
+           name == "CMakeFiles" || name.rfind("build", 0) == 0 ||
+           (!name.empty() && name.front() == '.');
+  };
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    if (fs::is_regular_file(path)) {
+      files.push_back(path);
+      continue;
+    }
+    if (!fs::is_directory(path)) continue;
+    fs::recursive_directory_iterator it(
+        path, fs::directory_options::skip_permission_denied);
+    for (auto end = fs::end(it); it != end; ++it) {
+      if (it->is_directory() && skip_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() &&
+          kExtensions.count(it->path().extension().string()) != 0) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace npac::lint

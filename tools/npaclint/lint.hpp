@@ -1,0 +1,82 @@
+// npaclint — project-specific static analysis for the npac tree.
+//
+// The engine's signature property is byte-identical sweep/CSV output for
+// any --threads value. The runtime digest tests sample that property on a
+// handful of grids; npaclint makes the underlying discipline *statically*
+// checkable, so a nondeterminism-prone construct fails CI on the offending
+// line instead of surfacing as a flaky digest mismatch several PRs later.
+//
+// Rules (DESIGN.md decision #13 is the catalogue with rationale):
+//   D1  no std::unordered_{map,set,multimap,multiset}: hash-order iteration
+//       must never feed emitted output or a parallel reduction. Use the
+//       ordered containers, or sort before emitting and suppress with a
+//       rationale.
+//   D2  no std::rand/srand, no bare std::random_device, no unseeded
+//       engines: all randomness flows through sweep::task_seed so a row's
+//       stream is a pure function of (base seed, task index).
+//   D3  no wall-clock reads (steady_clock::now / system_clock::now /
+//       gettimeofday / clock_gettime; high_resolution_clock entirely —
+//       it is an unspecified alias) outside src/obs/, the src/sweep/runner
+//       timing layer, and bench/ drivers. A clock read anywhere else is
+//       either dead code or a value that can leak into output.
+//   H1  no heap allocation inside functions annotated NPAC_HOT
+//       (src/support/hot.hpp): new, make_unique/make_shared, push_back/
+//       emplace_back/resize/reserve/insert/emplace, std::to_string, and
+//       local container construction are all flagged.
+//   O1  obs:: instrumentation outside src/obs/ must use the
+//       one-branch-when-disabled pattern: ScopedTimer only inside
+//       std::optional (guarded by obs::tracing_enabled()), and
+//       Registry::current() stored and null-checked, never dereferenced
+//       inline.
+//
+// Suppressions are explicit in-source markers on the offending line or the
+// line directly above it:
+//
+//   // npaclint:allow(D3) instrumentation only; values never reach output
+//
+// The rationale is mandatory — a marker without one is itself a finding
+// (rule SUP), so every exception stays visible and reviewed.
+//
+// The scanner is token-level (comments and string/character literals are
+// stripped first), deliberately libclang-free so it builds wherever CI
+// does. That costs AST precision: the rules are written so that the rare
+// false positive is cheap to suppress with a one-line rationale, which is
+// the review discipline we want anyway.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace npac::lint {
+
+struct Finding {
+  std::string file;  ///< display path as given to lint_source
+  int line = 0;      ///< 1-based
+  std::string rule;  ///< "D1", "D2", "D3", "H1", "O1", "SUP"
+  std::string message;
+};
+
+struct FileReport {
+  std::vector<Finding> findings;  ///< unsuppressed, in line order
+  int suppressed = 0;             ///< findings silenced by allow markers
+};
+
+/// All rule ids npaclint knows, in report order.
+const std::vector<std::string>& rule_ids();
+
+/// One-line description of a rule id; empty for unknown ids.
+std::string rule_description(const std::string& rule);
+
+/// Lints one translation unit. `display_path` decides the path-scoped
+/// allowlists (D3, O1) and is echoed into findings; match is on
+/// forward-slash relative paths ("src/obs/metrics.cpp").
+FileReport lint_source(const std::string& display_path,
+                       std::string_view source);
+
+/// Recursively collects the C++ sources under each path (files are taken
+/// as-is). Skips directories named "fixtures", "build*", hidden dirs, and
+/// third_party — fixture files *contain* seeded violations.
+std::vector<std::string> collect_files(const std::vector<std::string>& paths);
+
+}  // namespace npac::lint

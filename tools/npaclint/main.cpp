@@ -1,0 +1,93 @@
+// npaclint CLI: lint the given files/directories and print findings as
+//
+//   path:line: rule(D3): message
+//
+// (clickable in editors and the GitHub Actions log). Exits 1 when any
+// unsuppressed finding remains, 2 on usage errors.
+//
+// Usage:
+//   npaclint [--list-rules] [--quiet] <path>...
+//
+// CI runs `./npaclint src bench tests tools` from the repo root; run the
+// same locally before pushing. Every in-source allow-marker (the rule id
+// in parentheses followed by a mandatory rationale) is deliberate and
+// reviewed — see DESIGN.md decision #13 for the rule catalogue and the
+// suppression policy.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "npaclint/lint.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using npac::lint::rule_description;
+  std::vector<std::string> paths;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : npac::lint::rule_ids()) {
+        std::cout << rule << "  " << rule_description(rule) << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: npaclint [--list-rules] [--quiet] <path>...\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "npaclint: unknown flag '" << arg << "'\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: npaclint [--list-rules] [--quiet] <path>...\n";
+    return 2;
+  }
+
+  const std::vector<std::string> files = npac::lint::collect_files(paths);
+  if (files.empty()) {
+    std::cerr << "npaclint: no C++ sources under the given paths\n";
+    return 2;
+  }
+
+  std::size_t total_findings = 0;
+  std::size_t total_suppressed = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "npaclint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const npac::lint::FileReport report =
+        npac::lint::lint_source(file, buffer.str());
+    total_suppressed += static_cast<std::size_t>(report.suppressed);
+    for (const npac::lint::Finding& finding : report.findings) {
+      ++total_findings;
+      std::cout << finding.file << ":" << finding.line << ": rule("
+                << finding.rule << "): " << finding.message << "\n";
+    }
+  }
+  if (!quiet) {
+    std::cerr << "npaclint: " << total_findings << " finding"
+              << (total_findings == 1 ? "" : "s") << " ("
+              << total_suppressed << " suppressed) over " << files.size()
+              << " files\n";
+  }
+  return total_findings == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }
