@@ -1,0 +1,76 @@
+// Micro-benchmarks: the execution substrate itself — the work-stealing
+// ThreadPool + striped MemoCache against an in-file replica of the old
+// mutex-cursor pool + single-mutex copy-on-hit cache (bench/pool_baseline.hpp),
+// on the two workloads where the substrate is the bottleneck:
+//
+//   contended_cache — tiny tasks that all hit the same 64 cached 16 KiB
+//     payloads: the claim path and the cache lock/copy dominate;
+//   skewed_cost — every 16th task ~80x heavier: even seeded shares drain
+//     unevenly and throughput depends on load balancing (steals vs
+//     fine-grained claims).
+//
+// Runs on the src/sweep bench runner with timed rows: "Row time (s)" is
+// the comparison (stdout only, wall clock), while the CSV holds the
+// deterministic checksums — identical across substrates and for any
+// --threads value, the anchor that both pools computed the same work.
+#include <string>
+#include <vector>
+
+#include "pool_baseline.hpp"
+#include "sweep/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace npac;
+  return sweep::Runner::main(
+      "Micro — executor substrate (work-stealing vs mutex-cursor)", argc,
+      argv, [](sweep::Runner& runner) {
+        // The acceptance configuration: 16 workers oversubscribing the
+        // machine, the worst case for a convoying claim mutex.
+        constexpr int kBenchThreads = 16;
+        const std::int64_t cache_tasks = runner.fast() ? (1 << 14)
+                                                       : (1 << 16);
+        const std::int64_t skew_tasks = runner.fast() ? (1 << 12)
+                                                      : (1 << 14);
+
+        const auto row = [](const char* kernel, const char* substrate,
+                            std::int64_t tasks, std::uint64_t checksum) {
+          return std::vector<std::string>{kernel, substrate,
+                                          core::format_int(kBenchThreads),
+                                          core::format_int(tasks),
+                                          std::to_string(checksum)};
+        };
+
+        std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
+            rows = {
+                [&](std::uint64_t) {
+                  return row(
+                      "contended_cache", "steal+striped", cache_tasks,
+                      bench::striped_contended_run(kBenchThreads, cache_tasks));
+                },
+                [&](std::uint64_t) {
+                  return row(
+                      "contended_cache", "mutex_cursor", cache_tasks,
+                      bench::legacy_contended_run(kBenchThreads, cache_tasks));
+                },
+                [&](std::uint64_t) {
+                  sweep::ThreadPool pool(kBenchThreads);
+                  return row("skewed_cost", "steal+striped", skew_tasks,
+                             bench::skewed_cost_checksum(pool, skew_tasks));
+                },
+                [&](std::uint64_t) {
+                  bench::MutexCursorPool pool(kBenchThreads);
+                  return row("skewed_cost", "mutex_cursor", skew_tasks,
+                             bench::skewed_cost_checksum(pool, skew_tasks));
+                },
+            };
+        runner.run(sweep::rows_grid(
+            {"Kernel", "Substrate", "Threads", "Tasks", "Checksum"},
+            std::move(rows), /*timed=*/true));
+        runner.note(
+            "Checksums are pure in (kernel, n): matching values across the "
+            "two substrates certify both pools executed every task exactly "
+            "once with identical per-task seeds. Row times are wall clock; "
+            "perf_report's pool_steal / pool_mutex_baseline phases track "
+            "the contended_cache pair in CI.");
+      });
+}

@@ -28,6 +28,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "pool_baseline.hpp"
 #include "sweep/runner.hpp"
 
 namespace {
@@ -235,6 +236,21 @@ int run_report(const ReportOptions& options) {
         core::fig5_matmul(/*include_24_midplanes=*/false,
                           /*bfs_steps=*/4, &engine)
             .size());
+  });
+
+  // The executor substrate itself, measured as the same contended-cache
+  // kernel on both pool/cache designs (bench/pool_baseline.hpp). The
+  // committed baseline records the work-stealing pool's >= 2x throughput
+  // edge over the mutex-cursor replica at 16 oversubscribed workers; the
+  // regression gate then keeps pool_steal honest release over release.
+  const std::int64_t pool_tasks = options.fast ? (1 << 14) : (1 << 16);
+  phase("pool_steal", [&] {
+    (void)bench::striped_contended_run(/*threads=*/16, pool_tasks);
+    return pool_tasks;
+  });
+  phase("pool_mutex_baseline", [&] {
+    (void)bench::legacy_contended_run(/*threads=*/16, pool_tasks);
+    return pool_tasks;
   });
 
   context.publish_metrics(registry);

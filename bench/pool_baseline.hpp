@@ -1,0 +1,174 @@
+// The pre-work-stealing execution substrate, preserved as an in-bench
+// replica for A/B measurement: a pool claiming one task at a time off a
+// single mutex-guarded cursor (the old sweep::ThreadPool core) and a
+// single-mutex memo table that copies its value out on every hit (the old
+// MemoCache). bench/micro_pool and bench/perf_report race this pair
+// against the Chase-Lev executor + striped caches on identical workloads;
+// nothing outside bench/ may use it.
+//
+// The shared workload kernels below are pure in (n, task index), so every
+// (pool, cache) combination must produce the same checksum — the
+// correctness anchor that keeps the timing comparison honest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sweep/cache.hpp"
+#include "sweep/pool.hpp"
+
+namespace npac::bench {
+
+/// The old claim loop: every task acquisition takes the one pool mutex,
+/// reads the cursor, advances it, and releases — the serialization point
+/// the work-stealing executor removed. Workers are spawned per run; with
+/// the task counts used here the spawn cost is noise next to the claims.
+class MutexCursorPool {
+ public:
+  explicit MutexCursorPool(int threads)
+      : threads_(sweep::resolved_thread_count(threads)) {}
+
+  int num_threads() const { return threads_; }
+
+  void run_indexed(std::int64_t num_tasks,
+                   const std::function<void(std::int64_t)>& fn) {
+    if (num_tasks <= 0) return;
+    std::mutex mutex;
+    std::int64_t cursor = 0;
+    const auto claim_loop = [&] {
+      while (true) {
+        std::int64_t i;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (cursor >= num_tasks) return;
+          i = cursor++;
+        }
+        fn(i);
+      }
+    };
+    std::vector<std::thread> helpers;
+    helpers.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int t = 1; t < threads_; ++t) helpers.emplace_back(claim_loop);
+    claim_loop();
+    for (std::thread& helper : helpers) helper.join();
+  }
+
+ private:
+  int threads_;
+};
+
+/// The old memo table: one std::map behind one mutex, the value copied out
+/// of the table on every hit (compute still runs outside the lock, as the
+/// old cache did — only the claim and copy costs differ from the striped
+/// shared_ptr design).
+template <typename Key, typename Value>
+class LockedMapCache {
+ public:
+  template <typename Compute>
+  Value get_or_compute(const Key& key, Compute&& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) return it->second;  // copy per hit
+    }
+    Value value = compute();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.emplace(key, std::move(value)).first->second;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<Key, Value> map_;
+};
+
+// --------------------------------------------------------------------------
+// Shared workload kernels
+// --------------------------------------------------------------------------
+
+/// Key space and payload size of the contended-cache kernel: few keys so
+/// every worker hammers the same entries (first pass misses, the rest
+/// hits), payloads heavy enough that a copy-per-hit is visible.
+inline constexpr std::int64_t kCacheBenchKeys = 64;
+inline constexpr std::size_t kCacheBenchWords = 2048;  // 16 KiB per payload
+
+inline std::vector<std::uint64_t> cache_bench_payload(std::int64_t key) {
+  std::vector<std::uint64_t> payload(kCacheBenchWords);
+  for (std::size_t j = 0; j < kCacheBenchWords; ++j) {
+    payload[j] = sweep::task_seed(static_cast<std::uint64_t>(key),
+                                  static_cast<std::int64_t>(j));
+  }
+  return payload;
+}
+
+/// One contended-cache pass: n tiny tasks, each reading one seed-selected
+/// word of one of kCacheBenchKeys cached payloads, written to an
+/// index-addressed slot and reduced in slot order. `lookup(key, word)`
+/// abstracts over the cache design; the checksum may depend on nothing but
+/// (n, task index).
+template <typename Pool, typename Lookup>
+std::uint64_t contended_cache_checksum(Pool& pool, std::int64_t n,
+                                       Lookup&& lookup) {
+  std::vector<std::uint64_t> slots(static_cast<std::size_t>(n));
+  pool.run_indexed(n, [&](std::int64_t i) {
+    const std::int64_t key = i % kCacheBenchKeys;
+    const std::size_t word =
+        static_cast<std::size_t>(sweep::task_seed(5, i) % kCacheBenchWords);
+    slots[static_cast<std::size_t>(i)] = lookup(key, word) ^
+                                         sweep::task_seed(99, i);
+  });
+  std::uint64_t checksum = 0;
+  for (const std::uint64_t slot : slots) {
+    checksum = sweep::task_seed(checksum, static_cast<std::int64_t>(slot));
+  }
+  return checksum;
+}
+
+/// The contended-cache kernel on the current substrate: work-stealing
+/// ThreadPool + striped MemoCache (hits share one immutable payload).
+inline std::uint64_t striped_contended_run(int threads, std::int64_t n) {
+  sweep::ThreadPool pool(threads);
+  sweep::MemoCache<std::int64_t, std::vector<std::uint64_t>> cache;
+  return contended_cache_checksum(
+      pool, n, [&](std::int64_t key, std::size_t word) {
+        return (*cache.get_or_compute(
+            key, [&] { return cache_bench_payload(key); }))[word];
+      });
+}
+
+/// The same kernel on the legacy substrate: mutex-cursor pool +
+/// single-mutex cache copying 16 KiB out per hit.
+inline std::uint64_t legacy_contended_run(int threads, std::int64_t n) {
+  MutexCursorPool pool(threads);
+  LockedMapCache<std::int64_t, std::vector<std::uint64_t>> cache;
+  return contended_cache_checksum(
+      pool, n, [&](std::int64_t key, std::size_t word) {
+        return cache.get_or_compute(
+            key, [&] { return cache_bench_payload(key); })[word];
+      });
+}
+
+/// One skewed-cost pass: every 16th task spins ~80x longer, so even seeded
+/// shares drain at very different rates and only load balancing (steals on
+/// the new pool, fine-grained claims on the old one) keeps workers busy.
+/// Pure in (n, task index) — the checksum is pool-independent.
+template <typename Pool>
+std::uint64_t skewed_cost_checksum(Pool& pool, std::int64_t n) {
+  std::vector<std::uint64_t> slots(static_cast<std::size_t>(n));
+  pool.run_indexed(n, [&](std::int64_t i) {
+    const std::int64_t spins = (i % 16 == 0) ? 4000 : 50;
+    std::uint64_t h = sweep::task_seed(7, i);
+    for (std::int64_t k = 0; k < spins; ++k) h = sweep::task_seed(h, k);
+    slots[static_cast<std::size_t>(i)] = h;
+  });
+  std::uint64_t checksum = 0;
+  for (const std::uint64_t slot : slots) {
+    checksum = sweep::task_seed(checksum, static_cast<std::int64_t>(slot));
+  }
+  return checksum;
+}
+
+}  // namespace npac::bench

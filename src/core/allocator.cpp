@@ -11,9 +11,10 @@ namespace npac::core {
 // PartitionOracle
 // ---------------------------------------------------------------------------
 
-std::vector<bgq::Geometry> PartitionOracle::geometries(
+std::shared_ptr<const std::vector<bgq::Geometry>> PartitionOracle::geometries(
     const bgq::Machine& machine, std::int64_t midplanes) const {
-  return bgq::enumerate_geometries(machine, midplanes);
+  return std::make_shared<const std::vector<bgq::Geometry>>(
+      bgq::enumerate_geometries(machine, midplanes));
 }
 
 TopologyBisection PartitionOracle::bisection(
@@ -175,9 +176,9 @@ std::int64_t CuboidAllocator::total_units() const {
 const std::vector<bgq::Geometry>& CuboidAllocator::geometries_for(
     std::int64_t size) const {
   const auto it = enumerations_.find(size);
-  if (it != enumerations_.end()) return it->second;
-  return enumerations_.emplace(size, oracle_->geometries(machine(), size))
-      .first->second;
+  if (it != enumerations_.end()) return *it->second;
+  return *enumerations_.emplace(size, oracle_->geometries(machine(), size))
+              .first->second;
 }
 
 std::vector<double> CuboidAllocator::candidate_qualities(

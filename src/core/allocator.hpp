@@ -58,9 +58,11 @@ class PartitionOracle {
   /// Distinct geometries of exactly `midplanes` midplanes fitting
   /// `machine`, sorted best bisection first — the contract of
   /// bgq::enumerate_geometries, which the base class delegates to. The
-  /// torus family's layout classes.
-  virtual std::vector<bgq::Geometry> geometries(const bgq::Machine& machine,
-                                                std::int64_t midplanes) const;
+  /// torus family's layout classes. Returned by shared_ptr so memoizing
+  /// overrides hand out a reference to the one cached enumeration instead
+  /// of copying it per placement decision; never null, immutable.
+  virtual std::shared_ptr<const std::vector<bgq::Geometry>> geometries(
+      const bgq::Machine& machine, std::int64_t midplanes) const;
 
   /// core::topology_bisection of a (sub-)network descriptor — how the
   /// non-torus families score a candidate layout. Memoizing overrides key
@@ -216,8 +218,11 @@ class CuboidAllocator final : public PartitionAllocator {
   const PartitionOracle* oracle_;
   MidplaneGrid grid_;
   /// Per-size enumeration memo: pure in (machine shape, size), so caching
-  /// inside the allocator never changes a schedule, only its cost.
-  mutable std::map<std::int64_t, std::vector<bgq::Geometry>> enumerations_;
+  /// inside the allocator never changes a schedule, only its cost. Holds
+  /// the oracle's shared_ptr, so a memoized oracle costs one refcount per
+  /// distinct size here, not a vector copy.
+  mutable std::map<std::int64_t, std::shared_ptr<const std::vector<bgq::Geometry>>>
+      enumerations_;
 };
 
 /// Dragonfly family: allocation units are chassis (columns of K_a routers).

@@ -16,9 +16,10 @@ namespace npac::core {
 // Engine
 // ---------------------------------------------------------------------------
 
-std::vector<std::int64_t> ExperimentEngine::feasible_sizes(
+std::shared_ptr<const std::vector<std::int64_t>> ExperimentEngine::feasible_sizes(
     const bgq::Machine& machine) {
-  return bgq::feasible_sizes(machine);
+  return std::make_shared<const std::vector<std::int64_t>>(
+      bgq::feasible_sizes(machine));
 }
 
 std::optional<bgq::Geometry> ExperimentEngine::best_geometry(
@@ -162,10 +163,10 @@ std::vector<BestWorstRow> best_worst_rows(const bgq::Machine& machine,
                                           ExperimentEngine* engine) {
   ExperimentEngine& e = resolve(engine);
   const auto sizes = e.feasible_sizes(machine);
-  std::vector<BestWorstRow> rows(sizes.size());
+  std::vector<BestWorstRow> rows(sizes->size());
   e.parallel_for(
-      static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
-        const std::int64_t size = sizes[static_cast<std::size_t>(i)];
+      static_cast<std::int64_t>(sizes->size()), [&](std::int64_t i) {
+        const std::int64_t size = (*sizes)[static_cast<std::size_t>(i)];
         BestWorstRow row;
         row.midplanes = size;
         row.nodes = size * bgq::kNodesPerMidplane;
@@ -215,7 +216,7 @@ std::vector<MachineDesignRow> table5_rows(ExperimentEngine* engine) {
     std::vector<std::int64_t> all;
     for (const bgq::Machine& m : {jq, j54, j48}) {
       const auto feasible = e.feasible_sizes(m);
-      all.insert(all.end(), feasible.begin(), feasible.end());
+      all.insert(all.end(), feasible->begin(), feasible->end());
     }
     std::sort(all.begin(), all.end());
     all.erase(std::unique(all.begin(), all.end()), all.end());

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -38,8 +39,11 @@ class ExperimentEngine {
  public:
   virtual ~ExperimentEngine() = default;
 
-  /// bgq::feasible_sizes.
-  virtual std::vector<std::int64_t> feasible_sizes(const bgq::Machine& machine);
+  /// bgq::feasible_sizes. Returned by shared_ptr so the memoizing engine
+  /// hands out a reference to its one cached list (the tables iterate this
+  /// per machine, per replication); never null, immutable.
+  virtual std::shared_ptr<const std::vector<std::int64_t>> feasible_sizes(
+      const bgq::Machine& machine);
   /// bgq::best_geometry.
   virtual std::optional<bgq::Geometry> best_geometry(const bgq::Machine& machine,
                                                      std::int64_t midplanes);

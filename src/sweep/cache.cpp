@@ -7,15 +7,16 @@ namespace npac::sweep {
 
 iso::BoundResult SweepContext::torus_bound(const topo::Dims& dims,
                                            std::int64_t t) {
-  return bounds_.get_or_compute(std::make_pair(iso::sorted_desc(dims), t),
-                                [&] {
-                                  return iso::torus_isoperimetric_lower_bound(
-                                      dims, t);
-                                });
+  return *bounds_.get_or_compute(std::make_pair(iso::sorted_desc(dims), t),
+                                 [&] {
+                                   return iso::torus_isoperimetric_lower_bound(
+                                       dims, t);
+                                 });
 }
 
-std::vector<bgq::Geometry> SweepContext::enumerate_geometries(
-    const bgq::Machine& machine, std::int64_t midplanes) {
+std::shared_ptr<const std::vector<bgq::Geometry>>
+SweepContext::enumerate_geometries(const bgq::Machine& machine,
+                                   std::int64_t midplanes) {
   return geometries_.get_or_compute(
       std::make_pair(machine.shape, midplanes),
       [&] { return bgq::enumerate_geometries(machine, midplanes); });
@@ -24,15 +25,15 @@ std::vector<bgq::Geometry> SweepContext::enumerate_geometries(
 std::optional<bgq::Geometry> SweepContext::best_geometry(
     const bgq::Machine& machine, std::int64_t midplanes) {
   const auto all = enumerate_geometries(machine, midplanes);
-  if (all.empty()) return std::nullopt;
-  return all.front();
+  if (all->empty()) return std::nullopt;
+  return all->front();
 }
 
 std::optional<bgq::Geometry> SweepContext::worst_geometry(
     const bgq::Machine& machine, std::int64_t midplanes) {
   const auto all = enumerate_geometries(machine, midplanes);
-  if (all.empty()) return std::nullopt;
-  return all.back();
+  if (all->empty()) return std::nullopt;
+  return all->back();
 }
 
 std::optional<bgq::Geometry> SweepContext::propose_improvement(
@@ -53,11 +54,11 @@ simnet::PingPongResult SweepContext::pingpong(
   key.link_bytes_per_second = options.link_bytes_per_second;
   key.tie_break = static_cast<int>(options.tie_break);
   key.injection_bytes_per_second = options.injection_bytes_per_second;
-  return routing_.get_or_compute(
+  return *routing_.get_or_compute(
       key, [&] { return simnet::run_pingpong(geometry, config, options); });
 }
 
-std::vector<std::int64_t> SweepContext::feasible_sizes(
+std::shared_ptr<const std::vector<std::int64_t>> SweepContext::feasible_sizes(
     const bgq::Machine& machine) {
   return feasible_.get_or_compute(
       machine.shape, [&] { return bgq::feasible_sizes(machine); });
@@ -73,7 +74,7 @@ core::PairingComparison SweepContext::pairing(
   key.warmup_rounds = config.warmup_rounds;
   key.bytes_per_round = config.bytes_per_round;
   key.chunks_per_round = config.chunks_per_round;
-  return pairings_.get_or_compute(key, [&] {
+  return *pairings_.get_or_compute(key, [&] {
     // Both runs go through the per-geometry routing cache, so a geometry
     // shared by several pairs (or by a routing sweep) is still routed once.
     return core::make_pairing(baseline, proposed,
@@ -89,34 +90,54 @@ double SweepContext::caps_comm_seconds(const bgq::Geometry& geometry,
   key.n = params.n;
   key.ranks = params.ranks;
   key.bfs_steps = params.bfs_steps;
-  return caps_.get_or_compute(
+  return *caps_.get_or_compute(
       key, [&] { return core::caps_comm_seconds(geometry, params); });
 }
 
 core::TopologyBisection SweepContext::topology_bisection(
     const topo::TopologySpec& spec) {
-  return topologies_.get_or_compute(
+  return *topologies_.get_or_compute(
       spec.id(), [&] { return core::topology_bisection(spec); });
 }
 
 double SweepContext::topology_pairing_seconds(const topo::TopologySpec& spec,
                                               double bytes_per_pair) {
-  return topology_routing_.get_or_compute(
+  return *topology_routing_.get_or_compute(
       std::make_pair(spec.id(), bytes_per_pair),
       [&] { return core::topology_pairing_seconds(spec, bytes_per_pair); });
 }
 
+namespace {
+
+template <typename Key, typename Value>
+SweepContext::NamedStats named_stats(const char* name,
+                                     const MemoCache<Key, Value>& cache) {
+  SweepContext::NamedStats out;
+  out.name = name;
+  // One pass over the per-shard counters, so (stats, entries,
+  // shard_entries) are one consistent snapshot.
+  const auto shards = cache.shard_stats();
+  for (std::size_t i = 0; i < kCacheShards; ++i) {
+    out.stats.hits += shards[i].stats.hits;
+    out.stats.misses += shards[i].stats.misses;
+    out.entries += shards[i].entries;
+    out.shard_entries[i] = shards[i].entries;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<SweepContext::NamedStats> SweepContext::all_stats() const {
   return {
-      {"geometries", geometries_.stats(), geometries_.size()},
-      {"bounds", bounds_.stats(), bounds_.size()},
-      {"routing", routing_.stats(), routing_.size()},
-      {"feasible", feasible_.stats(), feasible_.size()},
-      {"pairings", pairings_.stats(), pairings_.size()},
-      {"caps", caps_.stats(), caps_.size()},
-      {"topologies", topologies_.stats(), topologies_.size()},
-      {"topology_routing", topology_routing_.stats(),
-       topology_routing_.size()},
+      named_stats("geometries", geometries_),
+      named_stats("bounds", bounds_),
+      named_stats("routing", routing_),
+      named_stats("feasible", feasible_),
+      named_stats("pairings", pairings_),
+      named_stats("caps", caps_),
+      named_stats("topologies", topologies_),
+      named_stats("topology_routing", topology_routing_),
   };
 }
 
@@ -129,6 +150,14 @@ void SweepContext::publish_metrics(obs::Registry& registry) const {
         .set(static_cast<double>(cache.stats.misses));
     registry.gauge(prefix + ".entries")
         .set(static_cast<double>(cache.entries));
+    // Per-shard occupancy, occupied shards only: enough to see balance
+    // (and spot a degenerate key hash) without 16 zero gauges per idle
+    // cache drowning the snapshot.
+    for (std::size_t shard = 0; shard < kCacheShards; ++shard) {
+      if (cache.shard_entries[shard] == 0) continue;
+      registry.gauge(prefix + ".shard" + std::to_string(shard) + ".entries")
+          .set(static_cast<double>(cache.shard_entries[shard]));
+    }
   }
 }
 

@@ -1,12 +1,12 @@
 #include "sweep/pool.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
-#include "support/hot.hpp"
 
 namespace npac::sweep {
 
@@ -30,6 +30,66 @@ int resolved_thread_count(int threads) {
   return count;
 }
 
+// ---------------------------------------------------------------------------
+// StealDeque — bounded Chase-Lev, seq_cst handshake instead of fences.
+//
+// The owner's pop publishes its claimed bottom before reading top; a thief
+// reads top before bottom. With both sides seq_cst, at most one of them can
+// believe it took the last entry, and the top CAS arbitrates the tie. Slot
+// reads are relaxed atomics: a thief's read can be stale only if the slot
+// was recycled, which implies top moved past its snapshot, which makes its
+// CAS fail and the stale value is discarded.
+// ---------------------------------------------------------------------------
+
+bool StealDeque::push(std::int64_t chunk) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+  slots_[static_cast<std::size_t>(b) & kMask].store(chunk,
+                                                    std::memory_order_relaxed);
+  bottom_.store(b + 1, std::memory_order_release);
+  return true;
+}
+
+NPAC_HOT std::int64_t StealDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {
+    // Already drained; restore bottom.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return kEmpty;
+  }
+  std::int64_t chunk =
+      slots_[static_cast<std::size_t>(b) & kMask].load(std::memory_order_relaxed);
+  if (t == b) {
+    // Last entry: race the thieves for it via the top CAS.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      chunk = kEmpty;  // a thief got there first
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return chunk;
+}
+
+NPAC_HOT std::int64_t StealDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return kEmpty;
+  const std::int64_t chunk =
+      slots_[static_cast<std::size_t>(t) & kMask].load(std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return kContended;
+  }
+  return chunk;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
 namespace {
 
 // The pool's clock reads are all npaclint:allow(D3)-suppressed: they feed
@@ -49,10 +109,15 @@ std::string worker_metric(int worker_index, const char* suffix) {
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
-  const int count = resolved_thread_count(threads);
-  workers_.reserve(static_cast<std::size_t>(count - 1));
+  worker_count_ = resolved_thread_count(threads);
+  static_assert(ThreadPool::kStealSlicesPerWorker <
+                    static_cast<std::int64_t>(StealDeque::kCapacity),
+                "a worker's seeded share must fit its deque");
+  states_ = std::make_unique<WorkerState[]>(
+      static_cast<std::size_t>(worker_count_));
+  workers_.reserve(static_cast<std::size_t>(worker_count_ - 1));
   // The calling thread is worker #0; spawn the rest.
-  for (int i = 1; i < count; ++i) {
+  for (int i = 1; i < worker_count_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
@@ -66,8 +131,65 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::work_through_run(int worker_index) {
-  // Instruments are resolved once per run, not per task; with no registry
+std::pair<std::int64_t, std::int64_t> ThreadPool::chunk_range(
+    std::int64_t chunk) const {
+  // Balanced split of [0, num_tasks_) into num_chunks_ contiguous pieces:
+  // the first (num_tasks_ % num_chunks_) chunks carry one extra index.
+  const std::int64_t base = num_tasks_ / num_chunks_;
+  const std::int64_t extra = num_tasks_ % num_chunks_;
+  const std::int64_t begin = chunk * base + std::min(chunk, extra);
+  const std::int64_t end = begin + base + (chunk < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::record_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+  // Fail fast: every worker checks failed_ before starting a task, so
+  // chunks and tasks not yet started are discarded (their counts drain
+  // through remaining_) while already-running tasks finish.
+  failed_.store(true, std::memory_order_release);
+}
+
+void ThreadPool::run_chunk(std::int64_t chunk,
+                           const std::function<void(std::int64_t)>& fn) {
+  const auto [begin, end] = chunk_range(chunk);
+  for (std::int64_t i = begin; i < end; ++i) {
+    if (failed_.load(std::memory_order_acquire)) {
+      // Discard the unstarted tail of this chunk; remaining_ still drains
+      // so the run terminates with every task accounted for.
+      remaining_.fetch_sub(end - i, std::memory_order_release);
+      return;
+    }
+    try {
+      fn(i);
+    } catch (...) {
+      record_error();
+    }
+    remaining_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+std::int64_t ThreadPool::try_steal(int worker_index, std::uint64_t& steals,
+                                   std::uint64_t& steal_fails) {
+  // Deterministic round-robin victim order starting after this worker.
+  // Steal order affects only timing, never output (index-addressed slots),
+  // so there is no need to randomize it.
+  for (int offset = 1; offset < worker_count_; ++offset) {
+    const int victim = (worker_index + offset) % worker_count_;
+    const std::int64_t chunk = states_[victim].deque.steal();
+    if (chunk >= 0) {
+      ++steals;
+      return chunk;
+    }
+    if (chunk == StealDeque::kContended) ++steal_fails;
+  }
+  return StealDeque::kEmpty;
+}
+
+void ThreadPool::work_through_run(
+    int worker_index, const std::function<void(std::int64_t)>& fn) {
+  // Instruments are resolved once per run, not per chunk; with no registry
   // installed the whole block below reduces to null checks.
   obs::Registry* const registry = obs::Registry::current();
   obs::Histogram* queue_wait =
@@ -77,52 +199,60 @@ void ThreadPool::work_through_run(int worker_index) {
                                  obs::duration_bounds_us());
   std::uint64_t tasks_executed = 0;
   std::uint64_t busy_ns = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_fails = 0;
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (fn_ != nullptr && next_task_ < num_tasks_ && !first_error_) {
-    const std::int64_t index = next_task_++;
-    ++in_flight_;
-    const auto* fn = fn_;
-    const auto run_start = run_start_;
-    lock.unlock();
-    std::chrono::steady_clock::time_point task_start;
-    if (registry != nullptr) {
-      // npaclint:allow(D3) queue-wait metric only; never feeds output
-      task_start = std::chrono::steady_clock::now();
-      queue_wait->observe(
-          static_cast<double>(elapsed_ns(run_start, task_start)) / 1000.0);
+  int idle_spins = 0;
+  while (true) {
+    std::int64_t chunk = states_[worker_index].deque.pop();
+    if (chunk < 0) chunk = try_steal(worker_index, steals, steal_fails);
+    if (chunk >= 0) {
+      idle_spins = 0;
+      std::chrono::steady_clock::time_point chunk_start;
+      if (registry != nullptr) {
+        // npaclint:allow(D3) queue-wait metric only; never feeds output
+        chunk_start = std::chrono::steady_clock::now();
+        queue_wait->observe(
+            static_cast<double>(elapsed_ns(run_start_, chunk_start)) / 1000.0);
+      }
+      run_chunk(chunk, fn);
+      if (registry != nullptr) {
+        // npaclint:allow(D3) worker busy_ns metric only; never feeds output
+        busy_ns += elapsed_ns(chunk_start, std::chrono::steady_clock::now());
+        const auto [begin, end] = chunk_range(chunk);
+        tasks_executed += static_cast<std::uint64_t>(end - begin);
+      }
+      continue;
     }
-    std::exception_ptr error;
-    try {
-      (*fn)(index);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    if (registry != nullptr) {
-      // npaclint:allow(D3) worker busy_ns metric only; never feeds output
-      busy_ns += elapsed_ns(task_start, std::chrono::steady_clock::now());
-      ++tasks_executed;
-    }
-    lock.lock();
-    --in_flight_;
-    if (error && !first_error_) {
-      first_error_ = error;
-      // Fail fast: advance the cursor past the end so no worker claims the
-      // unstarted tasks; run_indexed rethrows once in-flight tasks drain.
-      next_task_ = num_tasks_;
+    // Nothing poppable or stealable. The run is over once every task has
+    // executed or been discarded; until then another worker may still be
+    // mid-chunk, so back off briefly and rescan (its deque stays stealable
+    // and remaining_ is the termination signal).
+    if (remaining_.load(std::memory_order_acquire) == 0) break;
+    if (++idle_spins < 32) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
-  if (registry != nullptr && tasks_executed > 0) {
-    registry->counter(worker_metric(worker_index, ".tasks"))
-        .add(tasks_executed);
-    registry->counter(worker_metric(worker_index, ".busy_ns")).add(busy_ns);
-    registry->counter("pool.tasks").add(tasks_executed);
-    registry->counter("pool.busy_ns").add(busy_ns);
+
+  if (registry != nullptr && (tasks_executed > 0 || steals > 0)) {
+    if (tasks_executed > 0) {
+      registry->counter(worker_metric(worker_index, ".tasks"))
+          .add(tasks_executed);
+      registry->counter(worker_metric(worker_index, ".busy_ns")).add(busy_ns);
+      registry->counter("pool.tasks").add(tasks_executed);
+      registry->counter("pool.busy_ns").add(busy_ns);
+    }
+    if (steals > 0) registry->counter("pool.steals").add(steals);
+    if (steal_fails > 0) {
+      registry->counter("pool.steal_fails").add(steal_fails);
+    }
   }
-  if (next_task_ >= num_tasks_ && in_flight_ == 0) run_done_.notify_all();
 }
 
 void ThreadPool::worker_loop(int worker_index) {
+  std::uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     // Idle time is the wait between runs; recorded per wake-up so the
@@ -132,7 +262,7 @@ void ThreadPool::worker_loop(int worker_index) {
     // npaclint:allow(D3) worker idle_ns metric only; never feeds output
     if (registry != nullptr) idle_start = std::chrono::steady_clock::now();
     work_ready_.wait(lock, [&] {
-      return stopping_ || (fn_ != nullptr && next_task_ < num_tasks_);
+      return stopping_ || generation_ != seen_generation;
     });
     if (registry != nullptr) {
       registry->counter(worker_metric(worker_index, ".idle_ns"))
@@ -140,9 +270,17 @@ void ThreadPool::worker_loop(int worker_index) {
           .add(elapsed_ns(idle_start, std::chrono::steady_clock::now()));
     }
     if (stopping_) return;
+    seen_generation = generation_;
+    // fn_ is read under the mutex: it may already be null if the run this
+    // generation announced finished before this worker woke up — then
+    // there is nothing left to claim and joining would dangle.
+    const std::function<void(std::int64_t)>* const fn = fn_;
+    if (fn == nullptr) continue;
+    ++workers_in_run_;
     lock.unlock();
-    work_through_run(worker_index);
+    work_through_run(worker_index, *fn);
     lock.lock();
+    if (--workers_in_run_ == 0) quiescent_.notify_all();
   }
 }
 
@@ -151,21 +289,45 @@ void ThreadPool::run_indexed(std::int64_t num_tasks,
   if (num_tasks <= 0) return;
   obs::Registry* const registry = obs::Registry::current();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (fn_ != nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) {
       throw std::logic_error(
           "ThreadPool::run_indexed: pool is already mid-run (not reentrant)");
     }
+    // Workers from the previous run may still be scanning deques for a
+    // final empty pop/steal; seeding must wait until they are all back
+    // asleep so the foreign pushes below race with nothing.
+    quiescent_.wait(lock, [&] { return workers_in_run_ == 0; });
+    running_ = true;
     fn_ = &fn;
     num_tasks_ = num_tasks;
-    next_task_ = 0;
-    in_flight_ = 0;
+    num_chunks_ = std::min<std::int64_t>(
+        num_tasks, static_cast<std::int64_t>(worker_count_) *
+                       kStealSlicesPerWorker);
     first_error_ = nullptr;
+    failed_.store(false, std::memory_order_relaxed);
+    remaining_.store(num_tasks, std::memory_order_relaxed);
     // Unconditional: a registry installed mid-run must never observe an
     // epoch-default run start.
     // npaclint:allow(D3) queue-wait origin metric only; never feeds output
     run_start_ = std::chrono::steady_clock::now();
+    // Seed each worker's deque with its contiguous share of the chunk ids,
+    // highest id first, so the owner's LIFO pops walk its range in
+    // ascending index order while thieves steal the farthest-away chunks.
+    for (int worker = 0; worker < worker_count_; ++worker) {
+      const std::int64_t lo =
+          worker * (num_chunks_ / worker_count_) +
+          std::min<std::int64_t>(worker, num_chunks_ % worker_count_);
+      const std::int64_t hi = lo + num_chunks_ / worker_count_ +
+                              (worker < num_chunks_ % worker_count_ ? 1 : 0);
+      for (std::int64_t chunk = hi - 1; chunk >= lo; --chunk) {
+        states_[worker].deque.push(chunk);
+      }
+    }
+    ++generation_;
   }
+  work_ready_.notify_all();
+
   std::optional<obs::ScopedTimer> span;
   if (obs::tracing_enabled()) {
     span.emplace("pool.run_indexed n=" + std::to_string(num_tasks), "pool");
@@ -174,15 +336,26 @@ void ThreadPool::run_indexed(std::int64_t num_tasks,
     registry->counter("pool.runs").add(1);
     registry->gauge("pool.workers").set(static_cast<double>(num_threads()));
   }
-  work_ready_.notify_all();
-  work_through_run(/*worker_index=*/0);
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  run_done_.wait(lock,
-                 [&] { return next_task_ >= num_tasks_ && in_flight_ == 0; });
-  fn_ = nullptr;
-  std::exception_ptr error = std::exchange(first_error_, nullptr);
-  lock.unlock();
+  // The calling thread is worker #0; work_through_run returns only when
+  // remaining_ hit zero, i.e. every task has executed or been discarded,
+  // so results (and the first error) are visible here via the acquire
+  // load paired with the workers' release decrements.
+  work_through_run(/*worker_index=*/0, fn);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for every spawned worker to leave work_through_run before the
+    // run is declared over: their end-of-run counter flushes (pool.tasks,
+    // pool.steals, per-worker tallies) must be visible to whoever reads
+    // the registry after run_indexed returns. (Workers cannot block here:
+    // remaining_ is already zero, so each one exits its scan promptly.)
+    quiescent_.wait(lock, [&] { return workers_in_run_ == 0; });
+    running_ = false;
+    fn_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
+  }
   if (error) std::rethrow_exception(error);
 }
 

@@ -63,7 +63,7 @@ class SweepEngine final : public core::ExperimentEngine {
   SweepEngine(SweepContext& context, ThreadPool& pool)
       : context_(&context), pool_(&pool), oracle_(&context) {}
 
-  std::vector<std::int64_t> feasible_sizes(
+  std::shared_ptr<const std::vector<std::int64_t>> feasible_sizes(
       const bgq::Machine& machine) override {
     return context_->feasible_sizes(machine);
   }

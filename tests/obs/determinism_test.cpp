@@ -67,5 +67,25 @@ TEST(ObsDeterminismTest, MetricsOnlyRegistryAlsoLeavesBytesUntouched) {
   EXPECT_GT(registry.counter_value("pool.tasks"), 0u);
 }
 
+TEST(ObsDeterminismTest, CsvBytesIdenticalAt1_2_7_16Threads) {
+  // The work-stealing executor's acceptance pin: the same grid, fully
+  // instrumented, at worker counts chosen to produce maximally different
+  // steal schedules — 1 (no stealing at all), 2, 7 (does not divide the
+  // row count, so the seeded shares are uneven), and 16 (more workers
+  // than some grids have rows). Every CSV byte must match the serial run;
+  // the steal schedule may only ever change timing.
+  ASSERT_EQ(obs::Registry::current(), nullptr);
+  const std::string reference = sched_topologies_csv(1);
+  for (const int threads : {2, 7, 16}) {
+    obs::Registry::Options options;
+    options.tracing = true;
+    obs::Registry registry(options);
+    EXPECT_EQ(instrumented_csv(threads, registry), reference)
+        << "threads=" << threads;
+    EXPECT_GT(registry.counter_value("pool.tasks"), 0u)
+        << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace npac::sweep

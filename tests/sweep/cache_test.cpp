@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "bgq/bisection.hpp"
 #include "bgq/machine.hpp"
@@ -16,9 +18,9 @@ namespace {
 
 TEST(MemoCacheTest, CountsHitsAndMisses) {
   MemoCache<int, int> cache;
-  EXPECT_EQ(cache.get_or_compute(1, [] { return 10; }), 10);
-  EXPECT_EQ(cache.get_or_compute(1, [] { return 99; }), 10);  // cached value
-  EXPECT_EQ(cache.get_or_compute(2, [] { return 20; }), 20);
+  EXPECT_EQ(*cache.get_or_compute(1, [] { return 10; }), 10);
+  EXPECT_EQ(*cache.get_or_compute(1, [] { return 99; }), 10);  // cached value
+  EXPECT_EQ(*cache.get_or_compute(2, [] { return 20; }), 20);
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 2u);
@@ -27,6 +29,55 @@ TEST(MemoCacheTest, CountsHitsAndMisses) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(MemoCacheTest, HitsShareOneObjectInsteadOfCopying) {
+  MemoCache<int, std::vector<int>> cache;
+  const auto first =
+      cache.get_or_compute(7, [] { return std::vector<int>{1, 2, 3}; });
+  const auto second =
+      cache.get_or_compute(7, [] { return std::vector<int>{9, 9, 9}; });
+  // A hit hands back the same immutable object, not a copy of it.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*second, (std::vector<int>{1, 2, 3}));
+  // The returned reference outlives clear(): values are shared, not owned
+  // by the table alone.
+  cache.clear();
+  EXPECT_EQ(*first, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MemoCacheTest, ShardStatsConserveAggregates) {
+  MemoCache<int, int> cache;
+  // Enough distinct keys that several shards are populated, plus repeats
+  // so hits land too.
+  for (int round = 0; round < 3; ++round) {
+    for (int key = 0; key < 100; ++key) {
+      EXPECT_EQ(*cache.get_or_compute(key, [&] { return key * key; }),
+                key * key);
+    }
+  }
+  const auto shards = cache.shard_stats();
+  CacheStats summed;
+  std::size_t entries = 0;
+  std::size_t occupied = 0;
+  for (const auto& shard : shards) {
+    summed.hits += shard.stats.hits;
+    summed.misses += shard.stats.misses;
+    entries += shard.entries;
+    if (shard.entries > 0) ++occupied;
+  }
+  // Conservation: every lookup and every entry is counted on exactly one
+  // shard, so the per-shard counters reproduce the aggregates exactly.
+  const CacheStats total = cache.stats();
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(summed.misses, total.misses);
+  EXPECT_EQ(summed.hits, 200u);
+  EXPECT_EQ(summed.misses, 100u);
+  EXPECT_EQ(entries, cache.size());
+  EXPECT_EQ(entries, 100u);
+  // The splitmix shard hash must actually spread 100 integer keys; a
+  // degenerate hash would put them all on one shard.
+  EXPECT_GT(occupied, kCacheShards / 2);
 }
 
 TEST(SweepContextTest, BoundMatchesDirectComputation) {
@@ -54,7 +105,7 @@ TEST(SweepContextTest, EnumerationMatchesDirectAndCaches) {
   SweepContext context;
   const bgq::Machine machine = bgq::mira();
   for (const std::int64_t size : {4, 8, 16, 24}) {
-    EXPECT_EQ(context.enumerate_geometries(machine, size),
+    EXPECT_EQ(*context.enumerate_geometries(machine, size),
               bgq::enumerate_geometries(machine, size))
         << "size " << size;
   }
@@ -119,8 +170,8 @@ TEST(CachedPartitionOracleTest, MatchesDefaultOracle) {
   const core::PartitionOracle& plain = core::default_partition_oracle();
   const bgq::Machine machine = bgq::mira();
   for (const std::int64_t size : {1, 2, 4, 8, 16}) {
-    EXPECT_EQ(cached.geometries(machine, size),
-              plain.geometries(machine, size));
+    EXPECT_EQ(*cached.geometries(machine, size),
+              *plain.geometries(machine, size));
   }
   EXPECT_GT(context.geometry_stats().lookups(), 0u);
 
@@ -136,11 +187,13 @@ TEST(SweepContextTest, ConcurrentLookupsAgree) {
   SweepContext context;
   const bgq::Machine machine = bgq::mira();
   ThreadPool pool(4);
-  const auto results = parallel_map<std::vector<bgq::Geometry>>(
-      pool, 64,
-      [&](std::int64_t) { return context.enumerate_geometries(machine, 8); });
+  const auto results =
+      parallel_map<std::shared_ptr<const std::vector<bgq::Geometry>>>(
+          pool, 64, [&](std::int64_t) {
+            return context.enumerate_geometries(machine, 8);
+          });
   const auto expected = bgq::enumerate_geometries(machine, 8);
-  for (const auto& result : results) EXPECT_EQ(result, expected);
+  for (const auto& result : results) EXPECT_EQ(*result, expected);
   // All 64 lookups share one key; duplicated misses are allowed (computed
   // outside the lock) but the table holds exactly one entry.
   const CacheStats stats = context.geometry_stats();

@@ -146,6 +146,65 @@ TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
   }
 }
 
+TEST(ThreadPoolTest, HugeRunsUseBoundedChunks) {
+  // A run far larger than the deques' capacity must still execute every
+  // index exactly once: the executor splits [0, n) into at most
+  // workers * kStealSlicesPerWorker contiguous chunks, so the per-worker
+  // queues stay bounded no matter how large n grows.
+  ThreadPool pool(4);
+  constexpr std::int64_t kTasks = 100000;
+  ASSERT_GT(kTasks, static_cast<std::int64_t>(4 * ThreadPool::kStealSlicesPerWorker) *
+                        static_cast<std::int64_t>(StealDeque::kCapacity));
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.run_indexed(kTasks, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonDividingCountsCoverEveryIndex) {
+  // Prime task count, worker counts that divide neither the task count nor
+  // the chunk count: the balanced chunk_range split must not drop or
+  // duplicate the remainder indices.
+  for (const int threads : {2, 3, 7}) {
+    ThreadPool pool(threads);
+    constexpr std::int64_t kTasks = 1009;
+    std::vector<std::atomic<int>> counts(kTasks);
+    pool.run_indexed(kTasks, [&](std::int64_t i) {
+      counts[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+          << "task " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, StealHappensAndIsCounted) {
+  // Deterministically force a steal: with 3 tasks on 2 workers, worker #0
+  // is seeded chunks {0, 1} and worker #1 chunk {2}. Task 0 blocks worker
+  // #0 until task 1 completes — and task 1 sits in worker #0's own deque,
+  // so the only way the run can finish is worker #1 stealing it. The
+  // pool.steals counter must record that.
+  obs::Registry registry;
+  obs::ScopedRegistry scoped(registry);
+  ThreadPool pool(2);
+  std::atomic<bool> task1_done{false};
+  pool.run_indexed(3, [&](std::int64_t i) {
+    if (i == 0) {
+      while (!task1_done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    } else if (i == 1) {
+      task1_done.store(true, std::memory_order_release);
+    }
+  });
+  EXPECT_GE(registry.counter_value("pool.steals"), 1u);
+  EXPECT_EQ(registry.counter_value("pool.tasks"), 3u);
+}
+
 TEST(ThreadPoolTest, CountsTasksWhenARegistryIsInstalled) {
   obs::Registry registry;
   obs::ScopedRegistry scoped(registry);
