@@ -6,9 +6,11 @@
 // CSV artifact) with its deterministic max-load / completion result as the
 // correctness anchor — so --csv output is byte-identical for any --threads
 // value.
+#include "simnet/graph_network.hpp"
 #include "simnet/pingpong.hpp"
 #include "simnet/traffic.hpp"
 #include "sweep/runner.hpp"
+#include "topo/descriptor.hpp"
 
 int main(int argc, char** argv) {
   using namespace npac;
@@ -37,6 +39,35 @@ int main(int argc, char** argv) {
               sweep::format_exact(max_load)};
         };
 
+        // A/B rows: the same torus workload through the specialized
+        // TorusNetwork path and through the generic GraphNetwork CSR
+        // routing path (BFS + counting-sort levels + advancing-arc
+        // overlay). The timed table compares the two backends' throughput;
+        // the exact-formatted max loads anchor both against drift — on a
+        // torus under kSplit they agree to routing equivalence (pinned at
+        // 1e-9 in tests/simnet/graph_network_test.cpp).
+        const auto ab_row = [](const char* kernel, bool use_graph,
+                               std::vector<std::int64_t> dims,
+                               bool all_to_all) {
+          const topo::Torus torus(dims);
+          const auto flows = all_to_all
+                                 ? simnet::uniform_all_to_all(torus, 1.0e6)
+                                 : simnet::furthest_node_pairing(torus, 1.0e6);
+          double max_load = 0.0;
+          if (use_graph) {
+            const simnet::GraphNetwork network(
+                topo::TopologySpec::torus(dims).build());
+            max_load = network.route_all(flows).max_load();
+          } else {
+            const simnet::TorusNetwork network(torus);
+            max_load = network.route_all(flows).max_load();
+          }
+          return std::vector<std::string>{
+              kernel, torus.to_string(),
+              core::format_int(static_cast<std::int64_t>(flows.size())),
+              sweep::format_exact(max_load)};
+        };
+
         std::vector<std::function<std::vector<std::string>(std::uint64_t)>>
             rows = {
             [&](std::uint64_t) { return pairing_row(1); },
@@ -44,6 +75,18 @@ int main(int argc, char** argv) {
             [&](std::uint64_t) { return pairing_row(4); },
             [&](std::uint64_t) { return alltoall_row(4); },
             [&](std::uint64_t) { return alltoall_row(8); },
+            [&](std::uint64_t) {
+              return ab_row("pairing_torus", false, {8, 4, 4, 2}, false);
+            },
+            [&](std::uint64_t) {
+              return ab_row("pairing_graph", true, {8, 4, 4, 2}, false);
+            },
+            [&](std::uint64_t) {
+              return ab_row("all_to_all_torus", false, {4, 4, 4}, true);
+            },
+            [&](std::uint64_t) {
+              return ab_row("all_to_all_graph", true, {4, 4, 4}, true);
+            },
             [&](std::uint64_t) {
               const bgq::Geometry g(2, 2, 1, 1);
               const simnet::TorusNetwork network(g.node_torus());

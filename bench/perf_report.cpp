@@ -29,7 +29,11 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "pool_baseline.hpp"
+#include "simnet/graph_network.hpp"
+#include "simnet/traffic.hpp"
 #include "sweep/runner.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
 
 namespace {
 
@@ -201,6 +205,55 @@ int run_report(const ReportOptions& options) {
     grid.config.bytes_per_round = 2147483648.0;
     return static_cast<std::int64_t>(
         sweep::run_routing_sweep(grid, sweep_options, context).size());
+  });
+
+  // The GraphNetwork routing hot path on the two non-torus families the
+  // procurement grids sweep: ECMP route_all (one BFS + level propagation
+  // per destination group) over a Cray-style dragonfly and a k-ary
+  // fat-tree, under both tie-break policies. This is the kernel the
+  // allocation-free CSR scratch path targets; the committed baseline keeps
+  // it honest. Graphs AND workload flow vectors are prebuilt outside the
+  // timed body — generation cost is identical across routing
+  // implementations and would only dilute the signal.
+  topo::DragonflyConfig dragonfly;
+  topo::FatTreeConfig fat_tree;
+  int graph_route_reps = 3;
+  if (options.fast) {
+    dragonfly.a = 8;
+    dragonfly.h = 4;
+    dragonfly.groups = 16;
+    fat_tree.k = 10;
+  } else {
+    fat_tree.k = 12;
+    graph_route_reps = 5;
+  }
+  struct GraphRouteCase {
+    topo::Graph graph;
+    std::vector<simnet::Flow> pairing;
+    std::vector<simnet::Flow> all_to_all;
+  };
+  GraphRouteCase graph_route_cases[2] = {{topo::make_dragonfly(dragonfly), {}, {}},
+                                         {topo::make_fat_tree(fat_tree), {}, {}}};
+  for (GraphRouteCase& c : graph_route_cases) {
+    c.pairing = simnet::furthest_node_pairing(c.graph, 1.0e6);
+    c.all_to_all = simnet::block_all_to_all(0, c.graph.num_vertices(), 1.0e6);
+  }
+  phase("graph_route", [&] {
+    std::int64_t rows = 0;
+    for (int rep = 0; rep < graph_route_reps; ++rep) {
+      for (const GraphRouteCase& c : graph_route_cases) {
+        for (const simnet::TieBreak tie :
+             {simnet::TieBreak::kSplit, simnet::TieBreak::kPositive}) {
+          simnet::NetworkOptions net_options;
+          net_options.tie_break = tie;
+          const simnet::GraphNetwork net(c.graph, net_options);
+          (void)net.route_all(c.pairing).max_load();
+          (void)net.route_all(c.all_to_all).max_load();
+          rows += 2;
+        }
+      }
+    }
+    return rows;
   });
 
   phase("sched_topologies", [&] {

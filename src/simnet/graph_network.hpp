@@ -30,6 +30,22 @@
 
 namespace npac::simnet {
 
+/// Per-thread routing arena (defined in graph_network.cpp): BFS scratch,
+/// per-vertex weights, the counting-sort level buckets, and the
+/// advancing-arc CSR overlay, all reused across destinations and calls so
+/// the routing pipeline is allocation-free after warm-up.
+struct RoutingScratch;
+
+/// One flow as a destination group's routing kernel sees it: the
+/// destination is implicit (every flow of a group shares it), so only
+/// source and byte count ride along. Deliberately 16 bytes — route_all's
+/// counting-sort scatter writes one of these per flow, and dropping the
+/// redundant dst takes a third off that memory traffic.
+struct GroupFlow {
+  topo::VertexId src = 0;
+  double bytes = 0.0;
+};
+
 class GraphNetwork final : public Network {
  public:
   /// Requires a non-empty graph whose arcs all have positive capacity.
@@ -48,8 +64,10 @@ class GraphNetwork final : public Network {
   std::vector<Flow> halo_flows(double bytes) const override;
 
   /// Channel (arc) index of the first arc from `from` to `to`; throws
-  /// std::invalid_argument when no such edge exists. Parallel edges occupy
-  /// consecutive arc indices.
+  /// std::invalid_argument when no such edge exists. Adjacency lists are
+  /// sorted by neighbor id at construction, so the lookup is a binary
+  /// search; parallel edges occupy consecutive arc indices and this always
+  /// returns the first of them.
   std::size_t channel_of(topo::VertexId from, topo::VertexId to) const;
 
   /// Capacity of a channel (the underlying arc's capacity).
@@ -61,11 +79,25 @@ class GraphNetwork final : public Network {
 
  private:
   /// Routes every flow of one destination group (all flows share `dst`)
-  /// into `loads` by one BFS + one weight propagation pass.
-  void route_group(topo::VertexId dst, std::span<const Flow> flows,
-                   double* loads) const;
+  /// into `loads`: one BFS + counting-sort level build + advancing-arc
+  /// overlay (skipped when `scratch` still holds them for this (network,
+  /// dst)) and one weight propagation pass. Flows must already be
+  /// validated (validate_flow); unreachable destinations still throw here,
+  /// where the BFS result exists. Returns true when the overlay was
+  /// rebuilt, false when reused.
+  bool route_group(topo::VertexId dst, std::span<const GroupFlow> flows,
+                   double* loads, RoutingScratch& scratch) const;
+
+  /// Range/sign validation of one flow, hoisted out of the hot kernels:
+  /// throws std::out_of_range on bad vertex ids, std::invalid_argument on
+  /// negative byte counts.
+  void validate_flow(const Flow& flow) const;
 
   topo::Graph graph_;
+  /// Process-unique id of this network, never reused: the advancing-arc
+  /// overlay cache is keyed on (id, dst), so a stale scratch can never be
+  /// mistaken for this network's.
+  std::uint64_t routing_id_ = 0;
 };
 
 /// Builds the preferred Network backend for a topology: TorusNetwork (the

@@ -23,15 +23,30 @@ std::vector<Flow> furthest_node_pairing(const topo::Graph& graph,
                                         double bytes) {
   std::vector<Flow> flows;
   flows.reserve(static_cast<std::size_t>(graph.num_vertices()));
+  // One BFS scratch reused across all sources: after the first source sizes
+  // it, the n BFS sweeps below are allocation-free.
+  topo::BfsScratch scratch;
   for (topo::VertexId v = 0; v < graph.num_vertices(); ++v) {
-    const auto dist = graph.bfs_distances(v);
-    std::int64_t best = 0;
+    // The eccentricity returned by the BFS is the pairing distance; the
+    // peer is the lowest-id vertex attaining it (identical to the old
+    // first-strict-improvement scan).
+    const std::int64_t best = graph.bfs_distances_into(v, scratch);
     topo::VertexId peer = v;
-    for (topo::VertexId u = 0; u < graph.num_vertices(); ++u) {
-      if (dist[static_cast<std::size_t>(u)] > best) {
-        best = dist[static_cast<std::size_t>(u)];
-        peer = u;
+    if (best > 0) {
+      // The frontier records vertices in discovery order, so the furthest
+      // level is a contiguous tail slice; the lowest id in that slice is
+      // exactly the vertex the old full-array scan would have found first.
+      std::size_t begin = scratch.reached;
+      while (begin > 0 &&
+             scratch.dist[static_cast<std::size_t>(
+                 scratch.frontier[begin - 1])] == best) {
+        --begin;
       }
+      std::int32_t lowest = scratch.frontier[begin];
+      for (std::size_t i = begin + 1; i < scratch.reached; ++i) {
+        lowest = std::min(lowest, scratch.frontier[i]);
+      }
+      peer = lowest;
     }
     if (peer != v) flows.push_back({v, peer, bytes});
   }
@@ -111,12 +126,15 @@ std::vector<Flow> block_all_to_all(topo::VertexId first, std::int64_t count,
   if (count < 2) return {};
   const double per_pair =
       total_bytes_per_source / static_cast<double>(count - 1);
+  // Splitting the inner loop at u removes the u != v test from the body;
+  // the exact reserve keeps push_back from ever reallocating.
   std::vector<Flow> flows;
   flows.reserve(static_cast<std::size_t>(count) *
                 static_cast<std::size_t>(count - 1));
   for (topo::VertexId u = first; u < first + count; ++u) {
-    for (topo::VertexId v = first; v < first + count; ++v) {
-      if (u != v) flows.push_back({u, v, per_pair});
+    for (topo::VertexId v = first; v < u; ++v) flows.push_back({u, v, per_pair});
+    for (topo::VertexId v = u + 1; v < first + count; ++v) {
+      flows.push_back({u, v, per_pair});
     }
   }
   return flows;

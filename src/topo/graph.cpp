@@ -2,15 +2,69 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
+#include "support/hot.hpp"
+
 namespace npac::topo {
+
+namespace {
+
+/// The BFS inner loop over the CSR arrays: a flat ring-buffer frontier
+/// (head/tail cursors into one pre-sized buffer — every vertex is enqueued
+/// at most once, so the ring never wraps) replacing the per-call
+/// std::queue. Returns the source's eccentricity over reachable vertices.
+/// NPAC_HOT: allocation-free by contract; dist and frontier are
+/// caller-owned scratch sized to the graph (enforced by npaclint rule H1).
+/// Traversal chases the dense 4-byte heads array, not the 16-byte Arc
+/// records — BFS never looks at capacities.
+NPAC_HOT std::int32_t bfs_kernel(const std::size_t* offsets,
+                                 const std::int32_t* heads,
+                                 std::size_t num_vertices, VertexId source,
+                                 std::int32_t* dist, std::int32_t* frontier,
+                                 std::size_t& reached) {
+  std::fill(dist, dist + num_vertices, std::int32_t{-1});
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier[tail++] = static_cast<std::int32_t>(source);
+  std::int32_t eccentricity = 0;
+  while (head < tail) {
+    const std::size_t v = static_cast<std::size_t>(frontier[head++]);
+    const std::int32_t next = dist[v] + 1;
+    const std::size_t end = offsets[v + 1];
+    for (std::size_t k = offsets[v]; k < end; ++k) {
+      const std::size_t to = static_cast<std::size_t>(heads[k]);
+      if (dist[to] < 0) {
+        dist[to] = next;
+        eccentricity = next;
+        frontier[tail++] = heads[k];
+      }
+    }
+  }
+  reached = tail;
+  return eccentricity;
+}
+
+}  // namespace
+
+void BfsScratch::prepare(VertexId num_vertices) {
+  const std::size_t n = static_cast<std::size_t>(num_vertices);
+  if (dist.size() < n) {
+    dist.resize(n);
+    frontier.resize(n);
+  }
+}
 
 Graph Graph::from_edges(VertexId num_vertices,
                         const std::vector<EdgeSpec>& edges) {
   if (num_vertices < 0) {
     throw std::invalid_argument("Graph: negative vertex count");
+  }
+  if (num_vertices > std::numeric_limits<std::int32_t>::max()) {
+    // The dense heads array stores vertex ids as 32-bit entries; a graph
+    // this size would need ~terabytes for its CSR anyway.
+    throw std::invalid_argument("Graph: vertex count exceeds int32 range");
   }
   Graph g;
   g.num_vertices_ = num_vertices;
@@ -53,6 +107,10 @@ Graph Graph::from_edges(VertexId num_vertices,
                static_cast<std::ptrdiff_t>(g.offsets_[static_cast<std::size_t>(v) + 1]);
     std::sort(begin, end,
               [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  g.heads_.resize(g.arcs_.size());
+  for (std::size_t k = 0; k < g.arcs_.size(); ++k) {
+    g.heads_[k] = static_cast<std::int32_t>(g.arcs_[k].to);
   }
   return g;
 }
@@ -213,33 +271,29 @@ std::size_t Graph::connected_components() const {
 }
 
 std::vector<std::int64_t> Graph::bfs_distances(VertexId source) const {
+  BfsScratch scratch;
+  bfs_distances_into(source, scratch);
+  // Widen the scratch's 32-bit distances into the public 64-bit shape;
+  // this convenience form is cold, so the extra pass is irrelevant.
+  return {scratch.dist.begin(), scratch.dist.end()};
+}
+
+std::int64_t Graph::bfs_distances_into(VertexId source,
+                                       BfsScratch& scratch) const {
   check_vertex(source);
-  std::vector<std::int64_t> dist(static_cast<std::size_t>(num_vertices_), -1);
-  std::queue<VertexId> frontier;
-  dist[static_cast<std::size_t>(source)] = 0;
-  frontier.push(source);
-  while (!frontier.empty()) {
-    const VertexId v = frontier.front();
-    frontier.pop();
-    for (const Arc& a : neighbors(v)) {
-      if (dist[static_cast<std::size_t>(a.to)] < 0) {
-        dist[static_cast<std::size_t>(a.to)] =
-            dist[static_cast<std::size_t>(v)] + 1;
-        frontier.push(a.to);
-      }
-    }
-  }
-  return dist;
+  scratch.prepare(num_vertices_);
+  return bfs_kernel(offsets_.data(), heads_.data(),
+                    static_cast<std::size_t>(num_vertices_), source,
+                    scratch.dist.data(), scratch.frontier.data(),
+                    scratch.reached);
 }
 
 std::int64_t Graph::diameter() const {
   std::int64_t best = 0;
+  BfsScratch scratch;
   for (VertexId v = 0; v < num_vertices_; ++v) {
-    const auto dist = bfs_distances(v);
-    for (const std::int64_t d : dist) {
-      if (d < 0) return -1;
-      best = std::max(best, d);
-    }
+    best = std::max(best, bfs_distances_into(v, scratch));
+    if (scratch.reached != static_cast<std::size_t>(num_vertices_)) return -1;
   }
   return best;
 }

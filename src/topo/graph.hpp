@@ -33,6 +33,31 @@ struct EdgeSpec {
   double capacity = 1.0;
 };
 
+/// Reusable scratch for Graph::bfs_distances_into: the distance array plus
+/// a flat ring-buffer frontier (each vertex is enqueued at most once, so a
+/// buffer of num_vertices slots replaces std::queue's node allocations).
+/// Buffers grow monotonically in prepare() and are never shrunk — the
+/// arena idiom: one warm-up sizing, then every BFS is allocation-free.
+/// Entries are 32-bit on purpose: from_edges rejects vertex counts beyond
+/// int32, so distances always fit, and the narrow arrays keep a BFS sweep
+/// cache-resident on graphs routing actually visits.
+struct BfsScratch {
+  std::vector<std::int32_t> dist;      ///< hop distance, -1 for unreached
+  std::vector<std::int32_t> frontier;  ///< vertices in BFS discovery order
+  /// Vertices reached by the last BFS (== num_vertices iff connected from
+  /// the source).
+  std::size_t reached = 0;
+
+  /// Grows the buffers to `num_vertices` entries (cold: allocation happens
+  /// here, once per high-water graph size, never in the BFS itself).
+  void prepare(VertexId num_vertices);
+
+  /// Arena footprint in bytes (capacity high-water mark).
+  std::size_t bytes() const {
+    return (dist.capacity() + frontier.capacity()) * sizeof(std::int32_t);
+  }
+};
+
 /// Immutable undirected multigraph with non-negative edge capacities.
 ///
 /// Self-loops are rejected. Parallel edges are allowed (a torus dimension of
@@ -68,6 +93,18 @@ class Graph {
   /// arc `arc_begin(v) + k`. Adjacency lists are sorted by neighbor id, so
   /// arc indices are stable for a given edge list.
   std::size_t arc_begin(VertexId v) const;
+
+  /// The raw CSR offset array (num_vertices() + 1 entries): vertex v's arcs
+  /// occupy [arc_offsets()[v], arc_offsets()[v + 1]). For hot kernels that
+  /// walk the whole structure without per-vertex bounds checks.
+  std::span<const std::size_t> arc_offsets() const { return offsets_; }
+
+  /// Dense head (arc target) array parallel to the arc index space: entry k
+  /// is arc_at(k).to. Kept separately from the Arc records — and narrowed
+  /// to 32 bits (from_edges rejects vertex counts beyond int32) — so
+  /// traversals that only chase heads (BFS, overlay builds) stream 4-byte
+  /// entries instead of striding over 16-byte Arc structs.
+  std::span<const std::int32_t> arc_heads() const { return heads_; }
 
   /// The arc at a dense arc index.
   const Arc& arc_at(std::size_t index) const;
@@ -111,6 +148,14 @@ class Graph {
   /// BFS hop distances from `source` (-1 for unreachable vertices).
   std::vector<std::int64_t> bfs_distances(VertexId source) const;
 
+  /// BFS hop distances from `source` written into `scratch.dist` (-1 for
+  /// unreachable vertices), reusing the scratch's frontier buffer instead
+  /// of allocating per call. Returns the eccentricity of `source` over the
+  /// reachable vertices (the maximum finite distance); `scratch.reached`
+  /// reports how many vertices the BFS visited. This is the hot-path form
+  /// every per-destination routing BFS runs on.
+  std::int64_t bfs_distances_into(VertexId source, BfsScratch& scratch) const;
+
   /// Maximum finite BFS distance over all pairs. O(V * E); intended for the
   /// small graphs used in tests and topology surveys. Returns -1 for graphs
   /// with unreachable pairs.
@@ -124,6 +169,7 @@ class Graph {
   double total_capacity_ = 0.0;
   std::vector<std::size_t> offsets_;  // size num_vertices_ + 1
   std::vector<Arc> arcs_;             // size 2 * edge_count_
+  std::vector<std::int32_t> heads_;   // arcs_[k].to, densely packed
 };
 
 }  // namespace npac::topo

@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "simnet/graph_network.hpp"
+#include "simnet/traffic.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/sweep.hpp"
 
@@ -85,6 +88,46 @@ TEST(ObsDeterminismTest, CsvBytesIdenticalAt1_2_7_16Threads) {
     EXPECT_GT(registry.counter_value("pool.tasks"), 0u)
         << "threads=" << threads;
   }
+}
+
+TEST(ObsDeterminismTest, GraphRoutingInstrumentationNeverChangesLoadBytes) {
+  // The allocation-free GraphNetwork routing pipeline flushes counters and
+  // the scratch-arena gauge once per route_all; like every obs hook, that
+  // flush must be write-only — per-channel loads byte-identical with a
+  // fully-enabled registry installed.
+  ASSERT_EQ(obs::Registry::current(), nullptr);
+  const topo::Torus torus({4, 4, 3});
+  const simnet::GraphNetwork net(torus.build_graph());
+  const auto flows = simnet::furthest_node_pairing(torus, 1.0e6);
+
+  const simnet::LinkLoads reference = net.route_all(flows);
+
+  obs::Registry::Options options;
+  options.tracing = true;
+  obs::Registry registry(options);
+  {
+    obs::ScopedRegistry scoped(registry);
+    const simnet::LinkLoads cold = net.route_all(flows);
+    const simnet::LinkLoads warm = net.route_all(flows);  // overlay reuse path
+    ASSERT_EQ(cold.num_channels(), reference.num_channels());
+    for (std::size_t c = 0; c < reference.num_channels(); ++c) {
+      ASSERT_EQ(cold[c], reference[c]) << "channel " << c;
+      ASSERT_EQ(warm[c], reference[c]) << "channel " << c;
+    }
+  }
+
+  // The flush really fired: one count per call, per-flow totals, the
+  // overlay cache saw both a rebuild generation and (on the second call)
+  // reuse-or-rebuild activity, and the scratch high-water gauge reflects
+  // live arenas.
+  EXPECT_EQ(registry.counter_value("net.graph.route_all"), 2u);
+  EXPECT_EQ(registry.counter_value("net.graph.flows"), 2 * flows.size());
+  EXPECT_GT(registry.counter_value("net.graph.overlay.rebuilds"), 0u);
+  // Every overlay rebuild is exactly one BFS; reuses do none.
+  EXPECT_EQ(registry.counter_value("net.graph.overlay.rebuilds"),
+            registry.counter_value("net.graph.bfs_invocations"));
+  EXPECT_GT(registry.gauge_value("net.graph.scratch.bytes"), 0.0);
+  EXPECT_GT(registry.trace().size(), 0u);
 }
 
 }  // namespace

@@ -8,10 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <queue>
 
 #include "simnet/pingpong.hpp"
 #include "simnet/traffic.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace npac::simnet {
 namespace {
@@ -342,6 +348,263 @@ TEST(EquivalenceTest, PingPongMatchesOnPaperGeometriesThroughTheInterface) {
               1e-9 * torus_result.measured_seconds);
   EXPECT_NEAR(torus_result.max_channel_bytes_per_round,
               graph_result.max_channel_bytes_per_round, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free routing hot path (ISSUE 9): determinism, parity with the
+// pre-refactor algorithm, and the channel_of binary-search contract.
+// ---------------------------------------------------------------------------
+
+/// Deterministic workload with heavily skewed destination-group sizes:
+/// every destination gets at least one flow, most get a handful, every
+/// 11th gets a ~30x spike — so route_all's 16-group chunks carry very
+/// uneven work and dynamic scheduling actually reorders chunk completion.
+/// Byte counts are awkward fractions (1/1, 1/2, 1/3, ...) so any change in
+/// floating-point accumulation order shows up at full precision. The final
+/// rotation interleaves groups in the input, exercising the counting-sort
+/// scatter rather than handing it pre-grouped flows.
+std::vector<Flow> skewed_group_flows(std::int64_t n) {
+  std::vector<Flow> flows;
+  for (topo::VertexId d = 0; d < n; ++d) {
+    const int copies =
+        1 + static_cast<int>((d * 7) % 5) + (d % 11 == 0 ? 29 : 0);
+    for (int c = 0; c < copies; ++c) {
+      const topo::VertexId src = (d + 1 + 3 * c) % n;
+      if (src == d) continue;
+      flows.push_back({src, d, 1.0 / static_cast<double>(1 + c)});
+    }
+  }
+  std::rotate(flows.begin(), flows.begin() + flows.size() / 3, flows.end());
+  return flows;
+}
+
+/// Reference reimplementation of route_all in the pre-refactor idiom —
+/// std::queue BFS, per-level push_back buckets, and a per-arc
+/// dist re-test instead of the advancing-arc overlay — with the same
+/// grouping and chunk-merge structure. Exact (bitwise) agreement with the
+/// production path pins that the counting-sort level build and the fused
+/// BFS+overlay preserved the propagation order, not just its limit.
+std::vector<double> reference_route_all(const topo::Graph& graph,
+                                        TieBreak tie,
+                                        std::span<const Flow> flows) {
+  const std::size_t n = static_cast<std::size_t>(graph.num_vertices());
+  // Stable grouping by destination (what the counting sort computes).
+  std::vector<std::vector<Flow>> by_dst(n);
+  for (const Flow& flow : flows) {
+    by_dst[static_cast<std::size_t>(flow.dst)].push_back(flow);
+  }
+  std::vector<topo::VertexId> group_dsts;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (!by_dst[d].empty()) {
+      group_dsts.push_back(static_cast<topo::VertexId>(d));
+    }
+  }
+
+  const auto route_group = [&](topo::VertexId dst, double* loads) {
+    std::vector<std::int64_t> dist(n, -1);
+    std::queue<topo::VertexId> frontier;
+    dist[static_cast<std::size_t>(dst)] = 0;
+    frontier.push(dst);
+    std::int64_t max_dist = 0;
+    while (!frontier.empty()) {
+      const topo::VertexId v = frontier.front();
+      frontier.pop();
+      for (const topo::Arc& arc : graph.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(arc.to)] < 0) {
+          dist[static_cast<std::size_t>(arc.to)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          max_dist = dist[static_cast<std::size_t>(arc.to)];
+          frontier.push(arc.to);
+        }
+      }
+    }
+    std::vector<std::vector<topo::VertexId>> levels(
+        static_cast<std::size_t>(max_dist) + 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] >= 1) {
+        levels[static_cast<std::size_t>(dist[v])].push_back(
+            static_cast<topo::VertexId>(v));
+      }
+    }
+    std::vector<double> weight(n, 0.0);
+    std::int64_t flow_max = 0;
+    for (const Flow& flow : by_dst[static_cast<std::size_t>(dst)]) {
+      if (flow.src == dst || flow.bytes == 0.0) continue;
+      const std::int64_t d = dist[static_cast<std::size_t>(flow.src)];
+      ASSERT_GE(d, 0) << "reference workload must be reachable";
+      weight[static_cast<std::size_t>(flow.src)] += flow.bytes;
+      flow_max = std::max(flow_max, d);
+    }
+    for (std::int64_t d = flow_max; d >= 1; --d) {
+      for (const topo::VertexId v : levels[static_cast<std::size_t>(d)]) {
+        const double w = weight[static_cast<std::size_t>(v)];
+        if (w == 0.0) continue;
+        const auto adjacency = graph.neighbors(v);
+        const std::size_t base = graph.arc_begin(v);
+        if (tie == TieBreak::kPositive) {
+          for (std::size_t k = 0; k < adjacency.size(); ++k) {
+            if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
+              loads[base + k] += w;
+              weight[static_cast<std::size_t>(adjacency[k].to)] += w;
+              break;
+            }
+          }
+          continue;
+        }
+        std::size_t advancing = 0;
+        for (const topo::Arc& arc : adjacency) {
+          if (dist[static_cast<std::size_t>(arc.to)] == d - 1) ++advancing;
+        }
+        const double share = w / static_cast<double>(advancing);
+        for (std::size_t k = 0; k < adjacency.size(); ++k) {
+          if (dist[static_cast<std::size_t>(adjacency[k].to)] == d - 1) {
+            loads[base + k] += share;
+            weight[static_cast<std::size_t>(adjacency[k].to)] += share;
+          }
+        }
+      }
+    }
+  };
+
+  // Same chunk-of-16 accumulate-then-merge structure as route_all (merging
+  // a zero-initialized total with chunk partials of non-negative loads is
+  // bitwise equal to the single-chunk direct accumulation).
+  constexpr std::size_t kGroupsPerChunk = 16;
+  std::vector<double> total(graph.num_arcs(), 0.0);
+  for (std::size_t first = 0; first < group_dsts.size();
+       first += kGroupsPerChunk) {
+    std::vector<double> partial(graph.num_arcs(), 0.0);
+    const std::size_t last =
+        std::min(first + kGroupsPerChunk, group_dsts.size());
+    for (std::size_t g = first; g < last; ++g) {
+      route_group(group_dsts[g], partial.data());
+    }
+    for (std::size_t c = 0; c < partial.size(); ++c) total[c] += partial[c];
+  }
+  return total;
+}
+
+TEST(GraphNetworkTest, RouteAllParityWithPreRefactorReference) {
+  // A torus graph (48 destinations, 3 chunks) and a hand-built multigraph
+  // with parallel edges (single chunk), under both tie-breaks. Bitwise
+  // equality, not a tolerance: the refactor must preserve the propagation
+  // order exactly.
+  const topo::Graph torus_graph = topo::Torus({4, 4, 3}).build_graph();
+  const topo::Graph multi = topo::Graph::from_edges(
+      6, {{0, 1, 1.0}, {0, 1, 1.0}, {1, 2, 1.0}, {1, 3, 2.0}, {2, 4, 1.0},
+          {3, 4, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}, {0, 5, 3.0}});
+  for (const topo::Graph* graph : {&torus_graph, &multi}) {
+    const auto flows = skewed_group_flows(graph->num_vertices());
+    for (const TieBreak tie : {TieBreak::kSplit, TieBreak::kPositive}) {
+      const GraphNetwork net(*graph, unit_bandwidth(tie));
+      const LinkLoads got = net.route_all(flows);
+      const std::vector<double> want =
+          reference_route_all(*graph, tie, flows);
+      ASSERT_EQ(got.num_channels(), want.size());
+      for (std::size_t c = 0; c < want.size(); ++c) {
+        ASSERT_EQ(got[c], want[c])
+            << "channel " << c << " tie "
+            << (tie == TieBreak::kSplit ? "split" : "positive");
+      }
+    }
+  }
+}
+
+TEST(GraphNetworkTest, RouteAllIsByteIdenticalAcrossThreadCounts) {
+  // The determinism contract: byte-identical loads at 1, 2, 7, and 16
+  // OpenMP threads on a skewed-group workload. Exact == comparison — any
+  // thread-count-dependent accumulation order would differ in the last ulp
+  // long before it differed at 1e-9. Without OpenMP the loop still pins
+  // that repeated route_all calls (warm scratch, cached overlays) match
+  // the cold first call.
+  const topo::Torus torus({6, 5, 4});
+  const auto flows = skewed_group_flows(torus.num_vertices());
+#ifdef _OPENMP
+  const int saved_threads = omp_get_max_threads();
+#endif
+  for (const TieBreak tie : {TieBreak::kSplit, TieBreak::kPositive}) {
+    const GraphNetwork net(torus.build_graph(), unit_bandwidth(tie));
+#ifdef _OPENMP
+    omp_set_num_threads(1);
+#endif
+    const LinkLoads reference = net.route_all(flows);
+    for (const int threads : {2, 7, 16}) {
+#ifdef _OPENMP
+      omp_set_num_threads(threads);
+#endif
+      const LinkLoads got = net.route_all(flows);
+      ASSERT_EQ(got.num_channels(), reference.num_channels());
+      for (std::size_t c = 0; c < got.num_channels(); ++c) {
+        ASSERT_EQ(got[c], reference[c])
+            << "channel " << c << " at " << threads << " threads";
+      }
+    }
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved_threads);
+#endif
+}
+
+TEST(GraphNetworkTest, UnreachableFlowSurfacesUnderForcedParallelRouting) {
+  // Same shape as RouteAllSurfacesInvalidFlowsAcrossManyGroups, but with
+  // the OpenMP thread count forced up so the exception genuinely crosses a
+  // parallel region, and a follow-up call proving the thread-local scratch
+  // arenas are not poisoned by the aborted run.
+  std::vector<topo::EdgeSpec> edges;
+  for (std::int64_t v = 0; v + 1 < 48; ++v) edges.push_back({v, v + 1, 1.0});
+  for (std::int64_t v = 48; v + 1 < 64; ++v) {
+    edges.push_back({v, v + 1, 1.0});  // second, disconnected path
+  }
+  const GraphNetwork net(topo::Graph::from_edges(64, edges),
+                         unit_bandwidth());
+  std::vector<Flow> flows;
+  for (topo::VertexId dst = 1; dst < 48; ++dst) flows.push_back({0, dst, 1.0});
+  flows.push_back({0, 50, 1.0});  // crosses the component boundary
+#ifdef _OPENMP
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(7);
+#endif
+  EXPECT_THROW(net.route_all(flows), std::invalid_argument);
+  flows.pop_back();
+  const LinkLoads after = net.route_all(flows);
+#ifdef _OPENMP
+  omp_set_num_threads(saved_threads);
+#endif
+  // Every flow leaves vertex 0 along the single path, so the first channel
+  // carries all 47 of them.
+  EXPECT_DOUBLE_EQ(after[net.channel_of(0, 1)], 47.0);
+}
+
+TEST(GraphNetworkTest, ChannelOfReturnsFirstOfParallelRunAndRejectsNonEdges) {
+  // Vertex 0's sorted adjacency is [1, 1, 1, 2, 4, 4]: the binary search
+  // must return the FIRST arc of each parallel run (the contract routing
+  // and the torus-equivalence channel mapping rely on) and throw for pairs
+  // with no edge.
+  const topo::Graph graph = topo::Graph::from_edges(
+      5, {{0, 4, 1.0}, {0, 1, 2.0}, {0, 1, 3.0}, {0, 2, 1.0}, {0, 4, 2.0},
+          {0, 1, 4.0}, {2, 3, 1.0}});
+  const GraphNetwork net(graph, unit_bandwidth());
+  const std::size_t base = graph.arc_begin(0);
+  EXPECT_EQ(net.channel_of(0, 1), base);
+  EXPECT_EQ(net.channel_of(0, 2), base + 3);
+  EXPECT_EQ(net.channel_of(0, 4), base + 4);
+  // First-of-run means the predecessor arc (if any) heads elsewhere while
+  // the run itself is contiguous.
+  EXPECT_EQ(graph.arc_at(net.channel_of(0, 4) - 1).to, 2);
+  EXPECT_EQ(graph.arc_at(net.channel_of(0, 4) + 1).to, 4);
+  EXPECT_THROW(net.channel_of(0, 3), std::invalid_argument);  // below a gap
+  EXPECT_THROW(net.channel_of(1, 4), std::invalid_argument);  // past the end
+  EXPECT_THROW(net.channel_of(2, 2), std::invalid_argument);  // no self-loop
+  EXPECT_THROW(net.channel_of(9, 0), std::out_of_range);
+
+  // An ECMP split over the three parallel 0->1 arcs lands on exactly the
+  // slots the lookup names, regardless of their (distinct) capacities.
+  LinkLoads loads = net.make_loads();
+  net.route_flow({0, 1, 9.0}, loads);
+  EXPECT_DOUBLE_EQ(loads[base], 3.0);
+  EXPECT_DOUBLE_EQ(loads[base + 1], 3.0);
+  EXPECT_DOUBLE_EQ(loads[base + 2], 3.0);
+  EXPECT_DOUBLE_EQ(loads[net.channel_of(0, 2)], 0.0);
 }
 
 }  // namespace

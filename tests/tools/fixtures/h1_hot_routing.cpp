@@ -1,0 +1,74 @@
+// npaclint fixture: rule H1 over the routing hot-kernel shapes — a BFS and
+// a level build written with heap-backed containers (the pre-refactor
+// idiom) versus the shipped flat-scratch forms. The clean variants mirror
+// src/topo/graph.cpp and src/simnet/graph_network.cpp, where every buffer
+// is caller-owned scratch.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "support/hot.hpp"
+
+// The idiom the allocation-free refactor removed: BFS over heap-grown
+// containers. Every container touch inside the hot body fires.
+NPAC_HOT int h1_bfs_dirty(const std::size_t* offsets, const int* heads,
+                          std::size_t n) {
+  std::vector<int> dist(n, -1);  // line 16: fires (vector construction)
+  std::vector<int> frontier;     // line 17: fires
+  frontier.reserve(n);           // line 18: fires
+  frontier.push_back(0);         // line 19: fires
+  dist[0] = 0;
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const std::size_t v = static_cast<std::size_t>(frontier[head++]);
+    for (std::size_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+      if (dist[static_cast<std::size_t>(heads[k])] < 0) {
+        dist[static_cast<std::size_t>(heads[k])] = dist[v] + 1;
+        frontier.push_back(heads[k]);  // line 27: fires
+      }
+    }
+  }
+  return dist[n - 1];
+}
+
+// Per-level push_back bucketing, the level-build idiom the counting sort
+// replaced: the nested vector construction fires twice, the grow once.
+NPAC_HOT void h1_levels_dirty(const int* dist, std::size_t n) {
+  std::vector<std::vector<int>> levels(8);  // line 37: fires twice
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dist[v] >= 1) {
+      levels[static_cast<std::size_t>(dist[v])].push_back(  // line 40: fires
+          static_cast<int>(v));
+    }
+  }
+}
+
+// The shipped shape: flat ring-buffer BFS into caller-owned scratch.
+// std::fill and raw index stores never allocate — zero findings.
+NPAC_HOT int h1_bfs_clean(const std::size_t* offsets, const int* heads,
+                          std::size_t n, int* dist, int* frontier) {
+  std::fill(dist, dist + n, -1);
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  dist[0] = 0;
+  frontier[tail++] = 0;
+  int eccentricity = 0;
+  while (head < tail) {
+    const std::size_t v = static_cast<std::size_t>(frontier[head++]);
+    for (std::size_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+      if (dist[static_cast<std::size_t>(heads[k])] < 0) {
+        dist[static_cast<std::size_t>(heads[k])] = dist[v] + 1;
+        eccentricity = dist[v] + 1;
+        frontier[tail++] = heads[k];
+      }
+    }
+  }
+  return eccentricity;
+}
+
+// One-time arena growth is legal when explicitly suppressed with a reason
+// (the RoutingScratch::prepare pattern).
+NPAC_HOT void h1_scratch_warmup(std::vector<int>& dist, std::size_t n) {
+  // npaclint:allow(H1) one-time arena growth; amortized across the sweep
+  if (dist.size() < n) dist.resize(n);
+}

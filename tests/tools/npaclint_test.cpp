@@ -131,6 +131,20 @@ TEST(NpaclintH1, FiresInsideHotBodies) {
   EXPECT_EQ(report.suppressed, 1);
 }
 
+TEST(NpaclintH1, FiresOnHeapBackedRoutingKernelShapes) {
+  // The routing-kernel fixture: a heap-grown BFS (vector construction,
+  // reserve, the two push_back growth sites) and the per-level push_back
+  // bucket build (nested vector construction counts twice) — the exact
+  // idioms the allocation-free routing refactor removed and H1 now keeps
+  // out. The flat-scratch forms and the suppressed warm-up stay green.
+  const FileReport report =
+      lint_fixture("h1_hot_routing.cpp", "src/core/h1_routing_fixture.cpp");
+  EXPECT_EQ(count_rule(report, "H1"), 8);
+  EXPECT_EQ(rule_lines(report, "H1"),
+            (std::vector<int>{16, 17, 18, 19, 27, 37, 37, 40}));
+  EXPECT_EQ(report.suppressed, 1);
+}
+
 TEST(NpaclintH1, ColdFunctionsMayAllocate) {
   const FileReport report = lint_source(
       "src/x.cpp", "void f(std::vector<int>& v) { v.push_back(1); }");
@@ -146,11 +160,13 @@ TEST(NpaclintH1, MacroDefinitionDoesNotArmTheScan) {
 }
 
 TEST(NpaclintH1, AnnotatedHotPathsInTreeStayClean) {
-  // The first customers of the annotation: the torus incremental-index
-  // router and the graph level-propagation loop must have zero H1
+  // The customers of the annotation: the torus incremental-index router,
+  // the graph routing kernels (fused BFS+overlay, counting-sort level
+  // build, level propagation), and the topo BFS kernel must have zero H1
   // findings, suppressed or not.
   for (const std::string file :
-       {"src/simnet/network.cpp", "src/simnet/graph_network.cpp"}) {
+       {"src/simnet/network.cpp", "src/simnet/graph_network.cpp",
+        "src/topo/graph.cpp"}) {
     const std::filesystem::path path =
         fixture_dir().parent_path().parent_path().parent_path() / file;
     const FileReport report = lint_source(file, read_file(path));

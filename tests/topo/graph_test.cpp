@@ -147,6 +147,92 @@ TEST(GraphTest, DiameterOfDisconnectedGraphIsMinusOne) {
   EXPECT_EQ(g.diameter(), -1);
 }
 
+TEST(GraphTest, BfsDistancesIntoMatchesPublicFormAndReportsEccentricity) {
+  const Graph g = Torus({4, 3, 2}).build_graph();
+  BfsScratch scratch;
+  for (const VertexId source : {VertexId{0}, VertexId{7}, VertexId{23}}) {
+    const std::int64_t ecc = g.bfs_distances_into(source, scratch);
+    const auto dist = g.bfs_distances(source);
+    ASSERT_EQ(dist.size(), scratch.dist.size());
+    std::int64_t widest = 0;
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+      EXPECT_EQ(dist[v], static_cast<std::int64_t>(scratch.dist[v]));
+      widest = std::max(widest, dist[v]);
+    }
+    EXPECT_EQ(ecc, widest);
+    EXPECT_EQ(scratch.reached, dist.size());  // torus is connected
+  }
+}
+
+TEST(GraphTest, BfsScratchFrontierRecordsDiscoveryOrder) {
+  // The flat frontier is the BFS visit log: distances along it are
+  // non-decreasing and the furthest level is its contiguous tail — the
+  // property furthest_node_pairing's peer scan reads off directly.
+  const Graph g = Torus({5, 3}).build_graph();
+  BfsScratch scratch;
+  const std::int64_t ecc = g.bfs_distances_into(3, scratch);
+  ASSERT_GT(ecc, 0);
+  ASSERT_EQ(scratch.reached, static_cast<std::size_t>(g.num_vertices()));
+  EXPECT_EQ(scratch.frontier[0], 3);
+  for (std::size_t i = 1; i < scratch.reached; ++i) {
+    EXPECT_GE(scratch.dist[static_cast<std::size_t>(scratch.frontier[i])],
+              scratch.dist[static_cast<std::size_t>(scratch.frontier[i - 1])]);
+  }
+  EXPECT_EQ(scratch.dist[static_cast<std::size_t>(
+                scratch.frontier[scratch.reached - 1])],
+            static_cast<std::int32_t>(ecc));
+}
+
+TEST(GraphTest, BfsDistancesIntoReusesScratchAcrossGraphSizes) {
+  // One scratch across a large then a small graph: buffers only grow, and
+  // the small graph's answers are confined to its first n entries.
+  BfsScratch scratch;
+  const Graph big = make_cycle(64);
+  EXPECT_EQ(big.bfs_distances_into(0, scratch), 32);
+  const std::size_t big_bytes = scratch.bytes();
+  const Graph small = make_path(5);
+  EXPECT_EQ(small.bfs_distances_into(0, scratch), 4);
+  EXPECT_EQ(scratch.reached, 5u);
+  EXPECT_EQ(scratch.bytes(), big_bytes);  // no shrink, no regrow
+  for (std::int32_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(scratch.dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(GraphTest, BfsDistancesIntoOnDisconnectedGraphCoversOneComponent) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  BfsScratch scratch;
+  // Eccentricity is over the reachable component only; the other component
+  // stays at -1 and is not counted as reached.
+  EXPECT_EQ(g.bfs_distances_into(0, scratch), 2);
+  EXPECT_EQ(scratch.reached, 3u);
+  EXPECT_EQ(scratch.dist[3], -1);
+  EXPECT_EQ(scratch.dist[4], -1);
+}
+
+TEST(GraphTest, ArcHeadsAndOffsetsMirrorAdjacency) {
+  // The dense arc_heads/arc_offsets arrays (what the routing kernels index
+  // instead of the 16-byte Arc records) must agree with neighbors() arc
+  // for arc.
+  const Graph g = Graph::from_edges(
+      4, {{0, 1, 1.0}, {0, 1, 2.0}, {0, 3, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  const auto offsets = g.arc_offsets();
+  const auto heads = g.arc_heads();
+  ASSERT_EQ(offsets.size(), static_cast<std::size_t>(g.num_vertices()) + 1);
+  ASSERT_EQ(heads.size(), g.num_arcs());
+  EXPECT_EQ(offsets[0], 0u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adjacency = g.neighbors(v);
+    const std::size_t begin = offsets[static_cast<std::size_t>(v)];
+    ASSERT_EQ(offsets[static_cast<std::size_t>(v) + 1] - begin,
+              adjacency.size());
+    EXPECT_EQ(begin, g.arc_begin(v));
+    for (std::size_t k = 0; k < adjacency.size(); ++k) {
+      EXPECT_EQ(static_cast<VertexId>(heads[begin + k]), adjacency[k].to);
+    }
+  }
+}
+
 TEST(GraphTest, IsRegularDetectsIrregularity) {
   const Graph g = make_path(4);  // endpoints have degree 1
   EXPECT_FALSE(g.is_regular());
