@@ -26,12 +26,16 @@
 #include <string>
 #include <vector>
 
+#include "bgq/machine.hpp"
+#include "core/allocator.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "pool_baseline.hpp"
+#include "sched_baseline.hpp"
 #include "simnet/graph_network.hpp"
 #include "simnet/traffic.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/trace.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/fattree.hpp"
 
@@ -305,6 +309,79 @@ int run_report(const ReportOptions& options) {
     (void)bench::legacy_contended_run(/*threads=*/16, pool_tasks);
     return pool_tasks;
   });
+
+  // The scheduler engine pair: the streaming event-driven core against the
+  // pre-refactor materialized-replay replica (bench/sched_baseline.hpp) on
+  // the same 10^5-job balanced-load Mira trace, best-bisection policy.
+  // Each side runs twice and keeps its faster rep (min-of-paired-runs);
+  // the phase time covers both reps, so the committed baseline gates both
+  // engines with the usual 2x rule while the stderr line reports the
+  // events/second ratio the acceptance criterion pins (>= 5x). The FNV-1a
+  // schedule digests must match across engines — a mismatch fails the
+  // report outright, because then the phases timed different schedules.
+  const int sched_jobs = 100000;
+  const auto sched_sizes = bench::scale_size_pool();
+  const auto sched_config = bench::scale_trace_config(sched_jobs);
+  const auto sched_trace =
+      sweep::generate_trace(sched_sizes, sched_config, options.seed);
+  struct SchedSide {
+    double min_seconds = 1.0e300;
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+  };
+  const auto paired_min = [&](const auto& kernel) {
+    SchedSide side;
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const bench::ReplayOutcome outcome = kernel();
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      side.min_seconds = std::min(side.min_seconds, seconds);
+      side.digest = outcome.digest;
+      side.events = outcome.events;
+    }
+    return side;
+  };
+  SchedSide sched_stream_side;
+  SchedSide sched_replay_side;
+  phase("sched_stream", [&] {
+    sched_stream_side = paired_min([&] {
+      const auto allocator = core::make_allocator(bgq::mira());
+      sweep::SyntheticJobSource source(sched_sizes, sched_config,
+                                       options.seed);
+      return bench::streaming_run(
+          *allocator, core::SchedulerPolicy::kBestBisection, source);
+    });
+    return std::int64_t{sched_jobs};
+  });
+  phase("sched_replay_baseline", [&] {
+    sched_replay_side = paired_min([&] {
+      const auto allocator = core::make_allocator(bgq::mira());
+      return bench::materialized_replay(
+          *allocator, core::SchedulerPolicy::kBestBisection, sched_trace);
+    });
+    return std::int64_t{sched_jobs};
+  });
+  if (sched_stream_side.digest != sched_replay_side.digest) {
+    std::fprintf(stderr,
+                 "perf_report: sched digest mismatch — streaming %llu vs "
+                 "replay %llu: the engines computed different schedules\n",
+                 static_cast<unsigned long long>(sched_stream_side.digest),
+                 static_cast<unsigned long long>(sched_replay_side.digest));
+    return 1;
+  }
+  {
+    const double stream_eps = static_cast<double>(sched_stream_side.events) /
+                              sched_stream_side.min_seconds;
+    const double replay_eps = static_cast<double>(sched_replay_side.events) /
+                              sched_replay_side.min_seconds;
+    std::fprintf(stderr,
+                 "perf_report: sched_stream %.0f events/s vs replay %.0f "
+                 "events/s — %.1fx (min of paired runs, digests match)\n",
+                 stream_eps, replay_eps, stream_eps / replay_eps);
+  }
 
   context.publish_metrics(registry);
 

@@ -1,0 +1,254 @@
+// In-bench replica of the pre-refactor scheduler replay: the materialized
+// job vector, the per-wake-up candidate_qualities re-enumeration, the
+// linear earliest-first completion scan, and the O(queue) head pop —
+// exactly the control flow core::simulate_schedule had before the
+// streaming core replaced it. micro_sched and the perf_report phases run
+// this side by side with core::StreamingScheduler; the schedule digests
+// must match bit for bit (the anchor that both engines computed the same
+// schedule), so the timing difference is attributable to the event-queue
+// + free-layout-index design, not to divergent behavior.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/scheduler.hpp"
+#include "core/scheduler_stream.hpp"
+#include "sweep/trace.hpp"
+
+namespace npac::bench {
+
+// --- schedule digest ------------------------------------------------------
+// FNV-1a over the raw bit patterns of every emitted record, in emission
+// order. Emission order is placement order for both engines, so equal
+// digests certify identical schedules without materializing either.
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+inline void digest_u64(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= 1099511628211ULL;
+  }
+}
+
+inline void digest_double(std::uint64_t& hash, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof value);
+  __builtin_memcpy(&bits, &value, sizeof bits);
+  digest_u64(hash, bits);
+}
+
+inline void digest_record(std::uint64_t& hash,
+                          const core::ScheduledJob& record) {
+  digest_u64(hash, static_cast<std::uint64_t>(record.job.id));
+  digest_u64(hash, static_cast<std::uint64_t>(record.job.midplanes));
+  digest_double(hash, record.start_seconds);
+  digest_double(hash, record.finish_seconds);
+  digest_double(hash, record.slowdown);
+  for (const char c : record.partition.label) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+}
+
+// --- materialized-replay baseline -----------------------------------------
+
+struct ReplayOutcome {
+  std::uint64_t digest = kFnvOffset;
+  std::uint64_t events = 0;  ///< admissions + completions + placements
+  std::uint64_t jobs = 0;
+  double makespan_seconds = 0.0;
+};
+
+namespace detail {
+
+inline double replay_slowdown(double best, double assigned) {
+  if (assigned == 0.0) {
+    if (best == 0.0) return 1.0;
+    throw std::invalid_argument("replay baseline: zero bisection");
+  }
+  return best / assigned;
+}
+
+inline std::optional<core::Partition> replay_choose(
+    core::PartitionAllocator& allocator, core::SchedulerPolicy policy,
+    const core::Job& job, const std::vector<double>& qualities) {
+  switch (policy) {
+    case core::SchedulerPolicy::kFirstFit: {
+      for (std::size_t k = qualities.size(); k-- > 0;) {
+        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+          return partition;
+        }
+      }
+      return std::nullopt;
+    }
+    case core::SchedulerPolicy::kBestBisection: {
+      for (std::size_t k = 0; k < qualities.size(); ++k) {
+        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+          return partition;
+        }
+      }
+      return std::nullopt;
+    }
+    case core::SchedulerPolicy::kWaitForBest: {
+      if (!job.contention_bound) {
+        for (std::size_t k = 0; k < qualities.size(); ++k) {
+          if (auto partition =
+                  allocator.try_place(job.midplanes, k, job.id)) {
+            return partition;
+          }
+        }
+        return std::nullopt;
+      }
+      const double best = qualities.front();
+      for (std::size_t k = 0; k < qualities.size(); ++k) {
+        if (qualities[k] != best) break;
+        if (auto partition = allocator.try_place(job.midplanes, k, job.id)) {
+          return partition;
+        }
+      }
+      return std::nullopt;
+    }
+    default:
+      throw std::invalid_argument(
+          "replay baseline: only the pre-refactor FCFS policies exist in "
+          "the replica");
+  }
+}
+
+}  // namespace detail
+
+/// The pre-refactor loop, verbatim: O(trace) resident memory, a full
+/// candidate re-enumeration on every wake-up, linear completion scans.
+inline ReplayOutcome materialized_replay(core::PartitionAllocator& allocator,
+                                         core::SchedulerPolicy policy,
+                                         const std::vector<core::Job>& jobs) {
+  struct RunningJob {
+    std::int64_t job_id = 0;
+    double finish_seconds = 0.0;
+  };
+  ReplayOutcome outcome;
+  std::vector<RunningJob> running;
+  std::size_t done = 0;
+  std::size_t next_arrival = 0;
+  std::vector<core::Job> queue;
+  double now = 0.0;
+
+  const auto complete_finished = [&](double up_to) {
+    while (true) {
+      auto earliest = running.end();
+      for (auto it = running.begin(); it != running.end(); ++it) {
+        if (it->finish_seconds <= up_to &&
+            (earliest == running.end() ||
+             it->finish_seconds < earliest->finish_seconds)) {
+          earliest = it;
+        }
+      }
+      if (earliest == running.end()) break;
+      allocator.release(earliest->job_id);
+      running.erase(earliest);
+      ++outcome.events;
+    }
+  };
+
+  while (done < jobs.size()) {
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival_seconds <= now) {
+      queue.push_back(jobs[next_arrival]);
+      ++next_arrival;
+      ++outcome.events;
+    }
+    bool placed_any = false;
+    while (!queue.empty()) {
+      const core::Job job = queue.front();
+      const auto qualities = allocator.candidate_qualities(job.midplanes);
+      if (qualities.empty()) {
+        throw std::invalid_argument("replay baseline: infeasible size " +
+                                    std::to_string(job.midplanes));
+      }
+      auto partition = detail::replay_choose(allocator, policy, job, qualities);
+      if (!partition) break;
+      core::ScheduledJob record;
+      record.job = job;
+      record.start_seconds = now;
+      record.slowdown = job.contention_bound
+                            ? detail::replay_slowdown(partition->best_quality,
+                                                      partition->quality)
+                            : 1.0;
+      record.finish_seconds = now + job.base_seconds * record.slowdown;
+      record.partition = std::move(*partition);
+      running.push_back({job.id, record.finish_seconds});
+      digest_record(outcome.digest, record);
+      outcome.makespan_seconds =
+          std::max(outcome.makespan_seconds, record.finish_seconds);
+      ++outcome.jobs;
+      ++outcome.events;
+      ++done;
+      queue.erase(queue.begin());
+      placed_any = true;
+    }
+    if (done == jobs.size()) break;
+    double next_event = std::numeric_limits<double>::infinity();
+    for (const RunningJob& r : running) {
+      next_event = std::min(next_event, r.finish_seconds);
+    }
+    if (next_arrival < jobs.size()) {
+      next_event = std::min(next_event, jobs[next_arrival].arrival_seconds);
+    }
+    if (!std::isfinite(next_event)) {
+      if (placed_any) continue;
+      throw std::logic_error("replay baseline: deadlock");
+    }
+    now = std::max(now, next_event);
+    complete_finished(now);
+  }
+  return outcome;
+}
+
+/// The streaming core on the same trace shape, digesting through the sink.
+/// Accepts any JobSource so million-job runs never materialize a vector.
+inline ReplayOutcome streaming_run(core::PartitionAllocator& allocator,
+                                   core::SchedulerPolicy policy,
+                                   core::JobSource& source) {
+  ReplayOutcome outcome;
+  core::StreamingScheduler scheduler(allocator, policy);
+  const auto stats =
+      scheduler.run(source, [&outcome](const core::ScheduledJob& record) {
+        digest_record(outcome.digest, record);
+      });
+  outcome.events = stats.events;
+  outcome.jobs = stats.jobs;
+  outcome.makespan_seconds = stats.makespan_seconds;
+  return outcome;
+}
+
+/// The balanced-load scheduler workload both perf phases share: job sizes
+/// across Mira's feasible ladder, interarrival tuned to ~0.7 effective
+/// utilization (nominal 0.52 times the ~1.33 first-fit slowdown
+/// inflation). Calibrated so the queue depth is flat in trace length for
+/// every FCFS policy — mean wait ~40-70 s against an 18 s interarrival
+/// means the head still blocks on most arrivals (the rescan-elimination
+/// case), while the baseline's O(queue) pop never goes quadratic and the
+/// comparison isolates the engine, not queue-growth pathology.
+inline sweep::TraceConfig scale_trace_config(int num_jobs) {
+  sweep::TraceConfig config;
+  config.num_jobs = num_jobs;
+  config.mean_interarrival_seconds = 18.0;
+  config.min_base_seconds = 20.0;
+  config.max_base_seconds = 40.0;
+  return config;
+}
+
+inline std::vector<std::int64_t> scale_size_pool() {
+  return {1, 2, 4, 8, 16, 32, 48, 64, 96};
+}
+
+}  // namespace npac::bench

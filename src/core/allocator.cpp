@@ -27,6 +27,16 @@ const PartitionOracle& default_partition_oracle() {
   return oracle;
 }
 
+std::string to_string(PositionScoring scoring) {
+  switch (scoring) {
+    case PositionScoring::kScanOrder:
+      return "scan-order";
+    case PositionScoring::kBestFit:
+      return "best-fit";
+  }
+  throw std::invalid_argument("to_string: unknown PositionScoring");
+}
+
 // ---------------------------------------------------------------------------
 // Placement / MidplaneGrid (torus-family layout)
 // ---------------------------------------------------------------------------
@@ -151,6 +161,78 @@ std::optional<Placement> MidplaneGrid::find_placement(
   return std::nullopt;
 }
 
+std::optional<Placement> MidplaneGrid::find_placement_best_fit(
+    const bgq::Geometry& shape) const {
+  std::optional<Placement> best;
+  std::int64_t best_contact = -1;
+  std::array<std::int64_t, 4> extent = shape.dims();
+  std::sort(extent.begin(), extent.end());
+  do {
+    Placement placement;
+    placement.extent = extent;
+    bool extent_fits = true;
+    for (int i = 0; i < 4; ++i) {
+      if (extent[static_cast<std::size_t>(i)] >
+          dims_[static_cast<std::size_t>(i)]) {
+        extent_fits = false;
+      }
+    }
+    if (!extent_fits) continue;
+    for (std::int64_t a = 0; a < dims_[0]; ++a) {
+      for (std::int64_t b = 0; b < dims_[1]; ++b) {
+        for (std::int64_t c = 0; c < dims_[2]; ++c) {
+          for (std::int64_t d = 0; d < dims_[3]; ++d) {
+            placement.origin = {a, b, c, d};
+            if (!fits(placement)) continue;
+            const std::int64_t contact = boundary_contact(placement);
+            if (contact > best_contact) {
+              best_contact = contact;
+              best = placement;
+            }
+          }
+        }
+      }
+    }
+  } while (std::next_permutation(extent.begin(), extent.end()));
+  return best;
+}
+
+std::int64_t MidplaneGrid::boundary_contact(const Placement& placement) const {
+  // Count occupied neighbors just outside the placement, one per
+  // face-adjacent (cell, direction) pair. A dimension the placement spans
+  // fully has no outside along it (the torus wraps the placement onto
+  // itself), so it contributes nothing.
+  std::int64_t contact = 0;
+  std::array<std::int64_t, 4> offset{};
+  for (offset[0] = 0; offset[0] < placement.extent[0]; ++offset[0]) {
+    for (offset[1] = 0; offset[1] < placement.extent[1]; ++offset[1]) {
+      for (offset[2] = 0; offset[2] < placement.extent[2]; ++offset[2]) {
+        for (offset[3] = 0; offset[3] < placement.extent[3]; ++offset[3]) {
+          for (std::size_t dim = 0; dim < 4; ++dim) {
+            if (placement.extent[dim] == dims_[dim]) continue;  // no outside
+            for (const std::int64_t step : {std::int64_t{-1}, std::int64_t{1}}) {
+              const std::int64_t neighbor_offset = offset[dim] + step;
+              if (neighbor_offset >= 0 &&
+                  neighbor_offset < placement.extent[dim]) {
+                continue;  // inside the placement
+              }
+              std::array<std::int64_t, 4> cell{};
+              for (std::size_t i = 0; i < 4; ++i) {
+                cell[i] = (placement.origin[i] + offset[i]) % dims_[i];
+              }
+              cell[dim] = (placement.origin[dim] + neighbor_offset % dims_[dim] +
+                           dims_[dim]) %
+                          dims_[dim];
+              if (owner_[cell_index(cell)] != -1) ++contact;
+            }
+          }
+        }
+      }
+    }
+  }
+  return contact;
+}
+
 // ---------------------------------------------------------------------------
 // CuboidAllocator
 // ---------------------------------------------------------------------------
@@ -198,7 +280,9 @@ std::optional<Partition> CuboidAllocator::try_place(std::int64_t size,
                                                     std::int64_t job_id) {
   const auto& geometries = geometries_for(size);
   const bgq::Geometry& shape = geometries.at(candidate);
-  const auto placement = grid_.find_placement(shape);
+  const auto placement = position_scoring() == PositionScoring::kBestFit
+                             ? grid_.find_placement_best_fit(shape)
+                             : grid_.find_placement(shape);
   if (!placement) return std::nullopt;
   grid_.occupy(*placement, job_id);
   Partition partition;
@@ -242,6 +326,35 @@ std::vector<std::int64_t> pick_containers(
     if (free >= per_block) chosen.push_back(c);
   }
   if (static_cast<std::int64_t>(chosen.size()) < blocks) chosen.clear();
+  return chosen;
+}
+
+/// Best-fit variant: among all qualifying containers, prefer the ones with
+/// the least free slack (tightest fit), breaking ties by ascending id. The
+/// chosen set is returned in ascending id order so labels and occupancy
+/// order match the scan-order family convention.
+std::vector<std::int64_t> pick_containers_best_fit(
+    const std::vector<std::int64_t>& owner, std::int64_t container_size,
+    std::int64_t blocks, std::int64_t per_block) {
+  const std::int64_t containers =
+      static_cast<std::int64_t>(owner.size()) / container_size;
+  std::vector<std::pair<std::int64_t, std::int64_t>> qualifying;  // (free, id)
+  for (std::int64_t c = 0; c < containers; ++c) {
+    std::int64_t free = 0;
+    for (std::int64_t u = 0; u < container_size; ++u) {
+      if (owner[static_cast<std::size_t>(c * container_size + u)] == -1) {
+        ++free;
+      }
+    }
+    if (free >= per_block) qualifying.emplace_back(free, c);
+  }
+  if (static_cast<std::int64_t>(qualifying.size()) < blocks) return {};
+  std::sort(qualifying.begin(), qualifying.end());
+  qualifying.resize(static_cast<std::size_t>(blocks));
+  std::vector<std::int64_t> chosen;
+  chosen.reserve(qualifying.size());
+  for (const auto& [free, id] : qualifying) chosen.push_back(id);
+  std::sort(chosen.begin(), chosen.end());
   return chosen;
 }
 
@@ -366,8 +479,12 @@ std::optional<Partition> DragonflyAllocator::try_place(std::int64_t size,
                                                        std::int64_t job_id) {
   const auto& layouts = layouts_for(size);
   const Layout& layout = layouts.at(candidate);
-  const auto groups = pick_containers(owner_, config_.h, layout.groups,
-                                      layout.chassis_per_group);
+  const auto groups =
+      position_scoring() == PositionScoring::kBestFit
+          ? pick_containers_best_fit(owner_, config_.h, layout.groups,
+                                     layout.chassis_per_group)
+          : pick_containers(owner_, config_.h, layout.groups,
+                            layout.chassis_per_group);
   if (groups.empty()) return std::nullopt;
   occupy_containers(owner_, config_.h, groups, layout.chassis_per_group,
                     job_id);
@@ -439,7 +556,10 @@ std::optional<Partition> FatTreeAllocator::try_place(std::int64_t size,
   const auto pods = pods_for(size);
   const std::int64_t p = pods.at(candidate);
   const std::int64_t per_pod = size / p;
-  const auto chosen = pick_containers(owner_, config_.k / 2, p, per_pod);
+  const auto chosen =
+      position_scoring() == PositionScoring::kBestFit
+          ? pick_containers_best_fit(owner_, config_.k / 2, p, per_pod)
+          : pick_containers(owner_, config_.k / 2, p, per_pod);
   if (chosen.empty()) return std::nullopt;
   occupy_containers(owner_, config_.k / 2, chosen, per_pod, job_id);
   free_ -= size;

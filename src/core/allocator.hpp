@@ -112,10 +112,22 @@ class MidplaneGrid {
   /// trying all axis permutations and origins; nullopt when none fits.
   std::optional<Placement> find_placement(const bgq::Geometry& shape) const;
 
+  /// Fragmentation-aware variant: scans the same permutation x origin space
+  /// but returns the fitting placement with the highest boundary contact —
+  /// the count of face-adjacent neighbor cells (outside the placement,
+  /// wrap-around included) that are already occupied. Packing new cuboids
+  /// against existing ones leaves the free space in fewer, larger chunks.
+  /// Ties resolve to scan order, so the choice is deterministic.
+  std::optional<Placement> find_placement_best_fit(
+      const bgq::Geometry& shape) const;
+
  private:
   std::size_t cell_index(const std::array<std::int64_t, 4>& cell) const;
   template <typename Fn>
   void for_each_cell(const Placement& placement, Fn&& fn) const;
+  /// Occupied neighbor count just outside the placement (the best-fit
+  /// position score).
+  std::int64_t boundary_contact(const Placement& placement) const;
 
   bgq::Machine machine_;
   std::array<std::int64_t, 4> dims_;
@@ -126,6 +138,25 @@ class MidplaneGrid {
 // ---------------------------------------------------------------------------
 // The allocator interface.
 // ---------------------------------------------------------------------------
+
+/// How an allocator picks the concrete *position* of a layout class when
+/// several free node sets realize it — the axis orthogonal to the layout
+/// class itself (which fixes the partition's shape/quality).
+enum class PositionScoring {
+  /// First fit in the family's deterministic scan order — the pre-refactor
+  /// behavior; the golden schedule digests are pinned to this mode.
+  kScanOrder,
+  /// Fragmentation-aware: among the feasible positions of the class, take
+  /// the one whose *residue* fragments the machine least — tightest
+  /// containers first (dragonfly groups / fat-tree pods with the least
+  /// free slack), and on the torus the cuboid with the most occupied or
+  /// wall-adjacent boundary (least free surface exposed). Scores what a
+  /// placement leaves behind, not just the shape it takes; ties fall back
+  /// to scan order, so schedules stay deterministic.
+  kBestFit,
+};
+
+std::string to_string(PositionScoring scoring);
 
 /// Opaque handle to one allocated node set. `label` renders the per-family
 /// layout (torus: the placed cuboid; dragonfly: chassis x groups; fat-tree:
@@ -180,8 +211,17 @@ class PartitionAllocator {
   /// Frees every unit owned by `job_id`. Returns the number freed.
   virtual std::int64_t release(std::int64_t job_id) = 0;
 
+  /// Position-selection mode for try_place. Defaults to kScanOrder (the
+  /// digest-pinned pre-refactor behavior); switching modes changes which
+  /// node set a class occupies, never the class's quality score.
+  PositionScoring position_scoring() const { return scoring_; }
+  void set_position_scoring(PositionScoring scoring) { scoring_ = scoring; }
+
  protected:
   PartitionAllocator() = default;
+
+ private:
+  PositionScoring scoring_ = PositionScoring::kScanOrder;
 };
 
 // ---------------------------------------------------------------------------

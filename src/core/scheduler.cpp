@@ -1,12 +1,10 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "core/scheduler_stream.hpp"
 #include "obs/metrics.hpp"
 
 namespace npac::core {
@@ -19,6 +17,8 @@ std::string to_string(SchedulerPolicy policy) {
       return "best-bisection";
     case SchedulerPolicy::kWaitForBest:
       return "wait-for-best";
+    case SchedulerPolicy::kEasyBackfill:
+      return "easy-backfill";
   }
   return "?";
 }
@@ -55,67 +55,6 @@ double contention_runtime_seconds(const bgq::Machine& machine,
 }
 
 namespace {
-
-struct RunningJob {
-  std::int64_t job_id = 0;
-  double finish_seconds = 0.0;
-};
-
-/// Placement-attempt tally of one simulation, flushed into the installed
-/// obs::Registry once at the end (per-family counters, not per-event
-/// lookups). An attempt is one try_place call; a failure is one that
-/// found no free node set of its layout class.
-struct AllocationTally {
-  std::uint64_t attempts = 0;
-  std::uint64_t failures = 0;
-};
-
-/// Picks the partition `policy` prefers for `job` among the allocator's
-/// candidate layout classes (`qualities`, best first), or nullopt to wait.
-std::optional<Partition> choose_placement(PartitionAllocator& allocator,
-                                          SchedulerPolicy policy,
-                                          const Job& job,
-                                          const std::vector<double>& qualities,
-                                          AllocationTally& tally) {
-  const auto attempt = [&](std::size_t k) {
-    ++tally.attempts;
-    auto partition = allocator.try_place(job.midplanes, k, job.id);
-    if (!partition) ++tally.failures;
-    return partition;
-  };
-  switch (policy) {
-    case SchedulerPolicy::kFirstFit: {
-      // Quality-blind: scan layouts from the *worst* bisection up, modeling
-      // a scheduler that fills convenient long boxes first.
-      for (std::size_t k = qualities.size(); k-- > 0;) {
-        if (auto partition = attempt(k)) return partition;
-      }
-      return std::nullopt;
-    }
-    case SchedulerPolicy::kBestBisection: {
-      // Candidate classes are sorted best-first.
-      for (std::size_t k = 0; k < qualities.size(); ++k) {
-        if (auto partition = attempt(k)) return partition;
-      }
-      return std::nullopt;
-    }
-    case SchedulerPolicy::kWaitForBest: {
-      if (!job.contention_bound) {
-        for (std::size_t k = 0; k < qualities.size(); ++k) {
-          if (auto partition = attempt(k)) return partition;
-        }
-        return std::nullopt;
-      }
-      const double best = qualities.front();
-      for (std::size_t k = 0; k < qualities.size(); ++k) {
-        if (qualities[k] != best) break;
-        if (auto partition = attempt(k)) return partition;
-      }
-      return std::nullopt;  // hold the job until an optimal layout frees up
-    }
-  }
-  return std::nullopt;
-}
 
 /// Emits the finished schedule onto the trace's simulated-timeline lane
 /// (obs::kSimPid): per job one "wait" span (arrival -> start, when it
@@ -167,150 +106,38 @@ ScheduleResult simulate_schedule(const bgq::Machine& machine,
 ScheduleResult simulate_schedule(PartitionAllocator& allocator,
                                  SchedulerPolicy policy,
                                  std::vector<Job> jobs) {
+  // Whole-vector validation up front preserves the old error precedence:
+  // a bad arrival anywhere in the trace throws before any placement.
   for (std::size_t i = 1; i < jobs.size(); ++i) {
     if (jobs[i].arrival_seconds < jobs[i - 1].arrival_seconds) {
       throw std::invalid_argument(
-          "simulate_schedule: arrivals must be non-decreasing");
+          "simulate_schedule: job " + std::to_string(jobs[i].id) +
+          " arrives at " + std::to_string(jobs[i].arrival_seconds) +
+          "s, before job " + std::to_string(jobs[i - 1].id) + " at " +
+          std::to_string(jobs[i - 1].arrival_seconds) +
+          "s — arrivals must be non-decreasing");
     }
   }
 
-  // Instruments are resolved once per simulation; disabled observability is
-  // one null check here and per placement/release below.
+  // The event-driven core does the work; this wrapper only materializes
+  // the sink stream back into the historical ScheduleResult shape.
   obs::Registry* const registry = obs::Registry::current();
-  AllocationTally tally;
-  obs::Histogram* frag_histogram = nullptr;
-  if (registry != nullptr) {
-    // Free-fraction distribution sampled at every allocation state change —
-    // "fragmentation over time" without feeding any clock into the result.
-    static const std::vector<double> kFractionBounds = {
-        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
-    frag_histogram = &registry->histogram(
-        "sched.frag." + allocator.family(), kFractionBounds);
-  }
-  const double total_units = static_cast<double>(allocator.total_units());
-  const auto observe_fragmentation = [&] {
-    if (frag_histogram == nullptr || total_units <= 0.0) return;
-    frag_histogram->observe(static_cast<double>(allocator.free_units()) /
-                            total_units);
-  };
-
-  std::vector<RunningJob> running;
-  std::vector<ScheduledJob> done;
-  done.reserve(jobs.size());
-
-  std::size_t next_arrival = 0;
-  std::vector<Job> queue;  // FCFS
-  double now = 0.0;
-
-  const auto complete_finished = [&](double up_to) {
-    // Retire every running job finishing at or before `up_to`, earliest
-    // first, so releases happen in simulated order.
-    while (true) {
-      auto earliest = running.end();
-      for (auto it = running.begin(); it != running.end(); ++it) {
-        if (it->finish_seconds <= up_to &&
-            (earliest == running.end() ||
-             it->finish_seconds < earliest->finish_seconds)) {
-          earliest = it;
-        }
-      }
-      if (earliest == running.end()) break;
-      allocator.release(earliest->job_id);
-      running.erase(earliest);
-      observe_fragmentation();
-    }
-  };
-
-  while (done.size() < jobs.size()) {
-    // Admit arrivals up to `now`.
-    while (next_arrival < jobs.size() &&
-           jobs[next_arrival].arrival_seconds <= now) {
-      queue.push_back(jobs[next_arrival]);
-      ++next_arrival;
-    }
-
-    // Place queued jobs strictly FCFS: a blocked head blocks the queue
-    // (backfilling is a policy the tests deliberately contrast against).
-    bool placed_any = false;
-    while (!queue.empty()) {
-      const Job job = queue.front();
-      const auto qualities = allocator.candidate_qualities(job.midplanes);
-      if (qualities.empty()) {
-        throw std::invalid_argument(
-            "simulate_schedule: job " + std::to_string(job.id) +
-            " requests infeasible size " + std::to_string(job.midplanes) +
-            " units on " + allocator.descriptor());
-      }
-      auto partition =
-          choose_placement(allocator, policy, job, qualities, tally);
-      if (!partition) break;
-      ScheduledJob record;
-      record.job = job;
-      record.start_seconds = now;
-      record.slowdown =
-          job.contention_bound
-              ? bisection_slowdown(partition->best_quality, partition->quality)
-              : 1.0;
-      record.finish_seconds = now + job.base_seconds * record.slowdown;
-      record.partition = std::move(*partition);
-      running.push_back({job.id, record.finish_seconds});
-      done.push_back(std::move(record));
-      queue.erase(queue.begin());
-      placed_any = true;
-      observe_fragmentation();
-    }
-    if (done.size() == jobs.size()) break;
-
-    // Advance time to the next event: a completion or an arrival.
-    double next_event = std::numeric_limits<double>::infinity();
-    for (const RunningJob& r : running) {
-      next_event = std::min(next_event, r.finish_seconds);
-    }
-    if (next_arrival < jobs.size()) {
-      next_event = std::min(next_event, jobs[next_arrival].arrival_seconds);
-    }
-    if (!std::isfinite(next_event)) {
-      if (placed_any) continue;
-      const Job& head = queue.front();
-      throw std::logic_error(
-          "simulate_schedule: deadlock — job " + std::to_string(head.id) +
-          " (size " + std::to_string(head.midplanes) +
-          " units) can never be placed on " + allocator.descriptor());
-    }
-    now = std::max(now, next_event);
-    complete_finished(now);
-  }
-
   ScheduleResult result;
-  result.jobs = std::move(done);
-  double slowdown_sum = 0.0;
-  std::int64_t slowdown_count = 0;
-  double wait_sum = 0.0;
-  for (const ScheduledJob& record : result.jobs) {
-    result.makespan_seconds =
-        std::max(result.makespan_seconds, record.finish_seconds);
-    wait_sum += record.start_seconds - record.job.arrival_seconds;
-    if (record.job.contention_bound) {
-      slowdown_sum += record.slowdown;
-      ++slowdown_count;
-    }
-  }
-  result.mean_slowdown =
-      slowdown_count > 0 ? slowdown_sum / static_cast<double>(slowdown_count)
-                         : 1.0;
-  result.mean_wait_seconds =
-      result.jobs.empty() ? 0.0
-                          : wait_sum / static_cast<double>(result.jobs.size());
+  result.jobs.reserve(jobs.size());
+  StreamingScheduler scheduler(allocator, policy);
+  VectorJobSource source(std::move(jobs));
+  const StreamStats stats = scheduler.run(
+      source,
+      [&result](const ScheduledJob& record) { result.jobs.push_back(record); });
+  result.makespan_seconds = stats.makespan_seconds;
+  result.mean_slowdown = stats.mean_slowdown;
+  result.mean_wait_seconds = stats.mean_wait_seconds;
   // Report jobs in id order for stable output.
   std::sort(result.jobs.begin(), result.jobs.end(),
             [](const ScheduledJob& a, const ScheduledJob& b) {
               return a.job.id < b.job.id;
             });
   if (registry != nullptr) {
-    const std::string prefix = "sched.alloc." + allocator.family();
-    registry->counter(prefix + ".attempts").add(tally.attempts);
-    registry->counter(prefix + ".failures").add(tally.failures);
-    registry->counter("sched.jobs").add(result.jobs.size());
     trace_simulated_schedule(allocator, policy, result.jobs);
   }
   return result;

@@ -48,6 +48,11 @@ enum class SchedulerPolicy {
   /// free; compute-bound jobs place greedily. The paper's hint-driven
   /// policy.
   kWaitForBest,
+  /// EASY backfilling: the head places best-first like kBestBisection, but
+  /// when it blocks, later queued jobs may jump ahead as long as they
+  /// cannot delay the head's unit-based reservation (finish before the
+  /// head's shadow time, or fit in the units the head leaves spare).
+  kEasyBackfill,
 };
 
 std::string to_string(SchedulerPolicy policy);

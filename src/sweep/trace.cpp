@@ -102,6 +102,35 @@ std::vector<core::Job> generate_trace(
   return jobs;
 }
 
+SyntheticJobSource::SyntheticJobSource(std::vector<std::int64_t> size_pool,
+                                       TraceConfig config, std::uint64_t seed)
+    : sizes_(std::move(size_pool)), config_(std::move(config)), state_(seed) {
+  // Reuse generate_trace's validation (including the empty-pool throw)
+  // without materializing anything: a zero-job run checks every field.
+  TraceConfig probe = config_;
+  probe.num_jobs = 0;
+  generate_trace(sizes_, probe, seed);
+}
+
+std::optional<core::Job> SyntheticJobSource::next() {
+  if (produced_ >= config_.num_jobs) return std::nullopt;
+  // Draw order is part of the format: size, base, contention, gap —
+  // identical to the generate_trace loop body.
+  core::Job job;
+  job.id = produced_;
+  job.midplanes = sizes_[static_cast<std::size_t>(
+      next_u64(state_) % static_cast<std::uint64_t>(sizes_.size()))];
+  job.base_seconds =
+      config_.min_base_seconds +
+      next_unit(state_) * (config_.max_base_seconds - config_.min_base_seconds);
+  job.contention_bound = next_unit(state_) < config_.contention_fraction;
+  arrival_ += -config_.mean_interarrival_seconds *
+              std::log(1.0 - next_unit(state_));
+  job.arrival_seconds = arrival_;
+  ++produced_;
+  return job;
+}
+
 namespace {
 
 constexpr const char* kTraceHeader =

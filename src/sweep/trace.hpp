@@ -20,6 +20,7 @@
 
 #include "bgq/machine.hpp"
 #include "core/scheduler.hpp"
+#include "core/scheduler_stream.hpp"
 
 namespace npac::sweep {
 
@@ -55,6 +56,28 @@ std::vector<core::Job> generate_trace(const bgq::Machine& machine,
 std::vector<core::Job> generate_trace(
     const std::vector<std::int64_t>& size_pool, const TraceConfig& config,
     std::uint64_t seed);
+
+/// Streaming twin of generate_trace: yields the identical job sequence
+/// (same draws in the same order from the same seed) one job at a time,
+/// so the event-driven scheduler can consume million-job traces without
+/// a million-element vector ever existing. Element-for-element equality
+/// with generate_trace is pinned in tests.
+class SyntheticJobSource final : public core::JobSource {
+ public:
+  /// `config.sizes` is ignored in favor of `size_pool` (mirroring the
+  /// size-pool generate_trace overload); config is validated eagerly with
+  /// the same throws as generate_trace.
+  SyntheticJobSource(std::vector<std::int64_t> size_pool, TraceConfig config,
+                     std::uint64_t seed);
+  std::optional<core::Job> next() override;
+
+ private:
+  std::vector<std::int64_t> sizes_;
+  TraceConfig config_;
+  std::uint64_t state_;
+  int produced_ = 0;
+  double arrival_ = 0.0;
+};
 
 /// Round-trip-exact decimal rendering ("%.17g") — the double format of
 /// every sweep CSV artifact, so byte-identity checks compare like with

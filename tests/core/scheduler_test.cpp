@@ -243,22 +243,33 @@ TEST(SchedulerTest, InfeasibleSizeThrowNamesJobSizeAndMachine) {
   }
 }
 
-TEST(SchedulerTest, DeadlockThrowNamesBlockedJobAndMachine) {
-  // A true deadlock needs a job whose every layout stays blocked with no
-  // completion event pending; seed the allocator with a foreign allocation
-  // that the simulated stream never releases.
+TEST(SchedulerTest, RejectsNonEmptyAllocator) {
+  // A pre-seeded allocator used to silently deadlock or mis-simulate
+  // (foreign allocations are never released by the stream); it is now a
+  // validated precondition. The throw names the machine and occupancy.
   CuboidAllocator allocator(bgq::mira());
   ASSERT_TRUE(allocator.try_place(96, 0, /*job_id=*/999).has_value());
   try {
     simulate_schedule(allocator, SchedulerPolicy::kBestBisection,
                       {make_job(3, 4, 1.0)});
-    FAIL() << "expected std::logic_error";
-  } catch (const std::logic_error& error) {
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
     const std::string message = error.what();
-    EXPECT_NE(message.find("deadlock"), std::string::npos) << message;
-    EXPECT_NE(message.find("job 3"), std::string::npos) << message;
-    EXPECT_NE(message.find("size 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("must start empty"), std::string::npos) << message;
     EXPECT_NE(message.find("Mira"), std::string::npos) << message;
+  }
+}
+
+TEST(SchedulerTest, BadArrivalThrowNamesOffendingJob) {
+  try {
+    simulate_schedule(bgq::mira(), SchedulerPolicy::kBestBisection,
+                      {make_job(4, 1, 1.0, true, 5.0),
+                       make_job(11, 1, 1.0, true, 2.0)});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("job 11"), std::string::npos) << message;
+    EXPECT_NE(message.find("non-decreasing"), std::string::npos) << message;
   }
 }
 
@@ -266,6 +277,7 @@ TEST(SchedulerTest, PolicyNames) {
   EXPECT_EQ(to_string(SchedulerPolicy::kFirstFit), "first-fit");
   EXPECT_EQ(to_string(SchedulerPolicy::kBestBisection), "best-bisection");
   EXPECT_EQ(to_string(SchedulerPolicy::kWaitForBest), "wait-for-best");
+  EXPECT_EQ(to_string(SchedulerPolicy::kEasyBackfill), "easy-backfill");
 }
 
 }  // namespace

@@ -10,14 +10,20 @@
 // counter may flow back into results (DESIGN.md decision #12).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bgq/machine.hpp"
+#include "core/allocator.hpp"
+#include "core/scheduler_stream.hpp"
 #include "obs/metrics.hpp"
 #include "simnet/graph_network.hpp"
 #include "simnet/traffic.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/sweep.hpp"
+#include "sweep/trace.hpp"
+#include "topo/descriptor.hpp"
 
 namespace npac::sweep {
 namespace {
@@ -86,6 +92,104 @@ TEST(ObsDeterminismTest, CsvBytesIdenticalAt1_2_7_16Threads) {
     EXPECT_EQ(instrumented_csv(threads, registry), reference)
         << "threads=" << threads;
     EXPECT_GT(registry.counter_value("pool.tasks"), 0u)
+        << "threads=" << threads;
+  }
+}
+
+// One streaming-scheduler run rendered as text: every emitted record's
+// fields, round-trip exact, in emission order — any instrumentation
+// side-channel into the schedule flips bytes here.
+std::string streaming_schedule_text(core::PartitionAllocator& allocator,
+                                    core::SchedulerPolicy policy,
+                                    std::uint64_t seed) {
+  const auto sizes = core::feasible_unit_sizes(allocator);
+  TraceConfig config;
+  config.num_jobs = 240;
+  config.mean_interarrival_seconds = 4.0;  // congested: backfill holes exist
+  SyntheticJobSource source(sizes, config, seed);
+  core::StreamingScheduler scheduler(allocator, policy);
+  std::string text;
+  scheduler.run(source, [&text](const core::ScheduledJob& record) {
+    text += std::to_string(record.job.id) + "," + record.partition.label +
+            "," + format_exact(record.start_seconds) + "," +
+            format_exact(record.finish_seconds) + "," +
+            format_exact(record.slowdown) + "\n";
+  });
+  return text;
+}
+
+TEST(ObsDeterminismTest, SchedulerInstrumentationNeverChangesScheduleBytes) {
+  // The streaming scheduler's obs hooks (sched.events, sched.queue_depth,
+  // sched.backfill.hits, sched.rescan.skips, the per-family attempt
+  // tallies) must be write-only: the emitted schedule — including the
+  // backfilling discipline's — is byte-identical with a fully-enabled
+  // registry installed, whether the runs happen serially or fanned onto a
+  // pool at 1, 3, or 8 workers.
+  ASSERT_EQ(obs::Registry::current(), nullptr);
+  struct SchedCase {
+    std::function<std::unique_ptr<core::PartitionAllocator>()> make;
+    core::SchedulerPolicy policy;
+  };
+  topo::DragonflyConfig dragonfly;
+  dragonfly.a = 4;
+  dragonfly.h = 4;
+  dragonfly.groups = 8;
+  dragonfly.global_ports = 1;
+  std::vector<SchedCase> cases;
+  for (const core::SchedulerPolicy policy :
+       {core::SchedulerPolicy::kBestBisection,
+        core::SchedulerPolicy::kEasyBackfill}) {
+    cases.push_back({[] { return core::make_allocator(bgq::mira()); }, policy});
+    cases.push_back(
+        {[dragonfly] {
+           return core::make_allocator(
+               topo::TopologySpec::dragonfly(dragonfly));
+         },
+         policy});
+    cases.push_back(
+        {[] { return core::make_allocator(topo::TopologySpec::fat_tree(8)); },
+         policy});
+  }
+  const auto run_all = [&](int threads) {
+    std::vector<std::string> texts(cases.size());
+    ThreadPool pool(threads);
+    pool.run_indexed(static_cast<std::int64_t>(cases.size()),
+                     [&](std::int64_t i) {
+                       const SchedCase& c =
+                           cases[static_cast<std::size_t>(i)];
+                       const auto allocator = c.make();
+                       texts[static_cast<std::size_t>(i)] =
+                           streaming_schedule_text(*allocator, c.policy, 42);
+                     });
+    std::string joined;
+    for (const std::string& text : texts) joined += text;
+    return joined;
+  };
+
+  const std::string reference = run_all(1);
+  EXPECT_FALSE(reference.empty());
+  for (const int threads : {1, 3, 8}) {
+    obs::Registry::Options options;
+    options.tracing = true;
+    obs::Registry registry(options);
+    {
+      obs::ScopedRegistry scoped(registry);
+      EXPECT_EQ(run_all(threads), reference) << "threads=" << threads;
+    }
+    // The instrumentation really observed the runs: every admission and
+    // placement was counted (2 x 240 events per run floor — completions
+    // still in flight at the end are not drained), the backfilling cases
+    // logged reservation-window hits, the free-layout index logged
+    // skipped rescans, and the queue-depth gauge was left at a run's peak.
+    EXPECT_GE(registry.counter_value("sched.events"), 6u * 2u * 240u)
+        << "threads=" << threads;
+    EXPECT_GT(registry.counter_value("sched.backfill.hits"), 0u)
+        << "threads=" << threads;
+    EXPECT_GT(registry.counter_value("sched.rescan.skips"), 0u)
+        << "threads=" << threads;
+    EXPECT_GT(registry.gauge_value("sched.queue_depth"), 0.0)
+        << "threads=" << threads;
+    EXPECT_GT(registry.counter_value("sched.alloc.cuboid.attempts"), 0u)
         << "threads=" << threads;
   }
 }
